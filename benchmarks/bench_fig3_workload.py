@@ -1,0 +1,148 @@
+"""Figs. 3.7-3.9 + the Sec. 3.2.5 correlation: comparison-metric
+evaluation on randomly generated explanations.
+
+Regenerates the ordered distance series per LDBC query and cardinality
+factor C in {0.2, 0.5, 2, 5} and the average-result-distance vs
+syntactic-interval table.  The shared workload is generated once per
+session; pytest-benchmark times a single driver round plus the metric
+kernels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.workload import generate_explanations, ordered_series
+from repro.harness import (
+    CARDINALITY_FACTORS,
+    fig3_10_correlation,
+    format_series,
+    format_table,
+    sparkline,
+)
+from repro.metrics.result_distance import result_set_distance
+from repro.metrics.syntactic import syntactic_distance
+
+MAX_CANDIDATES = 40
+
+
+@pytest.fixture(scope="module")
+def workload(ldbc_bundle):
+    from repro.datasets import ldbc
+
+    out = {}
+    for name, query in ldbc.queries().items():
+        out[name] = {}
+        for factor in CARDINALITY_FACTORS:
+            out[name][factor] = generate_explanations(
+                ldbc_bundle.graph,
+                query,
+                cardinality_factor=factor,
+                seed=17,
+                max_candidates=MAX_CANDIDATES,
+            )
+    return out
+
+
+def _series_report(workload, key: str) -> str:
+    lines = []
+    for name, by_factor in workload.items():
+        for factor, samples in by_factor.items():
+            series = ordered_series(samples, key)
+            lines.append(format_series(f"{name} C={factor} {key}", series))
+            lines.append("  " + sparkline(series))
+    return "\n".join(lines)
+
+
+def test_fig3_7_syntactic_series(workload, write_result, benchmark):
+    report = _series_report(workload, "syntactic")
+    write_result("fig3_7_syntactic", report)
+    # every series is a monotone staircase (the Fig. 3.7 shape)
+    for by_factor in workload.values():
+        for samples in by_factor.values():
+            series = ordered_series(samples, "syntactic")
+            assert series == sorted(series, reverse=True)
+            assert all(0.0 <= v <= 1.0 for v in series)
+    # kernel timing: one syntactic distance on a real pair
+    name = next(iter(workload))
+    sample = workload[name][0.5][0]
+    from repro.datasets import ldbc
+
+    original = ldbc.queries()[name]
+    benchmark(syntactic_distance, original, sample.query)
+
+
+def test_fig3_8_result_series(workload, write_result, benchmark, ldbc_bundle):
+    report = _series_report(workload, "result")
+    write_result("fig3_8_result", report)
+    for by_factor in workload.values():
+        for factor, samples in by_factor.items():
+            series = ordered_series(samples, "result")
+            assert all(0.0 <= v <= 1.0 for v in series)
+            if factor < 1 and len(series) >= 10:
+                # too-many factors: distances saturate towards 1 (Fig 3.8)
+                assert series[0] >= 0.5
+    # kernel timing: one result-set distance
+    from repro.datasets import ldbc
+    from repro.matching import PatternMatcher
+
+    matcher = PatternMatcher(ldbc_bundle.graph)
+    name = "LDBC QUERY 1"
+    original = matcher.match(ldbc.queries()[name], limit=64)
+    sample = workload[name][0.5][0]
+    other = matcher.match(sample.query, limit=64)
+    benchmark(result_set_distance, original, other)
+
+
+def test_fig3_9_cardinality_series(workload, write_result, benchmark):
+    report = _series_report(workload, "deviation")
+    write_result("fig3_9_cardinality", report)
+    for by_factor in workload.values():
+        for samples in by_factor.values():
+            series = ordered_series(samples, "deviation")
+            assert series == sorted(series, reverse=True)
+            assert all(v >= 0 for v in series)
+            # plateaus exist: dependent elements must change together
+    benchmark(lambda: ordered_series(workload["LDBC QUERY 1"][0.5], "deviation"))
+
+
+def test_fig3_10_result_vs_syntactic(workload, write_result, benchmark):
+    rows = []
+    for name, by_factor in workload.items():
+        pooled = [s for samples in by_factor.values() for s in samples]
+        for upper, mean_result, count in fig3_10_correlation(pooled):
+            rows.append([name, f"<= {upper:.3f}", mean_result, count])
+    report = format_table(
+        ["query", "syntactic interval", "avg result distance", "n"],
+        rows,
+        title="Sec. 3.2.5: average result distance per syntactic interval",
+    )
+    write_result("fig3_10_correlation", report)
+    assert rows
+    pooled = [s for f in workload["LDBC QUERY 1"].values() for s in f]
+    benchmark(fig3_10_correlation, pooled)
+
+
+def test_fig3_shapes_recorded(workload, write_result, benchmark):
+    """Summary table: per query/factor sample counts and distance spans."""
+    benchmark(lambda: ordered_series(workload["LDBC QUERY 1"][0.5], "syntactic"))
+    rows = []
+    for name, by_factor in workload.items():
+        for factor, samples in by_factor.items():
+            syn = ordered_series(samples, "syntactic")
+            res = ordered_series(samples, "result")
+            rows.append(
+                [
+                    name,
+                    factor,
+                    len(samples),
+                    f"{min(syn):.2f}-{max(syn):.2f}" if syn else "-",
+                    f"{min(res):.2f}-{max(res):.2f}" if res else "-",
+                ]
+            )
+    report = format_table(
+        ["query", "C factor", "samples", "syntactic span", "result span"],
+        rows,
+        title="Random-explanation workload summary (Sec. 3.2.5 protocol)",
+    )
+    write_result("fig3_workload_summary", report)

@@ -1,0 +1,96 @@
+"""Sec. 4.5: DISCOVERMCS (why-empty) and BOUNDEDMCS (too-many) evaluation.
+
+Regenerates the per-query result tables on both data sets and both
+traversal strategies, asserting the paper's qualitative claims: the
+single-path optimisation evaluates fewer subqueries than the full
+frontier, at equal or lower common-subgraph coverage.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from repro.explain import discover_mcs
+from repro.harness import fig4_boundedmcs, fig4_discovermcs, format_table
+
+
+def _rows_to_table(rows, title):
+    return format_table(
+        ["query", "strategy", "coverage", "mcs edges", "evals", "annot", "sec", "alts"],
+        [
+            (
+                r.query,
+                r.strategy,
+                r.coverage,
+                r.mcs_edges,
+                r.evaluations,
+                r.annotation_evaluations,
+                r.elapsed,
+                r.alternatives,
+            )
+            for r in rows
+        ],
+        title=title,
+    )
+
+
+@pytest.mark.parametrize("dataset", ["ldbc", "dbpedia"])
+def test_fig4_discovermcs(dataset, write_result, benchmark):
+    rows = fig4_discovermcs(dataset)
+    write_result(
+        f"fig4_discovermcs_{dataset}",
+        _rows_to_table(rows, f"Sec. 4.5.1 DISCOVERMCS on {dataset} empty variants"),
+    )
+
+    by_query = defaultdict(dict)
+    for r in rows:
+        by_query[r.query][r.strategy] = r
+    for query, strategies in by_query.items():
+        frontier = strategies["frontier"]
+        single = strategies["single-path"]
+        # the why-empty variants all have partially-matching structure
+        assert 0.0 < frontier.coverage < 1.0, query
+        # single-path saves evaluations, possibly at lower coverage
+        assert single.evaluations <= frontier.evaluations, query
+        assert single.coverage <= frontier.coverage + 1e-9, query
+
+    # timing: one frontier run of the first query
+    from repro.harness import load_dataset
+
+    bundle, _, empty_variant = load_dataset(dataset)
+    failed = empty_variant(sorted(by_query)[0])
+    benchmark.pedantic(
+        lambda: discover_mcs(bundle.graph, failed), rounds=3, iterations=1
+    )
+
+
+def test_fig4_boundedmcs_too_many(write_result, benchmark):
+    rows = fig4_boundedmcs("ldbc", factors=(0.2, 0.5))
+    write_result(
+        "fig4_boundedmcs_ldbc",
+        _rows_to_table(rows, "Sec. 4.5.2 BOUNDEDMCS on the too-many problem"),
+    )
+    assert rows
+    for r in rows:
+        assert r.evaluations > 0
+        # the full query violates the bound, so some part must be excluded
+        assert r.coverage < 1.0
+
+    from repro.harness import load_dataset
+    from repro.metrics.cardinality import CardinalityProblem, CardinalityThreshold
+    from repro.explain import bounded_mcs
+    from repro.matching import PatternMatcher
+
+    bundle, queries, _ = load_dataset("ldbc")
+    query = queries["LDBC QUERY 1"]
+    original = PatternMatcher(bundle.graph).count(query)
+    threshold = CardinalityThreshold.at_most(max(1, original // 2))
+    benchmark.pedantic(
+        lambda: bounded_mcs(
+            bundle.graph, query, threshold, problem=CardinalityProblem.TOO_MANY
+        ),
+        rounds=3,
+        iterations=1,
+    )

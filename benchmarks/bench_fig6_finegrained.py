@@ -1,0 +1,119 @@
+"""Sec. 6.4: fine-grained modification evaluation.
+
+Baseline comparison (6.4.2): TRAVERSESEARCHTREE vs random modification
+search vs the greedy coarse lattice; topology consideration (6.4.3):
+value-level-only vs topology-enabled modification.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from repro.finegrained import TraverseSearchTree
+from repro.harness import fig6_baselines, fig6_topology, format_table
+
+
+def _table(rows, title):
+    return format_table(
+        ["scenario", "engine", "converged", "distance", "C", "syntactic", "evals", "sec"],
+        [
+            (
+                r.scenario,
+                r.engine,
+                r.converged,
+                r.distance,
+                r.cardinality,
+                r.syntactic,
+                r.evaluated,
+                r.elapsed,
+            )
+            for r in rows
+        ],
+        title=title,
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline_rows():
+    return fig6_baselines("ldbc", max_evaluations=200)
+
+
+def test_fig6_baseline_comparison(baseline_rows, write_result, benchmark, ldbc_bundle):
+    write_result(
+        "fig6_baselines",
+        _table(baseline_rows, "Sec. 6.4.2: TRAVERSESEARCHTREE vs baselines"),
+    )
+    by_engine = defaultdict(list)
+    for r in baseline_rows:
+        by_engine[r.engine].append(r)
+
+    tst = by_engine["traverse-search-tree"]
+    rnd = by_engine["random-search"]
+    greedy = by_engine["greedy-lattice"]
+
+    # headline 1: the structured search converges on (almost) every
+    # scenario and at least as often as either baseline
+    conv = lambda rows: sum(r.converged for r in rows)
+    assert conv(tst) >= conv(rnd)
+    assert conv(tst) >= conv(greedy)
+    assert conv(tst) >= len(tst) - 1
+
+    # headline 2: the final cardinality distance is never worse on average
+    mean_dist = lambda rows: sum(r.distance for r in rows) / len(rows)
+    assert mean_dist(tst) <= mean_dist(rnd) + 1e-9
+    assert mean_dist(tst) <= mean_dist(greedy) + 1e-9
+
+    # headline 3: fine-grained explanations look closer to the original
+    # than the coarse lattice's, among converged scenarios
+    converged_scenarios = {
+        r.scenario for r in tst if r.converged
+    } & {r.scenario for r in greedy if r.converged}
+    if converged_scenarios:
+        tst_syn = sum(
+            r.syntactic for r in tst if r.scenario in converged_scenarios
+        )
+        greedy_syn = sum(
+            r.syntactic for r in greedy if r.scenario in converged_scenarios
+        )
+        assert tst_syn <= greedy_syn + 1e-9
+
+    from repro.datasets import ldbc
+    from repro.matching import PatternMatcher
+    from repro.metrics.cardinality import CardinalityThreshold
+
+    query = ldbc.query_1()
+    c = PatternMatcher(ldbc_bundle.graph).count(query)
+    threshold = CardinalityThreshold(lower=2 * c, upper=4 * c)
+    benchmark.pedantic(
+        lambda: TraverseSearchTree(
+            ldbc_bundle.graph, threshold, max_evaluations=150
+        ).search(query),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_fig6_topology_consideration(write_result, benchmark):
+    rows = fig6_topology("ldbc", max_evaluations=250)
+    write_result(
+        "fig6_topology",
+        _table(rows, "Sec. 6.4.3: predicates-only vs topology-enabled"),
+    )
+    by_scenario = defaultdict(dict)
+    for r in rows:
+        by_scenario[r.scenario][r.engine] = r
+    reached_more = 0
+    for scenario, engines in by_scenario.items():
+        plain = engines["predicates-only"]
+        topo = engines["with-topology"]
+        # topology changes can only improve the achievable distance
+        assert topo.distance <= plain.distance + 1e-9, scenario
+        if topo.distance < plain.distance:
+            reached_more += 1
+    # at least one scenario needs topology changes (the Sec. 6.4.3 claim)
+    assert reached_more >= 1
+    benchmark.pedantic(
+        lambda: fig6_topology("dbpedia", max_evaluations=80), rounds=1, iterations=1
+    )

@@ -1,0 +1,76 @@
+"""Engineering micro-benchmarks of the core kernels.
+
+Not a paper artifact; keeps regressions in the substrate visible: the
+matcher, the three distance levels, the Hungarian solver, statistics and
+the cache.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets import ldbc
+from repro.matching import PatternMatcher
+from repro.metrics.assignment import assignment_cost
+from repro.metrics.result_distance import result_set_distance
+from repro.metrics.syntactic import syntactic_distance
+from repro.rewrite.cache import QueryResultCache
+from repro.rewrite.statistics import GraphStatistics
+
+
+def test_micro_generate_ldbc(benchmark):
+    bundle = benchmark.pedantic(ldbc.generate, rounds=3, iterations=1)
+    assert bundle.graph.num_vertices > 0
+
+
+def test_micro_matcher_count(ldbc_bundle, benchmark):
+    matcher = PatternMatcher(ldbc_bundle.graph)
+    query = ldbc.query_1()
+    count = benchmark(matcher.count, query)
+    assert count > 0
+
+
+def test_micro_matcher_exists(ldbc_bundle, benchmark):
+    matcher = PatternMatcher(ldbc_bundle.graph)
+    query = ldbc.query_3()
+    assert benchmark(matcher.exists, query)
+
+
+def test_micro_syntactic_distance(benchmark):
+    q1 = ldbc.query_2()
+    q2 = ldbc.empty_variant("LDBC QUERY 2")
+    d = benchmark(syntactic_distance, q1, q2)
+    assert 0 < d < 1
+
+
+def test_micro_result_set_distance(ldbc_bundle, benchmark):
+    matcher = PatternMatcher(ldbc_bundle.graph)
+    a = matcher.match(ldbc.query_3(), limit=64)
+    b = matcher.match(ldbc.query_3(), limit=48)
+    d = benchmark(result_set_distance, a, b)
+    assert 0.0 <= d <= 1.0
+
+
+def test_micro_hungarian_64(benchmark):
+    rng = random.Random(1)
+    cost = [[rng.random() for _ in range(64)] for _ in range(64)]
+    total, _ = benchmark(assignment_cost, cost)
+    assert total >= 0.0
+
+
+def test_micro_statistics_estimate(ldbc_bundle, benchmark):
+    stats = GraphStatistics(ldbc_bundle.graph)
+    query = ldbc.query_4()
+    stats.estimate_query_cardinality(query)  # warm the caches
+    estimate = benchmark(stats.estimate_query_cardinality, query)
+    assert estimate > 0
+
+
+def test_micro_cache_hit(ldbc_bundle, benchmark):
+    cache = QueryResultCache(PatternMatcher(ldbc_bundle.graph))
+    query = ldbc.query_1()
+    cache.count(query)
+    count = benchmark(cache.count, query)
+    assert count > 0

@@ -1,0 +1,48 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every benchmark regenerates one table/figure of the thesis' evaluation
+(see DESIGN.md, experiment index) and writes the paper-style output to
+``benchmarks/results/<experiment>.txt`` so the artifacts survive pytest's
+output capturing.  Timing uses pytest-benchmark; long experiment drivers
+are timed with a single pedantic round.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_result(results_dir):
+    """Persist one experiment's regenerated output (and echo it)."""
+
+    def _write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def ldbc_bundle():
+    from repro.datasets import ldbc
+
+    return ldbc.generate()
+
+
+@pytest.fixture(scope="session")
+def dbpedia_bundle():
+    from repro.datasets import dbpedia
+
+    return dbpedia.generate()

@@ -1,0 +1,85 @@
+"""Data-integration debugging on a knowledge graph (why-empty deep dive).
+
+The thesis singles out data integration as the use case that suffers most
+from empty answers (Sec. 1): data comes from many, partially unreliable
+sources, and queries written against an assumed schema silently miss the
+actual data.  This example plays a curator validating integrated
+DBpedia-like film data:
+
+* a validation query returns nothing;
+* DISCOVERMCS separates the *correct* assumption (films have directors
+  with birth places) from the *failed* one, with per-constraint blame;
+* the traversal-strategy trade-off (frontier vs single-path) is shown
+  with evaluation counts -- the optimisation of Sec. 4.3.2;
+* the coarse rewriter proposes top-3 fixes, and the query-result cache
+  statistics show how much re-evaluation the engines shared.
+
+Run:  python examples/data_integration_why_empty.py
+"""
+
+from repro.datasets import dbpedia
+from repro.explain import discover_mcs
+from repro.matching import PatternMatcher
+from repro.rewrite import CoarseRewriter, QueryResultCache
+
+kg = dbpedia.generate()
+graph = kg.graph
+matcher = PatternMatcher(graph)
+
+print(f"integrated knowledge graph: {graph}")
+
+# The curator checks: "every drama by a director born in a metropolis
+# should be in the data" -- but gets zero rows.
+validation = dbpedia.empty_variant("DBPEDIA QUERY 1")
+print()
+print("validation query:")
+print(validation.describe())
+print(f"result cardinality: {matcher.count(validation)}")
+
+# -- why does it fail? ---------------------------------------------------------
+
+print()
+print("-- subgraph-based explanation (DISCOVERMCS, frontier strategy) --")
+frontier = discover_mcs(graph, validation, strategy="frontier")
+print(frontier.differential.describe())
+print(
+    f"[evaluations: {frontier.stats.evaluations} subqueries "
+    f"+ {frontier.stats.annotation_evaluations} diagnosis probes]"
+)
+
+print()
+print("-- the same with the single-traversal-path optimisation (Sec. 4.3.2) --")
+single = discover_mcs(graph, validation, strategy="single-path")
+print(
+    f"coverage {single.differential.coverage:.0%} vs "
+    f"{frontier.differential.coverage:.0%} (frontier), "
+    f"evaluations {single.stats.evaluations} vs {frontier.stats.evaluations}"
+)
+
+# The MCS itself is a runnable query: the curator can inspect what the
+# data *does* support.
+print()
+print("-- what the data does support (the maximum common subgraph) --")
+mcs = frontier.mcs
+print(mcs.describe())
+sample = matcher.match(mcs, limit=3)
+for i, result in enumerate(sample):
+    bound = {f"v{q}": d for q, d in result.vertex_bindings}
+    print(f"  example match {i + 1}: {bound}")
+
+# -- how to fix it? -------------------------------------------------------------
+
+print()
+print("-- modification-based explanations (coarse rewriting, top 3) --")
+cache = QueryResultCache(matcher)
+rewriter = CoarseRewriter(graph, matcher=matcher, cache=cache, max_evaluations=200)
+outcome = rewriter.rewrite(validation, k=3)
+for proposal in outcome.explanations:
+    print(f"  {proposal.describe()}")
+
+print()
+print(
+    f"[search: {outcome.evaluated} candidates evaluated, "
+    f"{outcome.generated} generated, queue peak {outcome.queue_peak}; "
+    f"cache: {cache.stats.size} entries, hit rate {cache.stats.hit_rate:.0%}]"
+)

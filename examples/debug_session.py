@@ -1,0 +1,55 @@
+"""A complete interactive debugging session (the DebEAQ workflow).
+
+Combines everything: the failed query's subgraph explanation, the
+propose-rate-accept loop with both preference models learning from the
+ratings, and a JSON export of the accepted rewriting that a frontend or
+a query log could persist.
+
+Run:  python examples/debug_session.py
+"""
+
+import json
+
+from repro.core import query_to_dict
+from repro.datasets import ldbc
+from repro.why import DebugSession
+
+network = ldbc.generate()
+failed = ldbc.empty_variant_edge("LDBC QUERY 4")
+
+session = DebugSession(network.graph, failed)
+print(f"problem: {session.problem.value}")
+print()
+print("-- why did it fail? --")
+print(session.explanation().differential.describe())
+
+# The analyst is investigating where these people work, so fixes must not
+# touch the company/city part of the pattern (edges 2/3, vertices 3/4);
+# the poisoned friendship edge itself is fair game.
+WORKPLACE = {("edge", 2), ("edge", 3), ("vertex", 3), ("vertex", 4)}
+
+print()
+print("-- propose / rate / accept --")
+for _ in range(6):
+    proposal = session.propose()
+    if proposal is None:
+        print("engine out of proposals")
+        break
+    touches = any(op.target in WORKPLACE for op in proposal.modifications)
+    print(f"proposal: {proposal.describe()}")
+    if touches:
+        print("  -> rejected (touches the workplace part)")
+        session.rate(0.0)
+    else:
+        print("  -> accepted")
+        session.accept()
+        break
+
+print()
+print(session.summary())
+
+if session.accepted is not None:
+    payload = json.dumps(query_to_dict(session.accepted.query), indent=1)
+    print()
+    print(f"accepted rewriting as JSON ({len(payload)} bytes):")
+    print(payload[:400] + (" ..." if len(payload) > 400 else ""))

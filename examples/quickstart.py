@@ -1,0 +1,48 @@
+"""Quickstart: debug a why-empty pattern query in 40 lines.
+
+Builds a small property graph, runs an over-constrained pattern query
+that comes back empty, and asks the why-query engine what went wrong and
+how to fix it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GraphQuery, PropertyGraph, PatternMatcher, equals
+from repro.why import WhyQueryEngine
+
+# -- 1. build a property graph (Definition 1) -------------------------------
+
+graph = PropertyGraph()
+anna = graph.add_vertex(type="person", name="Anna", gender="female")
+bob = graph.add_vertex(type="person", name="Bob", gender="male")
+tud = graph.add_vertex(type="university", name="TU Dresden")
+dresden = graph.add_vertex(type="city", name="Dresden")
+graph.add_edge(anna, tud, "workAt", sinceYear=2003)
+graph.add_edge(bob, tud, "studyAt", classYear=2010)
+graph.add_edge(tud, dresden, "locatedIn")
+
+# -- 2. write a pattern query (Sec. 3.1.2) -----------------------------------
+
+query = GraphQuery()
+person = query.add_vertex(predicates={"type": equals("person")})
+university = query.add_vertex(predicates={"type": equals("university")})
+city = query.add_vertex(
+    predicates={"type": equals("city"), "name": equals("Berlin")}  # oops
+)
+query.add_edge(person, university, types={"workAt"})
+query.add_edge(university, city, types={"locatedIn"})
+
+matcher = PatternMatcher(graph)
+print(f"query cardinality: {matcher.count(query)}")  # 0 -- why?
+
+# -- 3. ask the why-query engine ----------------------------------------------
+
+engine = WhyQueryEngine(graph)
+report = engine.debug(query)
+print()
+print(report.summary())
+
+# The subgraph-based explanation pins the failure to the city's name
+# predicate (TU Dresden is in Dresden, not Berlin), and the
+# modification-based explanation proposes the minimal rewriting that
+# returns results again.

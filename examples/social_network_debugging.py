@@ -1,0 +1,73 @@
+"""Social-network debugging: all three cardinality problems on one graph.
+
+The thesis motivates why-queries with analysts exploring social networks
+(Sec. 1): with no rigid schema and multi-constraint pattern queries, it is
+easy to get zero, too few, or too many answers.  This example walks
+through all three on the synthetic LDBC-like network:
+
+1. **why-empty** -- a colleague-search query with a predicate that never
+   co-occurs; DISCOVERMCS pins the poisoned constraint, the coarse
+   rewriter proposes minimal fixes.
+2. **why-so-few** -- a study-cohort query below the expected cohort size;
+   BOUNDEDMCS shows where the cardinality collapses, TRAVERSESEARCHTREE
+   widens the class-year band just enough.
+3. **why-so-many** -- a friend-of-friend query that explodes;
+   the fine-grained search tightens it back into the expected interval.
+
+Run:  python examples/social_network_debugging.py
+"""
+
+from repro.datasets import ldbc
+from repro.matching import PatternMatcher
+from repro.metrics import CardinalityThreshold
+from repro.why import WhyQueryEngine
+
+
+def heading(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+network = ldbc.generate()
+graph = network.graph
+matcher = PatternMatcher(graph)
+engine = WhyQueryEngine(graph)
+
+print(f"social network: {graph}")
+
+# -- 1. why-empty ------------------------------------------------------------
+
+heading("1. why-empty: female colleagues at a company that does not exist")
+failed = ldbc.empty_variant("LDBC QUERY 1")
+print(failed.describe())
+report = engine.debug(failed)
+print()
+print(report.summary())
+
+# -- 2. why-so-few -------------------------------------------------------------
+
+heading("2. why-so-few: study cohort smaller than expected")
+cohort_query = ldbc.query_2()
+observed = matcher.count(cohort_query)
+expectation = CardinalityThreshold(lower=observed * 2, upper=observed * 4)
+print(cohort_query.describe())
+print(f"observed {observed} matches, expected {expectation}")
+report = engine.debug(cohort_query, expectation)
+print()
+print(report.summary())
+rewriting = report.rewriting
+if rewriting is not None and rewriting.converged:
+    print(f"cardinality along the search: {rewriting.cardinality_trace}")
+
+# -- 3. why-so-many --------------------------------------------------------------
+
+heading("3. why-so-many: friend-of-friend search explodes")
+fof_query = ldbc.query_4()
+observed = matcher.count(fof_query)
+expectation = CardinalityThreshold(lower=10, upper=observed // 4)
+print(f"observed {observed} matches, expected {expectation}")
+report = engine.debug(fof_query, expectation)
+print()
+print(report.summary())

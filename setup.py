@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation --no-use-pep517`` (or plain
+``pip install -e .`` on modern toolchains) installs the package; all
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro -- Why-query support in graph databases.
+
+A production-quality reproduction of Elena Vasilyeva's dissertation
+*"Why-Query Support in Graph Databases"* (TU Dresden, 2016): debugging
+support for pattern-matching queries over property graphs that deliver
+unexpectedly empty, too few, or too many results.
+
+Public API overview
+-------------------
+
+Core model
+    :class:`~repro.core.PropertyGraph`, :class:`~repro.core.GraphQuery`,
+    predicate constructors (:func:`~repro.core.equals`,
+    :func:`~repro.core.one_of`, :func:`~repro.core.between`, ...).
+Matching
+    :class:`~repro.matching.PatternMatcher` evaluates queries.
+Metrics (Ch. 3)
+    :func:`~repro.metrics.syntactic_distance`,
+    :func:`~repro.metrics.result_set_distance`,
+    :func:`~repro.metrics.cardinality_distance`,
+    :class:`~repro.metrics.CardinalityThreshold`.
+Explanations (Ch. 4-6)
+    :func:`~repro.explain.discover_mcs`, :func:`~repro.explain.bounded_mcs`
+    (subgraph-based); :class:`~repro.rewrite.CoarseRewriter` (why-empty
+    rewriting); :class:`~repro.finegrained.TraverseSearchTree`
+    (cardinality-driven fine-grained rewriting).
+Holistic engine
+    :class:`~repro.why.WhyQueryEngine` dispatches to the right debugger
+    from the observed cardinality (Fig. 3.1).
+"""
+
+from repro.core import (
+    BOTH_DIRECTIONS,
+    Direction,
+    GraphQuery,
+    Interval,
+    Predicate,
+    PropertyGraph,
+    ResultGraph,
+    ResultSet,
+    ValueSet,
+    at_least,
+    at_most,
+    between,
+    equals,
+    one_of,
+)
+from repro.matching import PatternMatcher
+from repro.metrics import (
+    CardinalityProblem,
+    CardinalityThreshold,
+    cardinality_distance,
+    result_set_distance,
+    syntactic_distance,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BOTH_DIRECTIONS",
+    "CardinalityProblem",
+    "CardinalityThreshold",
+    "Direction",
+    "GraphQuery",
+    "Interval",
+    "PatternMatcher",
+    "Predicate",
+    "PropertyGraph",
+    "ResultGraph",
+    "ResultSet",
+    "ValueSet",
+    "__version__",
+    "at_least",
+    "at_most",
+    "between",
+    "cardinality_distance",
+    "equals",
+    "one_of",
+    "result_set_distance",
+    "syntactic_distance",
+]

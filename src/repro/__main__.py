@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``demo``
+    Run the quickstart debugging story on a generated social network.
+``experiments [--dataset ldbc|dbpedia] [ids...]``
+    Regenerate evaluation tables (default: the fast ones).  Available
+    ids: tabA, fig4, fig5, fig5-user, fig6, fig6-topo, appB.
+``datasets``
+    Print the generated data-set inventory (Table A.1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_demo(_: argparse.Namespace) -> int:
+    from repro.datasets import ldbc
+    from repro.why import WhyQueryEngine
+
+    network = ldbc.generate()
+    print(f"generated social network: {network.graph}")
+    failed = ldbc.empty_variant("LDBC QUERY 2")
+    print("\nfailed query:")
+    print(failed.describe())
+    report = WhyQueryEngine(network.graph).debug(failed)
+    print()
+    print(report.summary())
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    from repro.harness import format_table, tabA_datasets
+
+    rows = tabA_datasets()
+    print(
+        format_table(
+            ["dataset", "query", "|V|", "|E|", "qV", "qE", "C1"],
+            [
+                (
+                    r.dataset,
+                    r.query,
+                    r.vertices,
+                    r.edges,
+                    r.query_vertices,
+                    r.query_edges,
+                    r.cardinality,
+                )
+                for r in rows
+            ],
+            title="Table A.1: data sets and queries",
+        )
+    )
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.harness import (
+        appB_resources,
+        fig4_discovermcs,
+        fig5_priorities,
+        fig5_user_integration,
+        fig6_baselines,
+        fig6_topology,
+        format_table,
+        tabA_datasets,
+    )
+
+    dataset = args.dataset
+    wanted = args.ids or ["tabA", "fig4", "fig5", "appB"]
+
+    if "tabA" in wanted:
+        _cmd_datasets(args)
+        print()
+    if "fig4" in wanted:
+        rows = fig4_discovermcs(dataset)
+        print(
+            format_table(
+                ["query", "strategy", "coverage", "evals", "sec"],
+                [(r.query, r.strategy, r.coverage, r.evaluations, r.elapsed) for r in rows],
+                title=f"Sec. 4.5.1 DISCOVERMCS ({dataset})",
+            )
+        )
+        print()
+    if "fig5" in wanted:
+        rows = fig5_priorities(dataset)
+        print(
+            format_table(
+                ["query", "priority", "evaluated", "syntactic"],
+                [(r.query, r.priority, r.evaluated, r.best_syntactic) for r in rows],
+                title=f"Sec. 5.5.1 priority functions ({dataset})",
+            )
+        )
+        print()
+    if "fig5-user" in wanted:
+        rows = fig5_user_integration(dataset)
+        print(
+            format_table(
+                ["query", "without model", "with model"],
+                [
+                    (r.query, r.proposals_without_model, r.proposals_with_model)
+                    for r in rows
+                ],
+                title=f"Sec. 5.5.4 user integration ({dataset})",
+            )
+        )
+        print()
+    if "fig6" in wanted:
+        rows = fig6_baselines(dataset)
+        print(
+            format_table(
+                ["scenario", "engine", "converged", "distance", "evals"],
+                [
+                    (r.scenario, r.engine, r.converged, r.distance, r.evaluated)
+                    for r in rows
+                ],
+                title=f"Sec. 6.4.2 baselines ({dataset})",
+            )
+        )
+        print()
+    if "fig6-topo" in wanted:
+        rows = fig6_topology(dataset)
+        print(
+            format_table(
+                ["scenario", "engine", "converged", "distance"],
+                [(r.scenario, r.engine, r.converged, r.distance) for r in rows],
+                title=f"Sec. 6.4.3 topology consideration ({dataset})",
+            )
+        )
+        print()
+    if "appB" in wanted:
+        rows = appB_resources(dataset)
+        print(
+            format_table(
+                ["query", "evaluated", "generated", "cache entries"],
+                [(r.query, r.evaluated, r.generated, r.cache_entries) for r in rows],
+                title=f"App. B.2 resources ({dataset})",
+            )
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Why-query support in graph databases (reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("demo", help="run the quickstart debugging story")
+    commands.add_parser("datasets", help="print the data-set inventory")
+    exp = commands.add_parser("experiments", help="regenerate evaluation tables")
+    exp.add_argument("--dataset", choices=("ldbc", "dbpedia"), default="ldbc")
+    exp.add_argument(
+        "ids",
+        nargs="*",
+        help="experiment ids (tabA, fig4, fig5, fig5-user, fig6, fig6-topo, appB)",
+    )
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "datasets": _cmd_datasets,
+        "experiments": _cmd_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,260 @@
+"""Property-graph storage (Definition 1 of the thesis).
+
+A property graph is a directed multigraph ``G = (V, E, u, f, g, AV, AE)``
+whose vertices and edges carry attribute maps; edges additionally carry a
+*type* (a distinguished attribute that may take exactly one value per data
+edge, Sec. 3.2.2).  Multiple edges may connect the same pair of vertices.
+
+The implementation favours read-heavy analytical use: adjacency lists in
+both directions, plus secondary indexes (vertex-attribute index, edge-type
+index) that the pattern matcher and the statistics provider (Sec. 5.2) use
+for candidate pruning.  Indexes are maintained incrementally, so graphs can
+be grown after queries have run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.core.errors import (
+    DuplicateElementError,
+    UnknownEdgeError,
+    UnknownVertexError,
+)
+
+
+@dataclass(frozen=True)
+class EdgeRecord:
+    """Immutable view of one data edge."""
+
+    eid: int
+    source: int
+    target: int
+    type: str
+    attributes: Mapping[str, Any]
+
+    def other_end(self, vid: int) -> int:
+        """Return the endpoint opposite to ``vid``."""
+        if vid == self.source:
+            return self.target
+        if vid == self.target:
+            return self.source
+        raise UnknownVertexError(vid)
+
+
+@dataclass
+class _VertexCell:
+    attributes: Dict[str, Any]
+    out_edges: List[int] = field(default_factory=list)
+    in_edges: List[int] = field(default_factory=list)
+
+
+class PropertyGraph:
+    """A directed multigraph with attributed vertices and typed edges.
+
+    >>> g = PropertyGraph()
+    >>> anna = g.add_vertex(type="person", name="Anna")
+    >>> tud = g.add_vertex(type="university", name="TU Dresden")
+    >>> e = g.add_edge(anna, tud, "workAt", sinceYear=2003)
+    >>> g.edge(e).type
+    'workAt'
+    """
+
+    def __init__(self) -> None:
+        self._vertices: Dict[int, _VertexCell] = {}
+        self._edges: Dict[int, EdgeRecord] = {}
+        self._next_vid = 0
+        self._next_eid = 0
+        # attr -> value -> set of vertex ids
+        self._vertex_index: Dict[str, Dict[Any, Set[int]]] = {}
+        self._indexed_attrs: Set[str] = set()
+        # edge type -> set of edge ids
+        self._type_index: Dict[str, Set[int]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_vertex(self, vid: Optional[int] = None, **attributes: Any) -> int:
+        """Insert a vertex and return its identifier.
+
+        An explicit ``vid`` may be supplied (useful for deterministic data
+        generators); otherwise ids are assigned sequentially.
+        """
+        if vid is None:
+            vid = self._next_vid
+        elif vid in self._vertices:
+            raise DuplicateElementError(f"vertex id {vid!r} already exists")
+        self._next_vid = max(self._next_vid, vid + 1)
+        self._vertices[vid] = _VertexCell(dict(attributes))
+        for attr in self._indexed_attrs & attributes.keys():
+            self._vertex_index[attr].setdefault(attributes[attr], set()).add(vid)
+        return vid
+
+    def add_edge(
+        self,
+        source: int,
+        target: int,
+        type: str,
+        eid: Optional[int] = None,
+        **attributes: Any,
+    ) -> int:
+        """Insert a directed, typed edge and return its identifier."""
+        if source not in self._vertices:
+            raise UnknownVertexError(source)
+        if target not in self._vertices:
+            raise UnknownVertexError(target)
+        if eid is None:
+            eid = self._next_eid
+        elif eid in self._edges:
+            raise DuplicateElementError(f"edge id {eid!r} already exists")
+        self._next_eid = max(self._next_eid, eid + 1)
+        record = EdgeRecord(eid, source, target, type, dict(attributes))
+        self._edges[eid] = record
+        self._vertices[source].out_edges.append(eid)
+        self._vertices[target].in_edges.append(eid)
+        self._type_index.setdefault(type, set()).add(eid)
+        return eid
+
+    # -- element access ----------------------------------------------------
+
+    def has_vertex(self, vid: int) -> bool:
+        return vid in self._vertices
+
+    def has_edge(self, eid: int) -> bool:
+        return eid in self._edges
+
+    def vertex_attributes(self, vid: int) -> Mapping[str, Any]:
+        """Attribute map of a vertex (live view; treat as read-only)."""
+        try:
+            return self._vertices[vid].attributes
+        except KeyError:
+            raise UnknownVertexError(vid) from None
+
+    def edge(self, eid: int) -> EdgeRecord:
+        try:
+            return self._edges[eid]
+        except KeyError:
+            raise UnknownEdgeError(eid) from None
+
+    def out_edges(self, vid: int) -> Tuple[int, ...]:
+        """Identifiers of edges whose source is ``vid``."""
+        try:
+            return tuple(self._vertices[vid].out_edges)
+        except KeyError:
+            raise UnknownVertexError(vid) from None
+
+    def in_edges(self, vid: int) -> Tuple[int, ...]:
+        """Identifiers of edges whose target is ``vid``."""
+        try:
+            return tuple(self._vertices[vid].in_edges)
+        except KeyError:
+            raise UnknownVertexError(vid) from None
+
+    def incident_edges(self, vid: int) -> Tuple[int, ...]:
+        """All edges touching ``vid`` in either direction."""
+        return self.out_edges(vid) + self.in_edges(vid)
+
+    def degree(self, vid: int) -> int:
+        cell = self._vertices.get(vid)
+        if cell is None:
+            raise UnknownVertexError(vid)
+        return len(cell.out_edges) + len(cell.in_edges)
+
+    # -- iteration & size ----------------------------------------------------
+
+    def vertices(self) -> Iterator[int]:
+        return iter(self._vertices)
+
+    def edges(self) -> Iterator[EdgeRecord]:
+        return iter(self._edges.values())
+
+    def edge_ids(self) -> Iterator[int]:
+        return iter(self._edges)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def edge_types(self) -> FrozenSet[str]:
+        """All edge types present in the graph."""
+        return frozenset(self._type_index)
+
+    # -- secondary indexes ---------------------------------------------------
+
+    def create_vertex_index(self, attr: str) -> None:
+        """Build (or rebuild) the value index for one vertex attribute."""
+        index: Dict[Any, Set[int]] = {}
+        for vid, cell in self._vertices.items():
+            if attr in cell.attributes:
+                index.setdefault(cell.attributes[attr], set()).add(vid)
+        self._vertex_index[attr] = index
+        self._indexed_attrs.add(attr)
+
+    def vertices_with(self, attr: str, value: Any) -> FrozenSet[int]:
+        """Vertices whose attribute ``attr`` equals ``value`` (index-backed).
+
+        The index for ``attr`` is built lazily on first use.
+        """
+        if attr not in self._indexed_attrs:
+            self.create_vertex_index(attr)
+        return frozenset(self._vertex_index[attr].get(value, frozenset()))
+
+    def vertex_attr_values(self, attr: str) -> FrozenSet[Any]:
+        """Distinct values taken by a vertex attribute (index-backed)."""
+        if attr not in self._indexed_attrs:
+            self.create_vertex_index(attr)
+        return frozenset(self._vertex_index[attr])
+
+    def vertex_value_counts(self, attr: str) -> Dict[Any, int]:
+        """Histogram of a vertex attribute (used by Sec. 5.2 statistics)."""
+        if attr not in self._indexed_attrs:
+            self.create_vertex_index(attr)
+        return {value: len(vids) for value, vids in self._vertex_index[attr].items()}
+
+    def edges_of_type(self, type: str) -> FrozenSet[int]:
+        """Edges carrying the given type (index-backed)."""
+        return frozenset(self._type_index.get(type, frozenset()))
+
+    def edge_type_counts(self) -> Dict[str, int]:
+        """Histogram of edge types."""
+        return {t: len(eids) for t, eids in self._type_index.items()}
+
+    # -- bulk helpers ----------------------------------------------------------
+
+    def subgraph(self, vertex_ids: Iterable[int]) -> "PropertyGraph":
+        """Vertex-induced subgraph (copies attributes, keeps identifiers)."""
+        keep = set(vertex_ids)
+        sub = PropertyGraph()
+        for vid in keep:
+            sub.add_vertex(vid, **self.vertex_attributes(vid))
+        for record in self.edges():
+            if record.source in keep and record.target in keep:
+                sub.add_edge(
+                    record.source,
+                    record.target,
+                    record.type,
+                    eid=record.eid,
+                    **record.attributes,
+                )
+        return sub
+
+    def __repr__(self) -> str:
+        return (
+            f"PropertyGraph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"types={len(self._type_index)})"
+        )

@@ -1,0 +1,75 @@
+"""Interoperability with networkx.
+
+Teams that already analyse their graphs with networkx can hand a
+``MultiDiGraph`` to the why-query engines and get their explanations
+without re-modelling data:
+
+* :func:`to_networkx` -- export a :class:`PropertyGraph` as a
+  ``networkx.MultiDiGraph`` (vertex/edge attributes preserved; the edge
+  type is stored under the ``"type"`` edge attribute, the original edge
+  identifier under ``"eid"``).
+* :func:`from_networkx` -- import any networkx graph (directed or not,
+  multi or not); undirected edges become one directed edge each, node
+  labels that are not ints are re-numbered with the original label stored
+  under ``"label"``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.graph import PropertyGraph
+
+#: Edge attribute used to carry the property-graph edge type.
+TYPE_KEY = "type"
+#: Fallback type assigned to imported edges without a type attribute.
+DEFAULT_EDGE_TYPE = "edge"
+
+
+def to_networkx(graph: PropertyGraph):
+    """Export as ``networkx.MultiDiGraph`` (lazy import; optional dep)."""
+    import networkx as nx
+
+    out = nx.MultiDiGraph()
+    for vid in graph.vertices():
+        out.add_node(vid, **graph.vertex_attributes(vid))
+    for record in graph.edges():
+        out.add_edge(
+            record.source,
+            record.target,
+            key=record.eid,
+            **{TYPE_KEY: record.type, "eid": record.eid},
+            **{k: v for k, v in record.attributes.items() if k not in (TYPE_KEY, "eid")},
+        )
+    return out
+
+
+def from_networkx(nx_graph) -> PropertyGraph:
+    """Import a networkx graph as a :class:`PropertyGraph`.
+
+    Node labels are kept when they are ints; otherwise nodes are
+    re-numbered densely and the original label is stored in the
+    ``"label"`` vertex attribute.  The edge type is read from the
+    ``"type"`` edge attribute (default: ``"edge"``).
+    """
+    graph = PropertyGraph()
+    relabel: Dict[Any, int] = {}
+    all_int = all(isinstance(n, int) for n in nx_graph.nodes)
+    for node, attrs in nx_graph.nodes(data=True):
+        if all_int:
+            vid = graph.add_vertex(vid=node, **attrs)
+        else:
+            vid = graph.add_vertex(label=node, **attrs)
+        relabel[node] = vid
+
+    directed = nx_graph.is_directed()
+    for source, target, attrs in nx_graph.edges(data=True):
+        payload = dict(attrs)
+        edge_type = payload.pop(TYPE_KEY, DEFAULT_EDGE_TYPE)
+        payload.pop("eid", None)
+        graph.add_edge(relabel[source], relabel[target], edge_type, **payload)
+        if not directed:
+            # one directed edge per undirected edge; pattern queries can
+            # match either orientation via BOTH_DIRECTIONS
+            pass
+    return graph

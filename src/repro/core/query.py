@@ -1,0 +1,462 @@
+"""Set-based graph-query model (Sec. 3.2.2, Fig. 3.3).
+
+A pattern-matching query is itself a property graph whose elements carry
+*predicate intervals* instead of values.  The thesis defines a query as the
+union of its vertex and edge sets (Eq. 3.1), where
+
+* a query vertex is the union of its predicate intervals ``PI`` and the
+  identifier sets of its incoming ``IN`` and outgoing ``OUT`` edges
+  (Eq. 3.3-3.4),
+* a query edge is the union of its type set ``T``, source and target vertex
+  identifiers, predicate intervals ``PI`` and direction set ``D``
+  (Eq. 3.5-3.6).
+
+``IN``/``OUT`` are derived from the declared topology; the direction set
+``D`` controls how the declared orientation is mapped onto data edges:
+``FORWARD`` matches a data edge from the binding of the source to the
+binding of the target, ``BACKWARD`` the reverse, and ``{FORWARD, BACKWARD}``
+matches either orientation.
+
+The model is deliberately mutable *via copy*: all rewriting engines derive
+new query variants through :meth:`GraphQuery.copy` plus the mutation
+methods, never by mutating a query another component still holds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.errors import (
+    DuplicateElementError,
+    MalformedQueryError,
+    UnknownQueryEdgeError,
+    UnknownQueryVertexError,
+)
+from repro.core.predicates import Predicate
+
+
+class Direction(Enum):
+    """Orientation of a query edge relative to its declared source/target."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Direction.{self.name}"
+
+
+#: Direction set matching the declared orientation only.
+FORWARD_ONLY: FrozenSet[Direction] = frozenset({Direction.FORWARD})
+#: Direction set matching the reverse orientation only.
+BACKWARD_ONLY: FrozenSet[Direction] = frozenset({Direction.BACKWARD})
+#: Direction set matching either orientation.
+BOTH_DIRECTIONS: FrozenSet[Direction] = frozenset(
+    {Direction.FORWARD, Direction.BACKWARD}
+)
+
+
+@dataclass
+class QueryVertex:
+    """One query vertex: identifier plus predicate intervals (Eq. 3.3)."""
+
+    vid: int
+    predicates: Dict[str, Predicate] = field(default_factory=dict)
+
+    def copy(self) -> "QueryVertex":
+        return QueryVertex(self.vid, dict(self.predicates))
+
+    def signature(self) -> Hashable:
+        return (
+            self.vid,
+            tuple(sorted((a, p.signature()) for a, p in self.predicates.items())),
+        )
+
+
+@dataclass
+class QueryEdge:
+    """One query edge: topology, type set, direction set, predicates."""
+
+    eid: int
+    source: int
+    target: int
+    types: Optional[FrozenSet[str]] = None
+    directions: FrozenSet[Direction] = FORWARD_ONLY
+    predicates: Dict[str, Predicate] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.directions:
+            raise MalformedQueryError(f"edge {self.eid}: empty direction set")
+        if self.types is not None:
+            self.types = frozenset(self.types)
+            if not self.types:
+                raise MalformedQueryError(f"edge {self.eid}: empty type set")
+        self.directions = frozenset(self.directions)
+
+    def copy(self) -> "QueryEdge":
+        return QueryEdge(
+            self.eid,
+            self.source,
+            self.target,
+            self.types,
+            self.directions,
+            dict(self.predicates),
+        )
+
+    def endpoints(self) -> Tuple[int, int]:
+        return (self.source, self.target)
+
+    def other_end(self, vid: int) -> int:
+        if vid == self.source:
+            return self.target
+        if vid == self.target:
+            return self.source
+        raise UnknownQueryVertexError(vid)
+
+    def signature(self) -> Hashable:
+        return (
+            self.eid,
+            self.source,
+            self.target,
+            tuple(sorted(self.types)) if self.types is not None else None,
+            tuple(sorted(d.value for d in self.directions)),
+            tuple(sorted((a, p.signature()) for a, p in self.predicates.items())),
+        )
+
+
+class GraphQuery:
+    """A pattern-matching query over a property graph.
+
+    >>> q = GraphQuery()
+    >>> person = q.add_vertex(predicates={"type": equals("person")})
+    >>> uni = q.add_vertex(predicates={"type": equals("university")})
+    >>> _ = q.add_edge(person, uni, types={"workAt"})
+    """
+
+    def __init__(self) -> None:
+        self._vertices: Dict[int, QueryVertex] = {}
+        self._edges: Dict[int, QueryEdge] = {}
+        self._next_vid = 0
+        self._next_eid = 0
+
+    # -- construction -------------------------------------------------------
+
+    def add_vertex(
+        self,
+        vid: Optional[int] = None,
+        predicates: Optional[Mapping[str, Predicate]] = None,
+    ) -> int:
+        """Add a query vertex; returns its identifier."""
+        if vid is None:
+            vid = self._next_vid
+        elif vid in self._vertices:
+            raise DuplicateElementError(f"query vertex id {vid!r} already exists")
+        self._next_vid = max(self._next_vid, vid + 1)
+        self._vertices[vid] = QueryVertex(vid, dict(predicates or {}))
+        return vid
+
+    def add_edge(
+        self,
+        source: int,
+        target: int,
+        eid: Optional[int] = None,
+        types: Optional[Iterable[str]] = None,
+        directions: Iterable[Direction] = FORWARD_ONLY,
+        predicates: Optional[Mapping[str, Predicate]] = None,
+    ) -> int:
+        """Add a query edge; returns its identifier."""
+        if source not in self._vertices:
+            raise UnknownQueryVertexError(source)
+        if target not in self._vertices:
+            raise UnknownQueryVertexError(target)
+        if eid is None:
+            eid = self._next_eid
+        elif eid in self._edges:
+            raise DuplicateElementError(f"query edge id {eid!r} already exists")
+        self._next_eid = max(self._next_eid, eid + 1)
+        self._edges[eid] = QueryEdge(
+            eid,
+            source,
+            target,
+            frozenset(types) if types is not None else None,
+            frozenset(directions),
+            dict(predicates or {}),
+        )
+        return eid
+
+    # -- element access -------------------------------------------------------
+
+    def vertex(self, vid: int) -> QueryVertex:
+        try:
+            return self._vertices[vid]
+        except KeyError:
+            raise UnknownQueryVertexError(vid) from None
+
+    def edge(self, eid: int) -> QueryEdge:
+        try:
+            return self._edges[eid]
+        except KeyError:
+            raise UnknownQueryEdgeError(eid) from None
+
+    def has_vertex(self, vid: int) -> bool:
+        return vid in self._vertices
+
+    def has_edge(self, eid: int) -> bool:
+        return eid in self._edges
+
+    @property
+    def vertex_ids(self) -> FrozenSet[int]:
+        return frozenset(self._vertices)
+
+    @property
+    def edge_ids(self) -> FrozenSet[int]:
+        return frozenset(self._edges)
+
+    def vertices(self) -> Iterator[QueryVertex]:
+        return iter(self._vertices.values())
+
+    def edges(self) -> Iterator[QueryEdge]:
+        return iter(self._edges.values())
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def __len__(self) -> int:
+        """Total number of query elements (vertices + edges)."""
+        return len(self._vertices) + len(self._edges)
+
+    # -- derived identifier sets (Eq. 3.4) --------------------------------------
+
+    def in_set(self, vid: int) -> FrozenSet[int]:
+        """``IN(v)``: identifiers of edges whose declared target is ``v``."""
+        self.vertex(vid)
+        return frozenset(e.eid for e in self._edges.values() if e.target == vid)
+
+    def out_set(self, vid: int) -> FrozenSet[int]:
+        """``OUT(v)``: identifiers of edges whose declared source is ``v``."""
+        self.vertex(vid)
+        return frozenset(e.eid for e in self._edges.values() if e.source == vid)
+
+    def incident_edges(self, vid: int) -> FrozenSet[int]:
+        return self.in_set(vid) | self.out_set(vid)
+
+    def neighbors(self, vid: int) -> FrozenSet[int]:
+        """Query vertices adjacent to ``vid`` regardless of orientation."""
+        out: Set[int] = set()
+        for e in self._edges.values():
+            if e.source == vid:
+                out.add(e.target)
+            elif e.target == vid:
+                out.add(e.source)
+        return frozenset(out)
+
+    # -- mutation (used by the rewriting engines) -------------------------------
+
+    def remove_edge(self, eid: int) -> QueryEdge:
+        """Remove one query edge; returns the removed edge."""
+        edge = self.edge(eid)
+        del self._edges[eid]
+        return edge
+
+    def remove_vertex(self, vid: int) -> Tuple[QueryVertex, List[QueryEdge]]:
+        """Remove a vertex together with all incident edges."""
+        vertex = self.vertex(vid)
+        removed = [
+            self._edges.pop(e.eid)
+            for e in list(self._edges.values())
+            if vid in e.endpoints()
+        ]
+        del self._vertices[vid]
+        return vertex, removed
+
+    def set_predicate(self, element: Tuple[str, int], attr: str, pred: Predicate) -> None:
+        """Set / replace a predicate on ``("vertex", vid)`` or ``("edge", eid)``."""
+        kind, ident = element
+        if kind == "vertex":
+            self.vertex(ident).predicates[attr] = pred
+        elif kind == "edge":
+            self.edge(ident).predicates[attr] = pred
+        else:
+            raise MalformedQueryError(f"unknown element kind: {kind!r}")
+
+    def drop_predicate(self, element: Tuple[str, int], attr: str) -> Predicate:
+        """Remove a predicate; returns the removed predicate interval."""
+        kind, ident = element
+        preds = (
+            self.vertex(ident).predicates
+            if kind == "vertex"
+            else self.edge(ident).predicates
+        )
+        if attr not in preds:
+            raise MalformedQueryError(f"{element} has no predicate on {attr!r}")
+        return preds.pop(attr)
+
+    # -- structure -----------------------------------------------------------
+
+    def copy(self) -> "GraphQuery":
+        """Deep-enough copy: new containers, shared immutable predicates."""
+        dup = GraphQuery()
+        dup._vertices = {vid: v.copy() for vid, v in self._vertices.items()}
+        dup._edges = {eid: e.copy() for eid, e in self._edges.items()}
+        dup._next_vid = self._next_vid
+        dup._next_eid = self._next_eid
+        return dup
+
+    def subquery(
+        self,
+        vertex_ids: Iterable[int],
+        edge_ids: Optional[Iterable[int]] = None,
+    ) -> "GraphQuery":
+        """Subquery induced by ``vertex_ids`` (optionally restricted edges).
+
+        When ``edge_ids`` is omitted, all edges with both endpoints inside
+        ``vertex_ids`` are kept.  Identifiers are preserved, which is what
+        the comparison metrics of Chapter 3 rely on.
+        """
+        keep_v = set(vertex_ids)
+        unknown = keep_v - set(self._vertices)
+        if unknown:
+            raise UnknownQueryVertexError(sorted(unknown)[0])
+        if edge_ids is None:
+            keep_e = {
+                e.eid
+                for e in self._edges.values()
+                if e.source in keep_v and e.target in keep_v
+            }
+        else:
+            keep_e = set(edge_ids)
+            for eid in keep_e:
+                edge = self.edge(eid)
+                if edge.source not in keep_v or edge.target not in keep_v:
+                    raise MalformedQueryError(
+                        f"edge {eid} has an endpoint outside the subquery"
+                    )
+        sub = GraphQuery()
+        for vid in keep_v:
+            sub._vertices[vid] = self._vertices[vid].copy()
+        for eid in keep_e:
+            sub._edges[eid] = self._edges[eid].copy()
+        sub._next_vid = self._next_vid
+        sub._next_eid = self._next_eid
+        return sub
+
+    def weakly_connected_components(self) -> List[FrozenSet[int]]:
+        """Vertex sets of the weakly connected components (Sec. 4.3.1)."""
+        unseen = set(self._vertices)
+        components: List[FrozenSet[int]] = []
+        while unseen:
+            root = unseen.pop()
+            comp = {root}
+            frontier = [root]
+            while frontier:
+                current = frontier.pop()
+                for nb in self.neighbors(current):
+                    if nb in unseen:
+                        unseen.discard(nb)
+                        comp.add(nb)
+                        frontier.append(nb)
+            components.append(frozenset(comp))
+        return sorted(components, key=lambda c: (-len(c), min(c)))
+
+    def is_connected(self) -> bool:
+        """True when the query has exactly one weakly connected component."""
+        return len(self.weakly_connected_components()) <= 1
+
+    def validate(self) -> None:
+        """Raise :class:`MalformedQueryError` on structural violations."""
+        for edge in self._edges.values():
+            if edge.source not in self._vertices:
+                raise MalformedQueryError(
+                    f"edge {edge.eid}: dangling source {edge.source}"
+                )
+            if edge.target not in self._vertices:
+                raise MalformedQueryError(
+                    f"edge {edge.eid}: dangling target {edge.target}"
+                )
+            for attr, pred in edge.predicates.items():
+                if not pred.is_satisfiable():
+                    raise MalformedQueryError(
+                        f"edge {edge.eid}: unsatisfiable predicate on {attr!r}"
+                    )
+        for vertex in self._vertices.values():
+            for attr, pred in vertex.predicates.items():
+                if not pred.is_satisfiable():
+                    raise MalformedQueryError(
+                        f"vertex {vertex.vid}: unsatisfiable predicate on {attr!r}"
+                    )
+
+    # -- identity ---------------------------------------------------------------
+
+    def signature(self) -> Hashable:
+        """Stable hashable identity (used by the Ch. 5 query cache)."""
+        return (
+            tuple(v.signature() for v in sorted(self._vertices.values(), key=lambda v: v.vid)),
+            tuple(e.signature() for e in sorted(self._edges.values(), key=lambda e: e.eid)),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphQuery):
+            return NotImplemented
+        return self.signature() == other.signature()
+
+    def __hash__(self) -> int:
+        return hash(self.signature())
+
+    def describe(self) -> str:
+        """Human-readable multi-line description (used by examples)."""
+        lines = [f"GraphQuery |V|={self.num_vertices} |E|={self.num_edges}"]
+        for v in sorted(self._vertices.values(), key=lambda v: v.vid):
+            preds = ", ".join(f"{a}={p!r}" for a, p in sorted(v.predicates.items()))
+            lines.append(f"  v{v.vid}: {preds or '<any>'}")
+        for e in sorted(self._edges.values(), key=lambda e: e.eid):
+            arrow = {
+                FORWARD_ONLY: "->",
+                BACKWARD_ONLY: "<-",
+                BOTH_DIRECTIONS: "<->",
+            }[e.directions]
+            types = "|".join(sorted(e.types)) if e.types else "<any>"
+            preds = ", ".join(f"{a}={p!r}" for a, p in sorted(e.predicates.items()))
+            suffix = f" [{preds}]" if preds else ""
+            lines.append(f"  e{e.eid}: v{e.source} {arrow} v{e.target} :{types}{suffix}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"GraphQuery(|V|={self.num_vertices}, |E|={self.num_edges})"
+
+
+def path_query(
+    specs: Sequence[Mapping[str, Predicate]],
+    edge_types: Sequence[Optional[Iterable[str]]],
+) -> GraphQuery:
+    """Convenience constructor for a simple path-shaped pattern.
+
+    ``specs`` lists vertex predicate maps; ``edge_types`` lists, for each of
+    the ``len(specs) - 1`` hops, the admissible edge types (``None`` = any).
+    """
+    if len(edge_types) != len(specs) - 1:
+        raise MalformedQueryError("need exactly len(specs)-1 edge type entries")
+    q = GraphQuery()
+    vids = [q.add_vertex(predicates=spec) for spec in specs]
+    for i, types in enumerate(edge_types):
+        q.add_edge(vids[i], vids[i + 1], types=types)
+    return q

@@ -1,0 +1,111 @@
+"""Result graphs and result sets (Definition 6 of the thesis).
+
+A *result graph* maps query vertices/edges to data vertices/edges; a
+*result set* is a collection of result graphs together with the query that
+produced it.  Result-set cardinality (Definition 2) is simply the number of
+result graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ResultGraph:
+    """One match: bindings from query element ids to data element ids.
+
+    ``vertex_bindings[qvid] = data_vid`` and ``edge_bindings[qeid] =
+    data_eid``.  Instances are immutable and hashable so result sets can be
+    deduplicated.
+    """
+
+    vertex_bindings: Tuple[Tuple[int, int], ...]
+    edge_bindings: Tuple[Tuple[int, int], ...]
+
+    @staticmethod
+    def from_mappings(
+        vertex_bindings: Mapping[int, int],
+        edge_bindings: Mapping[int, int],
+    ) -> "ResultGraph":
+        return ResultGraph(
+            tuple(sorted(vertex_bindings.items())),
+            tuple(sorted(edge_bindings.items())),
+        )
+
+    @property
+    def vertices(self) -> Dict[int, int]:
+        """Query-vertex-id to data-vertex-id mapping."""
+        return dict(self.vertex_bindings)
+
+    @property
+    def edges(self) -> Dict[int, int]:
+        """Query-edge-id to data-edge-id mapping."""
+        return dict(self.edge_bindings)
+
+    def data_vertex(self, qvid: int) -> Optional[int]:
+        for q, d in self.vertex_bindings:
+            if q == qvid:
+                return d
+        return None
+
+    def data_edge(self, qeid: int) -> Optional[int]:
+        for q, d in self.edge_bindings:
+            if q == qeid:
+                return d
+        return None
+
+    def __len__(self) -> int:
+        return len(self.vertex_bindings) + len(self.edge_bindings)
+
+
+class ResultSet:
+    """An ordered, de-duplicated collection of result graphs."""
+
+    def __init__(self, results: Sequence[ResultGraph] = ()) -> None:
+        self._results: List[ResultGraph] = []
+        self._seen = set()
+        for r in results:
+            self.add(r)
+
+    def add(self, result: ResultGraph) -> bool:
+        """Append a result graph; returns ``False`` for duplicates."""
+        if result in self._seen:
+            return False
+        self._seen.add(result)
+        self._results.append(result)
+        return True
+
+    @property
+    def cardinality(self) -> int:
+        """Result cardinality ``C(Gq)`` (Definition 2)."""
+        return len(self._results)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[ResultGraph]:
+        return iter(self._results)
+
+    def __getitem__(self, index: int) -> ResultGraph:
+        return self._results[index]
+
+    def __contains__(self, result: ResultGraph) -> bool:
+        return result in self._seen
+
+    def sample(self, k: int, seed: int = 0) -> "ResultSet":
+        """Deterministic sample of at most ``k`` result graphs.
+
+        Used by the result-distance computation to bound the Hungarian
+        assignment for very large result sets.
+        """
+        if len(self._results) <= k:
+            return ResultSet(self._results)
+        import random
+
+        rng = random.Random(seed)
+        return ResultSet(rng.sample(self._results, k))
+
+    def __repr__(self) -> str:
+        return f"ResultSet(cardinality={self.cardinality})"

@@ -1,0 +1,203 @@
+"""JSON-friendly (de)serialisation of graphs, queries and results.
+
+A downstream system needs to persist failed queries, ship explanations to
+a frontend, or check query variants into version control.  This module
+maps the core model onto plain dicts/lists (JSON-compatible when the
+attribute values are) and back, losslessly:
+
+* :func:`graph_to_dict` / :func:`graph_from_dict`
+* :func:`query_to_dict` / :func:`query_from_dict`
+* :func:`result_set_to_dict` / :func:`result_set_from_dict`
+
+Numeric predicate bounds serialise infinities as the strings ``"inf"`` /
+``"-inf"`` so the output stays valid JSON.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping
+
+from repro.core.errors import MalformedQueryError
+from repro.core.graph import PropertyGraph
+from repro.core.predicates import Interval, Predicate, ValueSet
+from repro.core.query import Direction, GraphQuery
+from repro.core.result import ResultGraph, ResultSet
+
+FORMAT_VERSION = 1
+
+
+# -- predicates -----------------------------------------------------------------
+
+
+def predicate_to_dict(pred: Predicate) -> Dict[str, Any]:
+    if isinstance(pred, ValueSet):
+        return {"kind": "values", "values": sorted(pred.values, key=repr)}
+    if isinstance(pred, Interval):
+        return {
+            "kind": "interval",
+            "low": _bound_out(pred.low),
+            "high": _bound_out(pred.high),
+            "low_open": pred.low_open,
+            "high_open": pred.high_open,
+            "integral": pred.integral,
+        }
+    raise TypeError(f"cannot serialise predicate type {type(pred).__name__}")
+
+
+def predicate_from_dict(data: Mapping[str, Any]) -> Predicate:
+    kind = data.get("kind")
+    if kind == "values":
+        return ValueSet(data["values"])
+    if kind == "interval":
+        return Interval(
+            _bound_in(data["low"]),
+            _bound_in(data["high"]),
+            data.get("low_open", False),
+            data.get("high_open", False),
+            data.get("integral", True),
+        )
+    raise MalformedQueryError(f"unknown predicate kind {kind!r}")
+
+
+def _bound_out(value: float) -> Any:
+    if value == math.inf:
+        return "inf"
+    if value == -math.inf:
+        return "-inf"
+    return value
+
+
+def _bound_in(value: Any) -> float:
+    if value == "inf":
+        return math.inf
+    if value == "-inf":
+        return -math.inf
+    return value
+
+
+# -- queries ----------------------------------------------------------------------
+
+
+def query_to_dict(query: GraphQuery) -> Dict[str, Any]:
+    """Serialise a query; element identifiers are preserved."""
+    return {
+        "format": FORMAT_VERSION,
+        "vertices": [
+            {
+                "id": v.vid,
+                "predicates": {
+                    attr: predicate_to_dict(p) for attr, p in sorted(v.predicates.items())
+                },
+            }
+            for v in sorted(query.vertices(), key=lambda v: v.vid)
+        ],
+        "edges": [
+            {
+                "id": e.eid,
+                "source": e.source,
+                "target": e.target,
+                "types": sorted(e.types) if e.types is not None else None,
+                "directions": sorted(d.value for d in e.directions),
+                "predicates": {
+                    attr: predicate_to_dict(p) for attr, p in sorted(e.predicates.items())
+                },
+            }
+            for e in sorted(query.edges(), key=lambda e: e.eid)
+        ],
+    }
+
+
+def query_from_dict(data: Mapping[str, Any]) -> GraphQuery:
+    """Inverse of :func:`query_to_dict`."""
+    query = GraphQuery()
+    for vertex in data.get("vertices", ()):
+        query.add_vertex(
+            vid=vertex["id"],
+            predicates={
+                attr: predicate_from_dict(p)
+                for attr, p in vertex.get("predicates", {}).items()
+            },
+        )
+    for edge in data.get("edges", ()):
+        query.add_edge(
+            edge["source"],
+            edge["target"],
+            eid=edge["id"],
+            types=edge.get("types"),
+            directions=frozenset(Direction(d) for d in edge["directions"]),
+            predicates={
+                attr: predicate_from_dict(p)
+                for attr, p in edge.get("predicates", {}).items()
+            },
+        )
+    query.validate()
+    return query
+
+
+# -- graphs ----------------------------------------------------------------------
+
+
+def graph_to_dict(graph: PropertyGraph) -> Dict[str, Any]:
+    """Serialise a property graph (attribute values must be JSON-able)."""
+    return {
+        "format": FORMAT_VERSION,
+        "vertices": [
+            {"id": vid, "attributes": dict(graph.vertex_attributes(vid))}
+            for vid in sorted(graph.vertices())
+        ],
+        "edges": [
+            {
+                "id": record.eid,
+                "source": record.source,
+                "target": record.target,
+                "type": record.type,
+                "attributes": dict(record.attributes),
+            }
+            for record in sorted(graph.edges(), key=lambda r: r.eid)
+        ],
+    }
+
+
+def graph_from_dict(data: Mapping[str, Any]) -> PropertyGraph:
+    """Inverse of :func:`graph_to_dict`."""
+    graph = PropertyGraph()
+    for vertex in data.get("vertices", ()):
+        graph.add_vertex(vid=vertex["id"], **vertex.get("attributes", {}))
+    for edge in data.get("edges", ()):
+        graph.add_edge(
+            edge["source"],
+            edge["target"],
+            edge["type"],
+            eid=edge["id"],
+            **edge.get("attributes", {}),
+        )
+    return graph
+
+
+# -- results --------------------------------------------------------------------------
+
+
+def result_set_to_dict(results: ResultSet) -> Dict[str, Any]:
+    return {
+        "format": FORMAT_VERSION,
+        "results": [
+            {
+                "vertices": {str(q): d for q, d in r.vertex_bindings},
+                "edges": {str(q): d for q, d in r.edge_bindings},
+            }
+            for r in results
+        ],
+    }
+
+
+def result_set_from_dict(data: Mapping[str, Any]) -> ResultSet:
+    out = ResultSet()
+    for item in data.get("results", ()):
+        out.add(
+            ResultGraph.from_mappings(
+                {int(q): d for q, d in item.get("vertices", {}).items()},
+                {int(q): d for q, d in item.get("edges", {}).items()},
+            )
+        )
+    return out

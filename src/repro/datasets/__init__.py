@@ -1,0 +1,5 @@
+"""Synthetic data sets replacing the paper's LDBC SF1 and DBpedia extracts."""
+
+from repro.datasets import dbpedia, ldbc, schema
+
+__all__ = ["dbpedia", "ldbc", "schema"]

@@ -1,0 +1,292 @@
+"""Synthetic DBpedia-like knowledge graph and its queries (Appendix A.2.2).
+
+Substitution record (see DESIGN.md): the thesis' second data set is an
+extract of DBPEDIA -- a heterogeneous, richly attributed knowledge graph
+with heavy-tailed degrees (a few very famous entities participate in many
+facts).  We generate a deterministic equivalent with films, persons,
+cities, countries and organisations and the classic DBpedia relations
+(director, starring, birthPlace, deathPlace, locatedIn, capitalOf,
+foundedBy, headquarterIn, influencedBy).
+
+Fame is Zipf-distributed: early persons direct/star in many films, early
+cities attract many birth places.  Attribute values (years, genres,
+professions, populations) give the why-query engines both categorical and
+numeric predicates to relax or tighten.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.graph import PropertyGraph
+from repro.core.predicates import at_least, between, equals, one_of
+from repro.core.query import BOTH_DIRECTIONS, GraphQuery
+from repro.datasets import schema
+
+
+@dataclass
+class DbpediaGraph:
+    """The generated graph plus the id pools the queries were built from."""
+
+    graph: PropertyGraph
+    persons: List[int] = field(default_factory=list)
+    films: List[int] = field(default_factory=list)
+    cities: List[int] = field(default_factory=list)
+    countries: List[int] = field(default_factory=list)
+    organisations: List[int] = field(default_factory=list)
+
+
+def generate(scale: float = 1.0, seed: int = 11) -> DbpediaGraph:
+    """Generate the knowledge graph (``scale=1``: ~1.3k vertices)."""
+    rng = random.Random(seed)
+    g = PropertyGraph()
+    out = DbpediaGraph(g)
+
+    n_persons = max(40, int(350 * scale))
+    n_films = max(30, int(300 * scale))
+    n_orgs = max(10, int(60 * scale))
+
+    _build_places(g, out, rng)
+    _build_persons(g, out, rng, n_persons)
+    _build_films(g, out, rng, n_films)
+    _build_organisations(g, out, rng, n_orgs)
+
+    for attr in ("type", "name", "genre", "profession"):
+        g.create_vertex_index(attr)
+    return out
+
+
+def _build_places(g: PropertyGraph, out: DbpediaGraph, rng: random.Random) -> None:
+    for ci, country in enumerate(schema.COUNTRIES):
+        cid = g.add_vertex(type="country", name=country)
+        out.countries.append(cid)
+        for k, city in enumerate(schema.CITIES_PER_COUNTRY[ci]):
+            vid = g.add_vertex(
+                type="city",
+                name=city,
+                population=rng.randint(50, 20000) * 1000,
+            )
+            out.cities.append(vid)
+            g.add_edge(vid, cid, "locatedIn")
+            if k == 0:
+                g.add_edge(vid, cid, "capitalOf")
+
+
+def _build_persons(
+    g: PropertyGraph, out: DbpediaGraph, rng: random.Random, n_persons: int
+) -> None:
+    for i in range(n_persons):
+        person = g.add_vertex(
+            type="person",
+            name=f"{schema.pick(rng, schema.FIRST_NAMES)} "
+            f"{schema.pick(rng, schema.LAST_NAMES)}",
+            birthYear=rng.randint(1900, 1995),
+            profession=schema.pick_zipf(rng, schema.PROFESSIONS, 0.9),
+        )
+        out.persons.append(person)
+        birth_city = out.cities[schema.zipf_index(rng, len(out.cities), 0.9)]
+        g.add_edge(person, birth_city, "birthPlace")
+        if rng.random() < 0.25:
+            death_city = out.cities[schema.zipf_index(rng, len(out.cities), 0.9)]
+            g.add_edge(person, death_city, "deathPlace")
+        if i > 0 and rng.random() < 0.3:
+            mentor = out.persons[schema.zipf_index(rng, i, 1.0)]
+            if mentor != person:
+                g.add_edge(person, mentor, "influencedBy")
+
+
+def _build_films(
+    g: PropertyGraph, out: DbpediaGraph, rng: random.Random, n_films: int
+) -> None:
+    directors = [p for p in out.persons if _profession(g, p) == "director"]
+    actors = [p for p in out.persons if _profession(g, p) == "actor"]
+    if not directors:
+        directors = out.persons[:5]
+    if not actors:
+        actors = out.persons[:10]
+    for i in range(n_films):
+        film = g.add_vertex(
+            type="film",
+            name=f"Film {i}",
+            year=rng.randint(1950, 2015),
+            genre=schema.pick_zipf(rng, schema.FILM_GENRES, 0.9),
+        )
+        out.films.append(film)
+        director = directors[schema.zipf_index(rng, len(directors), 1.1)]
+        g.add_edge(film, director, "director")
+        # Auteur films: the director also appears on screen (needed by the
+        # cyclic DBPEDIA QUERY 2 and common in the real DBpedia).
+        if rng.random() < 0.15:
+            g.add_edge(film, director, "starring")
+        for _ in range(rng.randint(1, 4)):
+            actor = actors[schema.zipf_index(rng, len(actors), 1.1)]
+            g.add_edge(film, actor, "starring")
+
+
+def _build_organisations(
+    g: PropertyGraph, out: DbpediaGraph, rng: random.Random, n_orgs: int
+) -> None:
+    for i in range(n_orgs):
+        org = g.add_vertex(
+            type="organisation",
+            name=f"{schema.COMPANY_STEMS[i % len(schema.COMPANY_STEMS)]}"
+            f"{schema.COMPANY_SUFFIXES[i % len(schema.COMPANY_SUFFIXES)]}",
+            sector=schema.pick(rng, schema.ORG_SECTORS),
+            foundedYear=rng.randint(1900, 2010),
+        )
+        out.organisations.append(org)
+        founder = schema.pick(rng, out.persons)
+        g.add_edge(org, founder, "foundedBy")
+        # Half of the organisations are headquartered where their founder
+        # was born (needed by the cyclic DBPEDIA QUERY 3 and mirroring the
+        # locality correlation of the real DBpedia).
+        founder_birth = [
+            g.edge(eid).target
+            for eid in g.out_edges(founder)
+            if g.edge(eid).type == "birthPlace"
+        ]
+        if founder_birth and rng.random() < 0.5:
+            hq = founder_birth[0]
+        else:
+            hq = out.cities[schema.zipf_index(rng, len(out.cities), 0.9)]
+        g.add_edge(org, hq, "headquarterIn")
+
+
+def _profession(g: PropertyGraph, vid: int) -> str:
+    return g.vertex_attributes(vid).get("profession", "")
+
+
+# -- the DBpedia queries ---------------------------------------------------------
+
+
+def query_1() -> GraphQuery:
+    """DBPEDIA QUERY 1: films of a genre by directors born in a big city.
+
+    ::
+
+        v0 film(genre=drama) -e0:director-> v1 person
+        v1 -e1:birthPlace-> v2 city(population >= 1M)
+    """
+    q = GraphQuery()
+    v0 = q.add_vertex(predicates={"type": equals("film"), "genre": equals("drama")})
+    v1 = q.add_vertex(predicates={"type": equals("person")})
+    v2 = q.add_vertex(
+        predicates={"type": equals("city"), "population": at_least(1_000_000)}
+    )
+    q.add_edge(v0, v1, types={"director"})
+    q.add_edge(v1, v2, types={"birthPlace"})
+    return q
+
+
+def query_2() -> GraphQuery:
+    """DBPEDIA QUERY 2: co-stars of a director's own films (cycle).
+
+    ::
+
+        v0 film -e0:director-> v1 person -- and v0 -e1:starring-> v1
+        (director acting in the own film), film year in a band
+    """
+    q = GraphQuery()
+    v0 = q.add_vertex(
+        predicates={"type": equals("film"), "year": between(1980, 2010)}
+    )
+    v1 = q.add_vertex(predicates={"type": equals("person")})
+    q.add_edge(v0, v1, types={"director"})
+    q.add_edge(v0, v1, types={"starring"})
+    return q
+
+
+def query_3() -> GraphQuery:
+    """DBPEDIA QUERY 3: founders born where their organisation resides.
+
+    ::
+
+        v0 organisation -e0:foundedBy-> v1 person -e1:birthPlace-> v2 city
+        v0 -e2:headquarterIn-> v2 ; city located in a fixed country
+    """
+    q = GraphQuery()
+    v0 = q.add_vertex(predicates={"type": equals("organisation")})
+    v1 = q.add_vertex(predicates={"type": equals("person")})
+    v2 = q.add_vertex(predicates={"type": equals("city")})
+    v3 = q.add_vertex(
+        predicates={"type": equals("country"), "name": one_of("Germany", "France", "China")}
+    )
+    q.add_edge(v0, v1, types={"foundedBy"})
+    q.add_edge(v1, v2, types={"birthPlace"})
+    q.add_edge(v0, v2, types={"headquarterIn"})
+    q.add_edge(v2, v3, types={"locatedIn"})
+    return q
+
+
+def query_4() -> GraphQuery:
+    """DBPEDIA QUERY 4: influence chain between professions.
+
+    ::
+
+        v0 person(profession=actor) -e0:influencedBy-> v1 person
+        v1 -e1:influencedBy-> v2 person(profession=director)
+        v2 -e2:birthPlace-> v3 city
+    """
+    q = GraphQuery()
+    v0 = q.add_vertex(
+        predicates={"type": equals("person"), "profession": equals("actor")}
+    )
+    v1 = q.add_vertex(predicates={"type": equals("person")})
+    v2 = q.add_vertex(
+        predicates={"type": equals("person"), "profession": equals("director")}
+    )
+    v3 = q.add_vertex(predicates={"type": equals("city")})
+    q.add_edge(v0, v1, types={"influencedBy"}, directions=BOTH_DIRECTIONS)
+    q.add_edge(v1, v2, types={"influencedBy"}, directions=BOTH_DIRECTIONS)
+    q.add_edge(v2, v3, types={"birthPlace"})
+    return q
+
+
+def queries() -> Dict[str, GraphQuery]:
+    """All four DBpedia queries keyed by their name."""
+    return {
+        "DBPEDIA QUERY 1": query_1(),
+        "DBPEDIA QUERY 2": query_2(),
+        "DBPEDIA QUERY 3": query_3(),
+        "DBPEDIA QUERY 4": query_4(),
+    }
+
+
+def empty_variant(name: str) -> GraphQuery:
+    """A why-empty variant of a DBpedia query (Sec. 4.5.1 workload)."""
+    base = queries()[name].copy()
+    if name == "DBPEDIA QUERY 1":
+        base.vertex(0).predicates["genre"] = equals("western")
+        base.vertex(2).predicates["population"] = at_least(25_000_000)
+        return base
+    if name == "DBPEDIA QUERY 2":
+        base.vertex(0).predicates["year"] = between(1900, 1925)
+        return base
+    if name == "DBPEDIA QUERY 3":
+        base.vertex(3).predicates["name"] = one_of("Atlantis")
+        return base
+    if name == "DBPEDIA QUERY 4":
+        base.vertex(0).predicates["profession"] = equals("astronaut")
+        return base
+    raise KeyError(name)
+
+
+def empty_variant_edge(name: str) -> GraphQuery:
+    """A second why-empty family with the poison on an *edge* predicate.
+
+    The generated relations carry no attributes, so constraining any edge
+    attribute is unsatisfiable -- but the failure has several structurally
+    different fixes (drop the predicate, the edge, or an endpoint), which
+    the Sec. 5.5.4 user-integration experiment requires.
+    """
+    base = queries()[name].copy()
+    poisoned_edge = {
+        "DBPEDIA QUERY 1": 0,
+        "DBPEDIA QUERY 2": 1,
+        "DBPEDIA QUERY 3": 2,
+        "DBPEDIA QUERY 4": 2,
+    }[name]
+    base.edge(poisoned_edge).predicates["weight"] = between(1, 10)
+    return base

@@ -1,0 +1,374 @@
+"""Synthetic LDBC-SNB-like social network and the four LDBC queries.
+
+Substitution record (see DESIGN.md): the thesis evaluates on the LDBC
+Social Network Benchmark SF1 data set (Appendix A.2.1) with four pattern
+queries whose original cardinalities are C1 = 21, 39, 188 and 195
+(Table A.1).  The LDBC generator is not available offline, so this module
+generates a deterministic social network with the same schema vocabulary
+(persons, cities, countries, universities, companies, tags, forums,
+posts; knows / studyAt / workAt / isLocatedIn / isPartOf / hasInterest /
+hasMember / hasModerator / containerOf / hasCreator / hasTag / likes)
+and the same relevant *shape*: selective categorical attributes, numeric
+attributes with narrow useful ranges, Zipf-skewed popularity of tags and
+places, and a heavy-tailed ``knows`` degree distribution (preferential
+attachment).
+
+The four queries mirror the thesis' example queries (cf. Fig. 3.5: person
+-workAt-> organisation -isLocatedIn-> place with attribute predicates)
+with growing topology size (2-5 edges) and are calibrated on the default
+``scale=1, seed=7`` graph to land in the same cardinality regime as
+Table A.1 (tens to a couple of hundred matches).  Measured cardinalities
+are recorded in EXPERIMENTS.md by the ``tabA.1`` benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.graph import PropertyGraph
+from repro.core.predicates import between, equals, one_of
+from repro.core.query import BOTH_DIRECTIONS, GraphQuery
+from repro.datasets import schema
+
+
+@dataclass
+class LdbcGraph:
+    """The generated graph plus the id pools the queries were built from."""
+
+    graph: PropertyGraph
+    persons: List[int] = field(default_factory=list)
+    cities: List[int] = field(default_factory=list)
+    countries: List[int] = field(default_factory=list)
+    universities: List[int] = field(default_factory=list)
+    companies: List[int] = field(default_factory=list)
+    tags: List[int] = field(default_factory=list)
+    forums: List[int] = field(default_factory=list)
+    posts: List[int] = field(default_factory=list)
+
+
+def generate(scale: float = 1.0, seed: int = 7) -> LdbcGraph:
+    """Generate the social network.
+
+    ``scale=1`` yields roughly 1.2k vertices and 6k edges -- large enough
+    for the algorithms' relative behaviour to show, small enough for a
+    pure-Python matcher.  All randomness flows from ``seed``.
+    """
+    rng = random.Random(seed)
+    g = PropertyGraph()
+    out = LdbcGraph(g)
+
+    n_persons = max(30, int(400 * scale))
+    n_forums = max(10, int(60 * scale))
+    n_posts = max(40, int(500 * scale))
+
+    _build_places(g, out)
+    _build_organisations(g, out, rng)
+    _build_tags(g, out)
+    _build_persons(g, out, rng, n_persons)
+    _build_knows(g, out, rng)
+    _build_forums_posts(g, out, rng, n_forums, n_posts)
+
+    for attr in ("type", "gender", "browser", "name"):
+        g.create_vertex_index(attr)
+    return out
+
+
+# -- builders -----------------------------------------------------------------
+
+
+def _build_places(g: PropertyGraph, out: LdbcGraph) -> None:
+    for ci, country in enumerate(schema.COUNTRIES):
+        cid = g.add_vertex(type="country", name=country)
+        out.countries.append(cid)
+        for city in schema.CITIES_PER_COUNTRY[ci]:
+            vid = g.add_vertex(type="city", name=city)
+            out.cities.append(vid)
+            g.add_edge(vid, cid, "isPartOf")
+
+
+def _build_organisations(
+    g: PropertyGraph, out: LdbcGraph, rng: random.Random
+) -> None:
+    # Universities: one per city for the first two cities of each country.
+    for ci in range(len(schema.COUNTRIES)):
+        for k in range(2):
+            city_vid = out.cities[ci * 5 + k]
+            city_name = g.vertex_attributes(city_vid)["name"]
+            suffix = schema.UNIVERSITY_SUFFIXES[k % len(schema.UNIVERSITY_SUFFIXES)]
+            uid = g.add_vertex(type="university", name=f"{city_name} {suffix}")
+            out.universities.append(uid)
+            g.add_edge(uid, city_vid, "isLocatedIn")
+    # Companies: three per country, located in the country's first city.
+    for ci, country_vid in enumerate(out.countries):
+        for k in range(3):
+            stem = schema.COMPANY_STEMS[(ci * 3 + k) % len(schema.COMPANY_STEMS)]
+            suffix = schema.COMPANY_SUFFIXES[k % len(schema.COMPANY_SUFFIXES)]
+            name = f"{stem}{suffix}"
+            comp = g.add_vertex(
+                type="company",
+                name=name,
+                sector=schema.pick(rng, schema.ORG_SECTORS),
+            )
+            out.companies.append(comp)
+            g.add_edge(comp, out.cities[ci * 5], "isLocatedIn")
+
+
+def _build_tags(g: PropertyGraph, out: LdbcGraph) -> None:
+    for name in schema.TAG_NAMES:
+        out.tags.append(g.add_vertex(type="tag", name=name))
+
+
+def _build_persons(
+    g: PropertyGraph, out: LdbcGraph, rng: random.Random, n_persons: int
+) -> None:
+    for i in range(n_persons):
+        gender = schema.GENDERS[i % 2]
+        birth_year = rng.randint(1950, 2000)
+        person = g.add_vertex(
+            type="person",
+            name=schema.pick(rng, schema.FIRST_NAMES),
+            lastName=schema.pick(rng, schema.LAST_NAMES),
+            gender=gender,
+            birthYear=birth_year,
+            browser=schema.pick_zipf(rng, schema.BROWSERS, 1.2),
+        )
+        out.persons.append(person)
+        # Home city: Zipf-skewed so early cities host many persons.
+        city = out.cities[schema.zipf_index(rng, len(out.cities), 0.8)]
+        g.add_edge(person, city, "isLocatedIn")
+        # 60% studied somewhere; classYear correlates with birth year.
+        if rng.random() < 0.6:
+            uni = out.universities[schema.zipf_index(rng, len(out.universities), 0.8)]
+            g.add_edge(person, uni, "studyAt", classYear=birth_year + rng.randint(19, 26))
+        # 80% work somewhere; sinceYear in a narrow band.
+        if rng.random() < 0.8:
+            comp = out.companies[schema.zipf_index(rng, len(out.companies), 0.8)]
+            g.add_edge(
+                person, comp, "workAt", sinceYear=rng.randint(1995, 2015)
+            )
+        # Interests: 1-4 Zipf-popular tags.
+        for _ in range(rng.randint(1, 4)):
+            tag = out.tags[schema.zipf_index(rng, len(out.tags), 1.1)]
+            g.add_edge(person, tag, "hasInterest")
+
+
+def _build_knows(g: PropertyGraph, out: LdbcGraph, rng: random.Random) -> None:
+    """Heavy-tailed friendship graph via preferential attachment."""
+    persons = out.persons
+    degree_pool: List[int] = []
+    for i, person in enumerate(persons):
+        n_friends = 1 + min(schema.zipf_index(rng, 8, 1.0), i)
+        chosen = set()
+        for _ in range(n_friends):
+            if degree_pool and rng.random() < 0.7:
+                friend = schema.pick(rng, degree_pool)
+            else:
+                friend = persons[rng.randrange(max(1, i))]
+            if friend == person or friend in chosen:
+                continue
+            chosen.add(friend)
+            g.add_edge(person, friend, "knows", since=rng.randint(2005, 2015))
+            degree_pool.append(friend)
+            degree_pool.append(person)
+
+
+def _build_forums_posts(
+    g: PropertyGraph,
+    out: LdbcGraph,
+    rng: random.Random,
+    n_forums: int,
+    n_posts: int,
+) -> None:
+    for i in range(n_forums):
+        forum = g.add_vertex(
+            type="forum", title=f"Forum {i}", creationYear=rng.randint(2008, 2014)
+        )
+        out.forums.append(forum)
+        moderator = schema.pick(rng, out.persons)
+        g.add_edge(forum, moderator, "hasModerator")
+        for _ in range(rng.randint(3, 12)):
+            member = schema.pick(rng, out.persons)
+            g.add_edge(forum, member, "hasMember", joinYear=rng.randint(2008, 2015))
+    for _ in range(n_posts):
+        creator = schema.pick(rng, out.persons)
+        forum = schema.pick(rng, out.forums)
+        post = g.add_vertex(
+            type="post",
+            language=schema.pick_zipf(rng, schema.LANGUAGES, 1.2),
+            length=rng.randint(10, 2000),
+            creationYear=rng.randint(2009, 2015),
+        )
+        out.posts.append(post)
+        g.add_edge(post, creator, "hasCreator")
+        g.add_edge(forum, post, "containerOf")
+        tag = out.tags[schema.zipf_index(rng, len(out.tags), 1.1)]
+        g.add_edge(post, tag, "hasTag")
+        for _ in range(schema.zipf_index(rng, 6, 1.0)):
+            g.add_edge(schema.pick(rng, out.persons), post, "likes")
+
+
+# -- the four LDBC queries (Appendix A.2.1) ------------------------------------
+
+
+def query_1() -> GraphQuery:
+    """LDBC QUERY 1: colleagues-of-women pattern (2 edges, 3 vertices).
+
+    Female persons and the company colleagues they know::
+
+        v0 person(gender=female) -e0:knows-> v1 person -e1:workAt-> v2 company
+
+    The ``knows`` edge matches either orientation, mirroring the thesis'
+    undirected friendship semantics; ``workAt`` is constrained to a recent
+    ``sinceYear`` band to keep the query selective.
+    """
+    q = GraphQuery()
+    v0 = q.add_vertex(predicates={"type": equals("person"), "gender": equals("female")})
+    v1 = q.add_vertex(predicates={"type": equals("person")})
+    v2 = q.add_vertex(predicates={"type": equals("company"), "sector": equals("software")})
+    q.add_edge(v0, v1, types={"knows"}, directions=BOTH_DIRECTIONS)
+    q.add_edge(v1, v2, types={"workAt"}, predicates={"sinceYear": between(2011, 2012)})
+    return q
+
+
+def query_2() -> GraphQuery:
+    """LDBC QUERY 2: the thesis' running example shape (3 edges, 4 vertices).
+
+    Persons working (since a band of years) at an organisation located in a
+    popular city, where a second, male person studied at the same
+    organisation (cf. Fig. 3.5)::
+
+        v0 person -e0:workAt-> v1 university -e1:isLocatedIn-> v2 city
+        v3 person(gender=male) -e2:studyAt-> v1
+    """
+    q = GraphQuery()
+    v0 = q.add_vertex(predicates={"type": equals("person")})
+    v1 = q.add_vertex(predicates={"type": equals("university")})
+    v2 = q.add_vertex(
+        predicates={"type": equals("city"), "name": one_of("Berlin", "Paris", "Madrid")}
+    )
+    v3 = q.add_vertex(predicates={"type": equals("person"), "gender": equals("male")})
+    q.add_edge(v0, v1, types={"studyAt"}, predicates={"classYear": between(1991, 1993)})
+    q.add_edge(v1, v2, types={"isLocatedIn"})
+    q.add_edge(v3, v1, types={"studyAt"})
+    return q
+
+
+def query_3() -> GraphQuery:
+    """LDBC QUERY 3: forum/interest join (4 edges, 4 vertices, one cycle).
+
+    Forum members interested in the tag of a post published in the same
+    forum::
+
+        v0 forum -e0:hasMember-> v1 person -e1:hasInterest-> v2 tag
+        v0 -e2:containerOf-> v3 post -e3:hasTag-> v2
+    """
+    q = GraphQuery()
+    v0 = q.add_vertex(predicates={"type": equals("forum")})
+    v1 = q.add_vertex(predicates={"type": equals("person")})
+    v2 = q.add_vertex(predicates={"type": equals("tag")})
+    v3 = q.add_vertex(
+        predicates={
+            "type": equals("post"),
+            "language": equals("en"),
+            "length": between(1000, 2000),
+        }
+    )
+    q.add_edge(v0, v1, types={"hasMember"})
+    q.add_edge(v1, v2, types={"hasInterest"})
+    q.add_edge(v0, v3, types={"containerOf"})
+    q.add_edge(v3, v2, types={"hasTag"})
+    return q
+
+
+def query_4() -> GraphQuery:
+    """LDBC QUERY 4: friendship chain into a located company (4 edges).
+
+    Two generations of friends ending at an employee of a company in a
+    fixed city::
+
+        v0 person(browser=Firefox) -e0:knows-> v1 person -e1:knows-> v2 person
+        v2 -e2:workAt-> v3 company -e3:isLocatedIn-> v4 city(name=Berlin)
+    """
+    q = GraphQuery()
+    v0 = q.add_vertex(
+        predicates={
+            "type": equals("person"),
+            "browser": equals("Firefox"),
+            "birthYear": between(1980, 1995),
+        }
+    )
+    v1 = q.add_vertex(predicates={"type": equals("person")})
+    v2 = q.add_vertex(predicates={"type": equals("person")})
+    v3 = q.add_vertex(predicates={"type": equals("company")})
+    v4 = q.add_vertex(predicates={"type": equals("city"), "name": equals("Berlin")})
+    q.add_edge(v0, v1, types={"knows"}, directions=BOTH_DIRECTIONS)
+    q.add_edge(v1, v2, types={"knows"}, directions=BOTH_DIRECTIONS)
+    q.add_edge(v2, v3, types={"workAt"}, predicates={"sinceYear": between(2007, 2010)})
+    q.add_edge(v3, v4, types={"isLocatedIn"})
+    return q
+
+
+def queries() -> Dict[str, GraphQuery]:
+    """All four LDBC queries keyed by their thesis name."""
+    return {
+        "LDBC QUERY 1": query_1(),
+        "LDBC QUERY 2": query_2(),
+        "LDBC QUERY 3": query_3(),
+        "LDBC QUERY 4": query_4(),
+    }
+
+
+def empty_variant(name: str) -> GraphQuery:
+    """A why-empty variant of an LDBC query (Sec. 4.5.1 / 5.5 workloads).
+
+    Each variant fails for a *structural* reason -- a predicate whose value
+    exists in the data but never co-occurs with the rest of the pattern --
+    so the maximum common subgraph is non-trivial and rewriting has
+    something meaningful to discover.
+    """
+    base = queries()[name].copy()
+    if name == "LDBC QUERY 1":
+        # Companies are never located in Luxor-like late-pool cities and
+        # the sinceYear band is pushed outside the generated range.
+        base.vertex(2).predicates["name"] = equals("Aswan Systems")
+        return base
+    if name == "LDBC QUERY 2":
+        # A city that exists but hosts no university in the generator
+        # (only the first two cities per country get universities).
+        base.vertex(2).predicates["name"] = one_of("Luxor", "Aswan")
+        return base
+    if name == "LDBC QUERY 3":
+        # Posts never carry this language value.
+        base.vertex(3).predicates["language"] = equals("la")
+        return base
+    if name == "LDBC QUERY 4":
+        # sinceYear band outside the generated workAt range.
+        base.edge(2).predicates["sinceYear"] = between(2030, 2040)
+        return base
+    raise KeyError(name)
+
+
+def empty_variant_edge(name: str) -> GraphQuery:
+    """A second why-empty family with the poison on an *edge* predicate.
+
+    Edge poisons admit several structurally different fixes (drop the
+    predicate, drop the edge, drop an endpoint vertex), which the user
+    integration experiment (Sec. 5.5.4) needs: a preference that protects
+    one fix must leave another fix available.
+    """
+    base = queries()[name].copy()
+    if name == "LDBC QUERY 1":
+        base.edge(0).predicates["since"] = between(2030, 2040)
+        return base
+    if name == "LDBC QUERY 2":
+        base.edge(0).predicates["classYear"] = between(1900, 1910)
+        return base
+    if name == "LDBC QUERY 3":
+        base.edge(0).predicates["joinYear"] = between(2030, 2040)
+        return base
+    if name == "LDBC QUERY 4":
+        base.edge(0).predicates["since"] = between(2030, 2040)
+        return base
+    raise KeyError(name)

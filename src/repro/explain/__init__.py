@@ -1,0 +1,37 @@
+"""Subgraph-based explanations (Chapter 4): DISCOVERMCS and BOUNDEDMCS."""
+
+from repro.explain.bounded_mcs import bounded_mcs
+from repro.explain.differential import (
+    DifferentialGraph,
+    FailureAnnotation,
+    FailureReason,
+    merge_components,
+)
+from repro.explain.discover_mcs import (
+    McsResult,
+    SearchStats,
+    SubgraphLatticeSearch,
+    discover_mcs,
+)
+from repro.explain.preferences import (
+    UserPreferences,
+    explanation_rank,
+    preferred_traversal_order,
+    rank_explanations,
+)
+
+__all__ = [
+    "DifferentialGraph",
+    "FailureAnnotation",
+    "FailureReason",
+    "McsResult",
+    "SearchStats",
+    "SubgraphLatticeSearch",
+    "UserPreferences",
+    "bounded_mcs",
+    "discover_mcs",
+    "explanation_rank",
+    "merge_components",
+    "preferred_traversal_order",
+    "rank_explanations",
+]

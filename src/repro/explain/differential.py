@@ -1,0 +1,157 @@
+"""Differential graphs -- the subgraph-based explanation (Sec. 4.1.2, 4.2.3).
+
+A subgraph-based explanation answers *which part of the query* is
+responsible for the unexpected result.  It consists of
+
+* the *maximum common (connected) subgraph* (MCS): the largest part of the
+  query graph that still satisfies the cardinality criterion when
+  evaluated on its own, and
+* the *differential graph*: the remaining query part, annotated with the
+  reason each element failed (predicate, type, topology, or cardinality).
+
+The failure reasons are discovered lazily (cf. Sec. 2.1: lazy provenance
+is preferred for debugging): when an extension fails, the engine re-tests
+it with predicates/types stripped to pin down which constraint class
+eliminated all candidate matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.query import GraphQuery
+
+ElementRef = Tuple[str, int]
+
+
+class FailureReason(Enum):
+    """Why a query element could not join the common subgraph."""
+
+    #: the element's own predicate intervals eliminated every candidate
+    PREDICATE = "predicate"
+    #: the edge's type set eliminated every candidate
+    TYPE = "type"
+    #: no data edge connects the already-matched part this way at all
+    TOPOLOGY = "topology"
+    #: the element joins fine but pushes the cardinality past the bound
+    CARDINALITY = "cardinality"
+    #: not reached by the traversal (disconnected remainder after failures)
+    UNREACHED = "unreached"
+
+
+@dataclass(frozen=True)
+class FailureAnnotation:
+    """The diagnosis attached to one differential element."""
+
+    element: ElementRef
+    reason: FailureReason
+    detail: str = ""
+
+    def __str__(self) -> str:
+        kind, ident = self.element
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"{kind} {ident}: {self.reason.value}{suffix}"
+
+
+@dataclass
+class DifferentialGraph:
+    """MCS + failed remainder of one query (component).
+
+    ``mcs_edges``/``mcs_vertices`` identify the succeeding subquery;
+    everything else in ``query`` belongs to the differential.  The
+    explanation's *rank* (Sec. 4.4.3) is filled in by the preference model.
+    """
+
+    query: GraphQuery
+    mcs_edges: FrozenSet[int]
+    mcs_vertices: FrozenSet[int]
+    annotations: Dict[ElementRef, FailureAnnotation] = field(default_factory=dict)
+    #: cardinality of the MCS subquery (bounded probe; -1 = unknown)
+    mcs_cardinality: int = -1
+    rank: float = 0.0
+
+    @property
+    def missing_edges(self) -> FrozenSet[int]:
+        return self.query.edge_ids - self.mcs_edges
+
+    @property
+    def missing_vertices(self) -> FrozenSet[int]:
+        return self.query.vertex_ids - self.mcs_vertices
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of query elements inside the MCS (1.0 = no failure)."""
+        total = len(self.query)
+        if total == 0:
+            return 1.0
+        covered = len(self.mcs_edges) + len(self.mcs_vertices)
+        return covered / total
+
+    def mcs_query(self) -> GraphQuery:
+        """The succeeding subquery (identifiers preserved)."""
+        return self.query.subquery(self.mcs_vertices, self.mcs_edges)
+
+    def differential_query(self) -> GraphQuery:
+        """The failed query part as its own pattern.
+
+        Contains the missing vertices plus the missing edges' endpoints
+        (an edge cannot exist without its endpoints), mirroring the
+        thesis' differential subgraphs.
+        """
+        vertices = set(self.missing_vertices)
+        for eid in self.missing_edges:
+            edge = self.query.edge(eid)
+            vertices.add(edge.source)
+            vertices.add(edge.target)
+        return self.query.subquery(vertices, self.missing_edges)
+
+    def describe(self) -> str:
+        """Multi-line human-readable explanation (used by examples)."""
+        lines = [
+            f"common subgraph: {sorted(self.mcs_vertices)} vertices, "
+            f"{sorted(self.mcs_edges)} edges "
+            f"(coverage {self.coverage:.0%}, cardinality {self.mcs_cardinality})"
+        ]
+        if not self.missing_edges and not self.missing_vertices:
+            lines.append("no failing part: the full query satisfies the bound")
+        for ref in sorted(self.annotations):
+            lines.append(f"failed {self.annotations[ref]}")
+        unannotated = {
+            ("edge", eid) for eid in self.missing_edges
+        } | {("vertex", vid) for vid in self.missing_vertices}
+        for ref in sorted(unannotated - set(self.annotations)):
+            lines.append(f"failed {ref[0]} {ref[1]}: unreached")
+        return "\n".join(lines)
+
+
+def merge_components(parts: List[DifferentialGraph], query: GraphQuery) -> DifferentialGraph:
+    """Combine per-component differentials into one whole-query view.
+
+    Per Sec. 4.3.1 the components are processed separately; the combined
+    explanation unions their common subgraphs and annotations.  The merged
+    MCS cardinality is the product of the component cardinalities
+    (component matches combine freely), computed only when every part is
+    known.
+    """
+    mcs_edges: FrozenSet[int] = frozenset()
+    mcs_vertices: FrozenSet[int] = frozenset()
+    annotations: Dict[ElementRef, FailureAnnotation] = {}
+    cardinality = 1
+    known = True
+    for part in parts:
+        mcs_edges |= part.mcs_edges
+        mcs_vertices |= part.mcs_vertices
+        annotations.update(part.annotations)
+        if part.mcs_cardinality < 0:
+            known = False
+        else:
+            cardinality *= part.mcs_cardinality
+    return DifferentialGraph(
+        query=query,
+        mcs_edges=mcs_edges,
+        mcs_vertices=mcs_vertices,
+        annotations=annotations,
+        mcs_cardinality=cardinality if known else -1,
+    )

@@ -1,0 +1,257 @@
+"""Baseline approaches for the Chapter 6 evaluation (Sec. 6.4.1).
+
+Two baselines frame TRAVERSESEARCHTREE's results:
+
+* :class:`RandomModificationSearch` -- applies random applicable
+  fine-grained modifications (random walk with restarts), keeping the
+  best variant seen.  Shows what the structured search buys over blind
+  exploration at the same evaluation budget.
+* :class:`GreedyCoarseSearch` -- a relaxation-lattice searcher in the
+  spirit of the why-empty literature (SEAVE-style / the Chapter 5 engine
+  re-targeted at a threshold): it only drops or adds *whole* constraints,
+  greedily picking the candidate closest to the threshold.  Its coarse
+  steps routinely overshoot the threshold, which is exactly the
+  motivation for value-level modifications (Sec. 6.1).
+
+Both return the same :class:`~repro.finegrained.traverse_search_tree.
+FineRewriteResult` so the benchmark can compare achieved cardinality
+distance, syntactic distance and evaluation counts head-to-head.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.errors import MalformedQueryError, RewritingError
+from repro.core.graph import PropertyGraph
+from repro.core.predicates import ValueSet
+from repro.core.query import GraphQuery
+from repro.matching.matcher import PatternMatcher
+from repro.metrics.cardinality import CardinalityThreshold
+from repro.metrics.syntactic import syntactic_distance
+from repro.rewrite.cache import QueryResultCache
+from repro.rewrite.operations import (
+    AddPredicate,
+    AttributeDomain,
+    Modification,
+    coarse_relaxations,
+    fine_concretisations,
+    fine_relaxations,
+)
+from repro.finegrained.traverse_search_tree import FineRewriteResult
+
+
+class RandomModificationSearch:
+    """Random-walk baseline over the fine-grained modification space."""
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        threshold: CardinalityThreshold,
+        matcher: Optional[PatternMatcher] = None,
+        cache: Optional[QueryResultCache] = None,
+        domain: Optional[AttributeDomain] = None,
+        include_topology: bool = False,
+        constrainable_attrs: Optional[Sequence[str]] = None,
+        max_evaluations: int = 300,
+        walk_length: int = 6,
+        seed: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.threshold = threshold
+        self.matcher = matcher if matcher is not None else PatternMatcher(graph)
+        self.cache = cache if cache is not None else QueryResultCache(self.matcher)
+        self.domain = domain if domain is not None else AttributeDomain(graph)
+        self.include_topology = include_topology
+        self.constrainable_attrs = (
+            tuple(constrainable_attrs) if constrainable_attrs else None
+        )
+        self.max_evaluations = max_evaluations
+        self.walk_length = walk_length
+        self.rng = random.Random(seed)
+
+    def search(self, query: GraphQuery) -> FineRewriteResult:
+        start = time.perf_counter()
+        limit = self.threshold.probe_limit
+        probe = None if limit is None else max(limit * 4, limit + 16)
+        root_card = self.cache.count(query, limit=probe)
+        best_query, best_card = query, root_card
+        best_dist = self.threshold.distance(root_card)
+        best_syn = 0.0
+        best_mods: Tuple[Modification, ...] = ()
+        best_trace: List[int] = [root_card]
+        evaluated = 0
+        generated = 0
+
+        while evaluated < self.max_evaluations and best_dist > 0:
+            current, card = query, root_card
+            mods: List[Modification] = []
+            trace = [root_card]
+            for _ in range(self.walk_length):
+                if evaluated >= self.max_evaluations:
+                    break
+                direction = self.threshold.direction(card)
+                if direction == 0:
+                    break
+                pool: Sequence[Modification]
+                if direction > 0:
+                    pool = fine_relaxations(
+                        current, self.domain, include_topology=self.include_topology
+                    )
+                else:
+                    pool = fine_concretisations(
+                        current,
+                        self.domain,
+                        constrainable_attrs=self.constrainable_attrs,
+                    )
+                if not pool:
+                    break
+                op = pool[self.rng.randrange(len(pool))]
+                try:
+                    nxt = op.apply(current)
+                    nxt.validate()
+                except (RewritingError, MalformedQueryError):
+                    continue
+                generated += 1
+                evaluated += 1
+                card = self.cache.count(nxt, limit=probe)
+                current = nxt
+                mods.append(op)
+                trace.append(card)
+                dist = self.threshold.distance(card)
+                syn = syntactic_distance(query, current)
+                if (dist, syn) < (best_dist, best_syn):
+                    best_query, best_card = current, card
+                    best_dist, best_syn = dist, syn
+                    best_mods = tuple(mods)
+                    best_trace = list(trace)
+                if dist == 0:
+                    break
+
+        return FineRewriteResult(
+            best_query=best_query,
+            best_cardinality=best_card if best_mods else root_card,
+            best_distance=best_dist,
+            best_syntactic=best_syn,
+            modifications=best_mods,
+            cardinality_trace=best_trace,
+            evaluated=evaluated,
+            generated=generated,
+            tree_size=generated + 1,
+            non_contributing=0,
+            dominated=0,
+            elapsed=time.perf_counter() - start,
+            budget_exhausted=evaluated >= self.max_evaluations,
+            converged=best_dist == 0,
+        )
+
+
+class GreedyCoarseSearch:
+    """Whole-constraint lattice baseline (SEAVE-style greedy search).
+
+    Moves through the lattice of coarse modifications -- dropping whole
+    constraints to grow the result, adding whole equality constraints
+    (on the attributes the original query already uses) to shrink it --
+    always taking the locally best candidate.  No value-level edits.
+    """
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        threshold: CardinalityThreshold,
+        matcher: Optional[PatternMatcher] = None,
+        cache: Optional[QueryResultCache] = None,
+        domain: Optional[AttributeDomain] = None,
+        max_evaluations: int = 300,
+        max_depth: int = 6,
+    ) -> None:
+        self.graph = graph
+        self.threshold = threshold
+        self.matcher = matcher if matcher is not None else PatternMatcher(graph)
+        self.cache = cache if cache is not None else QueryResultCache(self.matcher)
+        self.domain = domain if domain is not None else AttributeDomain(graph)
+        self.max_evaluations = max_evaluations
+        self.max_depth = max_depth
+
+    def _coarse_concretisations(self, query: GraphQuery) -> List[Modification]:
+        """Whole-predicate additions on attributes the query already uses."""
+        used_attrs = set()
+        for v in query.vertices():
+            used_attrs.update(v.predicates)
+        for e in query.edges():
+            used_attrs.update(e.predicates)
+        ops: List[Modification] = []
+        for v in sorted(query.vertices(), key=lambda v: v.vid):
+            for attr in sorted(used_attrs):
+                if attr in v.predicates:
+                    continue
+                for value in self.domain.propose_constraint_values(
+                    ("vertex", v.vid), attr
+                ):
+                    ops.append(
+                        AddPredicate(("vertex", v.vid), attr, ValueSet([value]))
+                    )
+        return ops
+
+    def search(self, query: GraphQuery) -> FineRewriteResult:
+        start = time.perf_counter()
+        limit = self.threshold.probe_limit
+        probe = None if limit is None else max(limit * 4, limit + 16)
+        card = self.cache.count(query, limit=probe)
+        current, mods = query, []
+        trace = [card]
+        evaluated = 0
+        best = (self.threshold.distance(card), 0.0, query, card, ())
+
+        for _ in range(self.max_depth):
+            direction = self.threshold.direction(card)
+            if direction == 0 or evaluated >= self.max_evaluations:
+                break
+            pool = (
+                coarse_relaxations(current)
+                if direction > 0
+                else self._coarse_concretisations(current)
+            )
+            scored = []
+            for op in pool:
+                if evaluated >= self.max_evaluations:
+                    break
+                try:
+                    candidate = op.apply(current)
+                    candidate.validate()
+                except (RewritingError, MalformedQueryError):
+                    continue
+                evaluated += 1
+                c = self.cache.count(candidate, limit=probe)
+                scored.append((self.threshold.distance(c), c, op, candidate))
+            if not scored:
+                break
+            scored.sort(key=lambda item: item[0])
+            dist, card, op, current = scored[0]
+            mods.append(op)
+            trace.append(card)
+            syn = syntactic_distance(query, current)
+            if (dist, syn) < best[:2]:
+                best = (dist, syn, current, card, tuple(mods))
+            if dist == 0:
+                break
+
+        best_dist, best_syn, best_query, best_card, best_mods = best
+        return FineRewriteResult(
+            best_query=best_query,
+            best_cardinality=best_card,
+            best_distance=best_dist,
+            best_syntactic=best_syn,
+            modifications=best_mods,
+            cardinality_trace=trace,
+            evaluated=evaluated,
+            generated=evaluated,
+            tree_size=evaluated + 1,
+            non_contributing=0,
+            dominated=0,
+            elapsed=time.perf_counter() - start,
+            budget_exhausted=evaluated >= self.max_evaluations,
+            converged=best_dist == 0,
+        )

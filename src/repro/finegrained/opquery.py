@@ -1,0 +1,115 @@
+"""Operational graph-query representation (Sec. 6.1.2).
+
+Chapter 6 views a pattern query as a *sequence of operators*: seed the
+first vertex, then expand one query edge at a time (exactly the plan the
+matcher executes).  The representation serves two purposes in the
+modification process:
+
+* **change localisation**: a modification touching the element at
+  operator position ``k`` leaves the operator prefix ``< k`` untouched, so
+  every prefix evaluation stays valid (change propagation only re-runs
+  the suffix, Sec. 6.3.1);
+* **cardinality tracing**: the bounded cardinality after each operator
+  shows *where* along the pipeline the result size collapses or explodes,
+  which the modification-tree search uses to decide which element to
+  modify next.
+
+Prefix reuse is realised through the shared
+:class:`~repro.rewrite.cache.QueryResultCache`: an unchanged prefix has an
+identical canonical signature and therefore hits the cache instead of
+re-executing -- the operational view guarantees those signatures are
+shared between a query and its modified variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.graph import PropertyGraph
+from repro.core.query import GraphQuery
+from repro.matching.plan import ExpandStep, PlanStep, SeedStep, build_plan
+from repro.rewrite.cache import QueryResultCache
+from repro.rewrite.operations import ElementRef
+
+
+@dataclass(frozen=True)
+class OperatorInfo:
+    """One operator of the chain: the plan step plus its query elements."""
+
+    index: int
+    step: PlanStep
+    #: elements first bound by this operator
+    introduces: Tuple[ElementRef, ...]
+
+
+class OperationalQuery:
+    """Operator-chain view of one query on one data graph."""
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        query: GraphQuery,
+        edge_order: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.graph = graph
+        self.query = query
+        self.operators: List[OperatorInfo] = []
+        bound: set = set()
+        for i, step in enumerate(build_plan(graph, query, edge_order)):
+            if isinstance(step, SeedStep):
+                introduces: Tuple[ElementRef, ...] = (("vertex", step.vid),)
+                bound.add(step.vid)
+            else:
+                intro = [("edge", step.eid)]
+                if step.new_vid is not None:
+                    intro.append(("vertex", step.new_vid))
+                    bound.add(step.new_vid)
+                introduces = tuple(intro)
+            self.operators.append(OperatorInfo(i, step, introduces))
+
+    def __len__(self) -> int:
+        return len(self.operators)
+
+    def operator_of(self, element: ElementRef) -> int:
+        """Index of the operator that first binds ``element``.
+
+        Modifications of this element invalidate evaluations from this
+        operator onward (and only those).
+        """
+        for info in self.operators:
+            if element in info.introduces:
+                return info.index
+        raise KeyError(f"element {element} not bound by any operator")
+
+    def prefix_query(self, length: int) -> GraphQuery:
+        """Subquery covered by the first ``length`` operators."""
+        vertices: set = set()
+        edges: set = set()
+        for info in self.operators[:length]:
+            for kind, ident in info.introduces:
+                if kind == "vertex":
+                    vertices.add(ident)
+                else:
+                    edges.add(ident)
+                    edge = self.query.edge(ident)
+                    vertices.add(edge.source)
+                    vertices.add(edge.target)
+        return self.query.subquery(vertices, edges)
+
+    def prefix_cardinalities(
+        self, cache: QueryResultCache, limit: Optional[int] = None
+    ) -> List[int]:
+        """Bounded cardinality after each operator (the pipeline trace).
+
+        Evaluations go through the shared cache, so re-tracing a modified
+        query re-executes only the suffix whose signatures changed.
+        """
+        return [
+            cache.count(self.prefix_query(i + 1), limit=limit)
+            for i in range(len(self.operators))
+        ]
+
+    def first_affected_operator(self, elements: Sequence[ElementRef]) -> int:
+        """Earliest operator index any of ``elements`` is bound at."""
+        return min(self.operator_of(e) for e in elements)

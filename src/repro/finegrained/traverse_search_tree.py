@@ -1,0 +1,232 @@
+"""TRAVERSESEARCHTREE -- fine-grained cardinality-driven rewriting (Sec. 6.2).
+
+The algorithm searches the modification tree best-first, minimising the
+distance to the cardinality threshold and, among equally close variants,
+the syntactic distance to the original query.  Each expansion generates
+*fine-grained* candidates (Sec. 6.2.2): predicate edits on the value
+level (admit/retract single values, widen/narrow numeric bounds) and --
+when topology mode is enabled (Sec. 6.4.3) -- edge/vertex removals.
+
+The search direction is decided per node from its own cardinality
+(Sec. 3.1.3, Fig. 3.1): a node below the threshold expands with
+relaxations, a node above it with concretisations, so the search can
+oscillate around the threshold until a variant lands inside it.
+
+Tree adaptation (Sec. 6.3): evaluations go through the shared query cache
+(prefix reuse = change propagation); children whose cardinality equals
+their parent's are discarded as non-contributing, dominated variants are
+rejected, and branches strictly farther from the threshold than the
+incumbent by more than the oscillation allowance are pruned.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.errors import MalformedQueryError, RewritingError
+from repro.core.graph import PropertyGraph
+from repro.core.query import GraphQuery
+from repro.matching.matcher import PatternMatcher
+from repro.metrics.cardinality import CardinalityThreshold
+from repro.metrics.syntactic import syntactic_distance
+from repro.rewrite.cache import QueryResultCache
+from repro.rewrite.operations import (
+    AttributeDomain,
+    Modification,
+    fine_concretisations,
+    fine_relaxations,
+)
+from repro.rewrite.statistics import GraphStatistics
+from repro.finegrained.modification_tree import ModificationNode, ModificationTree
+
+
+@dataclass
+class FineRewriteResult:
+    """Outcome of one TRAVERSESEARCHTREE run."""
+
+    best_query: GraphQuery
+    best_cardinality: int
+    best_distance: int
+    best_syntactic: float
+    modifications: Tuple[Modification, ...]
+    cardinality_trace: List[int]
+    evaluated: int
+    generated: int
+    tree_size: int
+    non_contributing: int
+    dominated: int
+    elapsed: float
+    budget_exhausted: bool
+    converged: bool
+
+    def describe(self) -> str:
+        steps = "; ".join(op.describe() for op in self.modifications) or "<unchanged>"
+        return (
+            f"cardinality {self.best_cardinality} (distance {self.best_distance}), "
+            f"syntactic {self.best_syntactic:.3f}: {steps}"
+        )
+
+
+class TraverseSearchTree:
+    """Best-first fine-grained modification search (Sec. 6.2.1)."""
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        threshold: CardinalityThreshold,
+        matcher: Optional[PatternMatcher] = None,
+        cache: Optional[QueryResultCache] = None,
+        domain: Optional[AttributeDomain] = None,
+        include_topology: bool = False,
+        constrainable_attrs: Optional[Sequence[str]] = None,
+        max_evaluations: int = 300,
+        max_depth: int = 8,
+        statistics: Optional[GraphStatistics] = None,
+    ) -> None:
+        self.graph = graph
+        self.threshold = threshold
+        self.matcher = matcher if matcher is not None else PatternMatcher(graph)
+        self.cache = cache if cache is not None else QueryResultCache(self.matcher)
+        self.domain = domain if domain is not None else AttributeDomain(graph)
+        self.statistics = (
+            statistics if statistics is not None else GraphStatistics(graph)
+        )
+        self.include_topology = include_topology
+        self.constrainable_attrs = (
+            tuple(constrainable_attrs) if constrainable_attrs else None
+        )
+        self.max_evaluations = max_evaluations
+        self.max_depth = max_depth
+
+    # -- candidate generation (Sec. 6.2.2) ------------------------------------
+
+    def _candidates(self, query: GraphQuery, cardinality: int) -> List[Modification]:
+        direction = self.threshold.direction(cardinality)
+        if direction > 0:
+            return fine_relaxations(
+                query, self.domain, include_topology=self.include_topology
+            )
+        if direction < 0:
+            return fine_concretisations(
+                query, self.domain, constrainable_attrs=self.constrainable_attrs
+            )
+        return []
+
+    def _ordered_expansions(
+        self, query: GraphQuery, cardinality: int
+    ) -> List[Tuple[Modification, GraphQuery]]:
+        """Generate and *re-arrange* a node's branches (Sec. 6.3.2).
+
+        Branches are ordered by the statistics-estimated cardinality of
+        the child variant, aligned with the search direction: when the
+        result must grow, the child with the largest estimate is tried
+        first; when it must shrink, the smallest.  Estimated
+        non-contributors (estimate identical to the parent's) sink to the
+        back, so the evaluation budget is spent on promising branches.
+        """
+        direction = self.threshold.direction(cardinality)
+        parent_estimate = self.statistics.estimate_query_cardinality(query)
+        expansions: List[Tuple[float, int, Modification, GraphQuery]] = []
+        for index, op in enumerate(self._candidates(query, cardinality)):
+            try:
+                child = op.apply(query)
+                child.validate()
+            except (RewritingError, MalformedQueryError):
+                continue
+            estimate = self.statistics.estimate_query_cardinality(child)
+            gain = (estimate - parent_estimate) * direction
+            expansions.append((gain, index, op, child))
+        # largest direction-aligned gain first; stable on generation order
+        expansions.sort(key=lambda item: (-item[0], item[1]))
+        return [(op, child) for _, _, op, child in expansions]
+
+    def _probe_limit(self) -> Optional[int]:
+        limit = self.threshold.probe_limit
+        if limit is None:
+            return None
+        # Probe a margin past the bound so the search can see *how far*
+        # outside the interval a variant lies (needed for the distance).
+        return max(limit * 4, limit + 16)
+
+    # -- search ------------------------------------------------------------------
+
+    def search(self, query: GraphQuery) -> FineRewriteResult:
+        """Rewrite ``query`` until its cardinality enters the threshold.
+
+        Returns the best variant found within the evaluation budget; the
+        result's ``converged`` flag tells whether the threshold interval
+        was actually reached.
+        """
+        start = time.perf_counter()
+        limit = self._probe_limit()
+        root_card = self.cache.count(query, limit=limit)
+        root_distance = self.threshold.distance(root_card)
+        tree = ModificationTree(query, root_card, root_distance)
+        root = tree.node(tree.root)
+
+        counter = itertools.count()
+        heap: List[Tuple[Tuple[int, float, int], int]] = []
+        heapq.heappush(heap, ((root_distance, 0.0, next(counter)), root.node_id))
+        seen = {query.signature()}
+        evaluated = 0
+        generated = 0
+        budget_exhausted = False
+        best = root
+
+        while heap and best.distance > 0 and evaluated < self.max_evaluations:
+            _, node_id = heapq.heappop(heap)
+            node = tree.node(node_id)
+            if node.pruned or node.depth >= self.max_depth:
+                continue
+            for op, child_query in self._ordered_expansions(
+                node.query, node.cardinality
+            ):
+                if evaluated >= self.max_evaluations:
+                    budget_exhausted = True
+                    break
+                sig = child_query.signature()
+                if sig in seen:
+                    continue
+                seen.add(sig)
+                generated += 1
+                evaluated += 1
+                card = self.cache.count(child_query, limit=limit)
+                distance = self.threshold.distance(card)
+                syntactic = syntactic_distance(query, child_query)
+                child = tree.add_child(
+                    node, child_query, op, card, distance, syntactic
+                )
+                if child is None:
+                    continue
+                if child.objective < best.objective:
+                    best = child
+                if child.distance == 0:
+                    best = child
+                    break
+                heapq.heappush(
+                    heap,
+                    ((child.distance, child.syntactic, next(counter)), child.node_id),
+                )
+            if best.distance == 0:
+                break
+
+        return FineRewriteResult(
+            best_query=best.query,
+            best_cardinality=best.cardinality,
+            best_distance=best.distance,
+            best_syntactic=best.syntactic,
+            modifications=tuple(tree.modifications_to(best)),
+            cardinality_trace=tree.cardinality_trace(best),
+            evaluated=evaluated,
+            generated=generated,
+            tree_size=len(tree),
+            non_contributing=tree.non_contributing,
+            dominated=tree.dominated,
+            elapsed=time.perf_counter() - start,
+            budget_exhausted=budget_exhausted,
+            converged=best.distance == 0,
+        )

@@ -1,0 +1,25 @@
+"""Pattern-matching engine: candidates, planning, backtracking search."""
+
+from repro.matching.candidates import (
+    attributes_match,
+    edge_matches,
+    estimate_edge_candidates,
+    estimate_vertex_candidates,
+    vertex_candidates,
+    vertex_matches,
+)
+from repro.matching.matcher import PatternMatcher
+from repro.matching.plan import ExpandStep, SeedStep, build_plan
+
+__all__ = [
+    "ExpandStep",
+    "PatternMatcher",
+    "SeedStep",
+    "attributes_match",
+    "build_plan",
+    "edge_matches",
+    "estimate_edge_candidates",
+    "estimate_vertex_candidates",
+    "vertex_candidates",
+    "vertex_matches",
+]

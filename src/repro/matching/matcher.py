@@ -1,0 +1,249 @@
+"""Backtracking pattern matcher for property graphs.
+
+Pattern-matching queries return the data subgraphs matching the query graph
+(Sec. 3.1.2).  The matcher performs classic backtracking subgraph
+isomorphism with:
+
+* candidate pre-filtering from graph indexes,
+* connected, selectivity-ordered evaluation plans (:mod:`repro.matching.plan`),
+* direction sets (forward / backward / both, Sec. 3.2.2),
+* edge type sets and predicate intervals on vertices and edges,
+* injective vertex and edge bindings by default (isomorphism semantics;
+  homomorphisms are available via ``injective=False``),
+* bounded evaluation: ``limit`` stops after N matches, which the bounded
+  explanation algorithms (Ch. 4) and the rewriting engines (Ch. 5-6) use to
+  test cardinality thresholds without full enumeration.
+
+The matcher also counts how many match calls it has served (``calls``) and
+how many backtracking steps were taken (``steps``); all evaluation-budget
+experiments report these counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from repro.core.graph import PropertyGraph
+from repro.core.query import Direction, GraphQuery
+from repro.core.result import ResultGraph, ResultSet
+from repro.matching.candidates import (
+    edge_matches,
+    vertex_candidates,
+    vertex_matches,
+)
+from repro.matching.plan import ExpandStep, PlanStep, SeedStep, build_plan
+
+
+class PatternMatcher:
+    """Evaluates :class:`~repro.core.query.GraphQuery` patterns on a graph.
+
+    One matcher instance is bound to one data graph; it is stateless
+    between calls apart from its instrumentation counters.
+    """
+
+    def __init__(self, graph: PropertyGraph, injective: bool = True) -> None:
+        self.graph = graph
+        self.injective = injective
+        #: number of match/count/exists invocations served
+        self.calls = 0
+        #: cumulative number of binding attempts (search effort)
+        self.steps = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def match(
+        self,
+        query: GraphQuery,
+        limit: Optional[int] = None,
+        edge_order: Optional[Sequence[int]] = None,
+    ) -> ResultSet:
+        """Enumerate matches (up to ``limit``) as a :class:`ResultSet`."""
+        self.calls += 1
+        results = ResultSet()
+        if limit is not None and limit <= 0:
+            return results
+        for binding in self._search(query, edge_order):
+            results.add(binding)
+            if limit is not None and results.cardinality >= limit:
+                break
+        return results
+
+    def count(
+        self,
+        query: GraphQuery,
+        limit: Optional[int] = None,
+        edge_order: Optional[Sequence[int]] = None,
+    ) -> int:
+        """Count matches, stopping early once ``limit`` is reached.
+
+        Result cardinality (Definition 2) when ``limit`` is ``None``.
+        """
+        self.calls += 1
+        n = 0
+        for _ in self._search(query, edge_order):
+            n += 1
+            if limit is not None and n >= limit:
+                break
+        return n
+
+    def exists(
+        self, query: GraphQuery, edge_order: Optional[Sequence[int]] = None
+    ) -> bool:
+        """``True`` when the pattern has at least one match."""
+        self.calls += 1
+        for _ in self._search(query, edge_order):
+            return True
+        return False
+
+    # -- search core -----------------------------------------------------------
+
+    def _search(
+        self, query: GraphQuery, edge_order: Optional[Sequence[int]] = None
+    ) -> Iterator[ResultGraph]:
+        query.validate()
+        if query.num_vertices == 0:
+            return
+        plan = build_plan(self.graph, query, edge_order)
+        vbind: Dict[int, int] = {}
+        ebind: Dict[int, int] = {}
+        used_vertices: Set[int] = set()
+        used_edges: Set[int] = set()
+        yield from self._step(query, plan, 0, vbind, ebind, used_vertices, used_edges)
+
+    def _step(
+        self,
+        query: GraphQuery,
+        plan: List[PlanStep],
+        depth: int,
+        vbind: Dict[int, int],
+        ebind: Dict[int, int],
+        used_vertices: Set[int],
+        used_edges: Set[int],
+    ) -> Iterator[ResultGraph]:
+        if depth == len(plan):
+            yield ResultGraph.from_mappings(vbind, ebind)
+            return
+        step = plan[depth]
+        if isinstance(step, SeedStep):
+            yield from self._seed(
+                query, plan, depth, step, vbind, ebind, used_vertices, used_edges
+            )
+        else:
+            yield from self._expand(
+                query, plan, depth, step, vbind, ebind, used_vertices, used_edges
+            )
+
+    def _seed(
+        self,
+        query: GraphQuery,
+        plan: List[PlanStep],
+        depth: int,
+        step: SeedStep,
+        vbind: Dict[int, int],
+        ebind: Dict[int, int],
+        used_vertices: Set[int],
+        used_edges: Set[int],
+    ) -> Iterator[ResultGraph]:
+        qvertex = query.vertex(step.vid)
+        candidates = vertex_candidates(self.graph, qvertex)
+        pool = candidates if candidates is not None else self.graph.vertices()
+        for data_vid in pool:
+            self.steps += 1
+            if self.injective and data_vid in used_vertices:
+                continue
+            # candidates are pre-filtered; the full-scan pool is not
+            if candidates is None and not vertex_matches(
+                self.graph, data_vid, qvertex
+            ):
+                continue
+            vbind[step.vid] = data_vid
+            used_vertices.add(data_vid)
+            yield from self._step(
+                query, plan, depth + 1, vbind, ebind, used_vertices, used_edges
+            )
+            used_vertices.discard(data_vid)
+            del vbind[step.vid]
+
+    def _expand(
+        self,
+        query: GraphQuery,
+        plan: List[PlanStep],
+        depth: int,
+        step: ExpandStep,
+        vbind: Dict[int, int],
+        ebind: Dict[int, int],
+        used_vertices: Set[int],
+        used_edges: Set[int],
+    ) -> Iterator[ResultGraph]:
+        qedge = query.edge(step.eid)
+        anchor_data = vbind[step.anchor]
+        anchor_is_source = step.anchor == qedge.source
+
+        for data_eid, data_other in self._incident_candidates(
+            anchor_data, anchor_is_source, qedge.directions
+        ):
+            self.steps += 1
+            if self.injective and data_eid in used_edges:
+                continue
+            record = self.graph.edge(data_eid)
+            if not edge_matches(record, qedge):
+                continue
+            if step.new_vid is None:
+                # Both endpoints bound: the edge must connect them.
+                other_qvid = qedge.other_end(step.anchor)
+                if vbind[other_qvid] != data_other:
+                    continue
+                ebind[step.eid] = data_eid
+                used_edges.add(data_eid)
+                yield from self._step(
+                    query, plan, depth + 1, vbind, ebind, used_vertices, used_edges
+                )
+                used_edges.discard(data_eid)
+                del ebind[step.eid]
+            else:
+                if self.injective and data_other in used_vertices:
+                    continue
+                if not vertex_matches(
+                    self.graph, data_other, query.vertex(step.new_vid)
+                ):
+                    continue
+                vbind[step.new_vid] = data_other
+                ebind[step.eid] = data_eid
+                used_vertices.add(data_other)
+                used_edges.add(data_eid)
+                yield from self._step(
+                    query, plan, depth + 1, vbind, ebind, used_vertices, used_edges
+                )
+                used_edges.discard(data_eid)
+                used_vertices.discard(data_other)
+                del ebind[step.eid]
+                del vbind[step.new_vid]
+
+    def _incident_candidates(
+        self,
+        anchor_data: int,
+        anchor_is_source: bool,
+        directions: frozenset,
+    ) -> Iterator[tuple]:
+        """Yield ``(data_eid, opposite_data_vid)`` pairs honouring directions.
+
+        With the anchor bound to the query edge's *source*, a FORWARD
+        direction walks the anchor's outgoing data edges and a BACKWARD
+        direction its incoming ones; anchored at the *target* the roles
+        swap.
+        """
+        want_out = (anchor_is_source and Direction.FORWARD in directions) or (
+            not anchor_is_source and Direction.BACKWARD in directions
+        )
+        want_in = (anchor_is_source and Direction.BACKWARD in directions) or (
+            not anchor_is_source and Direction.FORWARD in directions
+        )
+        if want_out:
+            for eid in self.graph.out_edges(anchor_data):
+                yield eid, self.graph.edge(eid).target
+        if want_in:
+            for eid in self.graph.in_edges(anchor_data):
+                record = self.graph.edge(eid)
+                if want_out and record.source == record.target:
+                    continue  # self-loop already yielded via out_edges
+                yield eid, record.source

@@ -1,0 +1,61 @@
+"""Comparison metrics for explanations (Chapter 3).
+
+Three levels: syntactic (how different the queries look), cardinality (how
+close to the expected result size), result (how much of the original
+result content survives).
+"""
+
+from repro.metrics.assignment import assignment_cost, hungarian
+from repro.metrics.cardinality import (
+    CardinalityProblem,
+    CardinalityThreshold,
+    cardinality_distance,
+    deviation,
+    empty_answer_cardinality_distance,
+)
+from repro.metrics.ged import EditOperationCount, coarse_ged, count_edit_operations
+from repro.metrics.hausdorff import (
+    boolean_point_distance,
+    jaccard_distance,
+    modified_hausdorff,
+    point_set_distance,
+)
+from repro.metrics.result_distance import (
+    result_distance_matrix,
+    result_graph_distance,
+    result_overlap,
+    result_set_distance,
+)
+from repro.metrics.syntactic import (
+    edge_distance,
+    element_distances,
+    predicate_interval_distance,
+    syntactic_distance,
+    vertex_distance,
+)
+
+__all__ = [
+    "CardinalityProblem",
+    "CardinalityThreshold",
+    "EditOperationCount",
+    "assignment_cost",
+    "boolean_point_distance",
+    "cardinality_distance",
+    "coarse_ged",
+    "count_edit_operations",
+    "deviation",
+    "edge_distance",
+    "element_distances",
+    "empty_answer_cardinality_distance",
+    "hungarian",
+    "jaccard_distance",
+    "modified_hausdorff",
+    "point_set_distance",
+    "predicate_interval_distance",
+    "result_distance_matrix",
+    "result_graph_distance",
+    "result_overlap",
+    "result_set_distance",
+    "syntactic_distance",
+    "vertex_distance",
+]

@@ -1,0 +1,110 @@
+"""Minimum-cost assignment (Hungarian algorithm, Algorithm 2).
+
+The result-level comparison of two result sets is modelled as a
+generalised assignment problem (Definition 8): every result graph of the
+original query must be assigned to exactly one result graph of the
+explanation so the total distance is minimal.  The thesis solves it with a
+Hungarian-based algorithm; we implement the O(n^2 * m) potentials variant,
+which is equivalent to the classic matrix-reduction formulation sketched
+in Algorithm 2 but does not mutate the cost matrix.
+
+When the original result set has more graphs than the explanation's
+(``rows > cols``), Algorithm 2 (Step 0) pads the matrix with
+maximal-distance columns; :func:`assignment_cost` applies the same padding
+with configurable ``pad_cost``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+Matrix = Sequence[Sequence[float]]
+
+
+def hungarian(cost: Matrix) -> List[int]:
+    """Solve the rectangular assignment problem.
+
+    ``cost`` must have ``len(cost) <= len(cost[0])`` (rows <= cols).
+    Returns, for each row, the column index it is assigned to.  The total
+    cost of this assignment is minimal.
+    """
+    n = len(cost)
+    if n == 0:
+        return []
+    m = len(cost[0])
+    if any(len(row) != m for row in cost):
+        raise ValueError("cost matrix is ragged")
+    if n > m:
+        raise ValueError(f"need rows <= cols, got {n}x{m}; pad the matrix first")
+
+    inf = float("inf")
+    # Potentials u (rows) and v (columns); p[j] = row matched to column j.
+    u = [0.0] * (n + 1)
+    v = [0.0] * (m + 1)
+    p = [0] * (m + 1)
+    way = [0] * (m + 1)
+
+    for i in range(1, n + 1):
+        p[0] = i
+        j0 = 0
+        minv = [inf] * (m + 1)
+        used = [False] * (m + 1)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            delta = inf
+            j1 = 0
+            row = cost[i0 - 1]
+            for j in range(1, m + 1):
+                if used[j]:
+                    continue
+                cur = row[j - 1] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(m + 1):
+                if used[j]:
+                    u[p[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        while j0:
+            j1 = way[j0]
+            p[j0] = p[j1]
+            j0 = j1
+
+    assignment = [-1] * n
+    for j in range(1, m + 1):
+        if p[j] > 0:
+            assignment[p[j] - 1] = j - 1
+    return assignment
+
+
+def assignment_cost(
+    cost: Matrix, pad_cost: float = 1.0
+) -> Tuple[float, List[int]]:
+    """Minimal total assignment cost with Algorithm 2's Step-0 padding.
+
+    Pads with ``pad_cost`` columns when ``rows > cols`` (the padded
+    assignment marks unmatched rows with column index ``-1`` in the
+    returned assignment).  Returns ``(total_cost, row_to_col)``.
+    """
+    n = len(cost)
+    if n == 0:
+        return 0.0, []
+    m = len(cost[0])
+    if n > m:
+        padded = [list(row) + [pad_cost] * (n - m) for row in cost]
+        assignment = hungarian(padded)
+        total = sum(padded[i][assignment[i]] for i in range(n))
+        cleaned = [assignment[i] if assignment[i] < m else -1 for i in range(n)]
+        return total, cleaned
+    assignment = hungarian(cost)
+    total = sum(cost[i][assignment[i]] for i in range(n))
+    return total, assignment

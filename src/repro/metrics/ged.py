@@ -1,0 +1,150 @@
+"""Coarse graph edit distance for property-graph queries (Sec. 3.2.1).
+
+Before introducing the fine-grained set-based syntactic distance, the
+thesis extends the classic graph-edit-distance toolbox with property-graph
+operations (Table 3.1): topological modifications (edge/vertex/direction
+deletion and insertion) and predicate modifications (predicate/type
+deletion and insertion).  Substitution is modelled as deletion followed by
+insertion.  The *number of applied basic operations* then serves as a
+coarse-grained distance between two queries.
+
+This module counts that operation-level distance between two queries whose
+elements are aligned by identifier (the same alignment the syntactic
+distance uses).  It is deliberately coarse: it ignores how *much* a
+predicate changed, which is exactly the drawback (discussed in
+Sec. 3.2.1) that motivates the set-based distance of Sec. 3.2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.query import GraphQuery
+
+
+@dataclass
+class EditOperationCount:
+    """Break-down of basic operations transforming query 1 into query 2."""
+
+    vertex_deletions: int = 0
+    vertex_insertions: int = 0
+    edge_deletions: int = 0
+    edge_insertions: int = 0
+    direction_deletions: int = 0
+    direction_insertions: int = 0
+    predicate_deletions: int = 0
+    predicate_insertions: int = 0
+    type_deletions: int = 0
+    type_insertions: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.vertex_deletions
+            + self.vertex_insertions
+            + self.edge_deletions
+            + self.edge_insertions
+            + self.direction_deletions
+            + self.direction_insertions
+            + self.predicate_deletions
+            + self.predicate_insertions
+            + self.type_deletions
+            + self.type_insertions
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "vertex_deletions": self.vertex_deletions,
+            "vertex_insertions": self.vertex_insertions,
+            "edge_deletions": self.edge_deletions,
+            "edge_insertions": self.edge_insertions,
+            "direction_deletions": self.direction_deletions,
+            "direction_insertions": self.direction_insertions,
+            "predicate_deletions": self.predicate_deletions,
+            "predicate_insertions": self.predicate_insertions,
+            "type_deletions": self.type_deletions,
+            "type_insertions": self.type_insertions,
+        }
+
+
+def count_edit_operations(q1: GraphQuery, q2: GraphQuery) -> EditOperationCount:
+    """Count the basic operations (Table 3.1) transforming ``q1`` into ``q2``.
+
+    Conventions (substitution = deletion + insertion throughout):
+
+    * a vertex present on one side only costs one vertex operation plus one
+      predicate operation per predicate it carries;
+    * an edge present on one side only costs one edge operation plus its
+      predicate operations and one type operation when it has a type set;
+    * for shared elements, each attribute whose predicate interval differs
+      costs a deletion and/or an insertion; direction sets are compared as
+      value sets (one operation per direction in the symmetric
+      difference); differing type sets cost deletion and/or insertion;
+    * a shared edge whose endpoints differ is a re-wiring: edge deletion
+      plus edge insertion.
+    """
+    ops = EditOperationCount()
+
+    for vid in q1.vertex_ids | q2.vertex_ids:
+        in1, in2 = q1.has_vertex(vid), q2.has_vertex(vid)
+        if in1 and not in2:
+            ops.vertex_deletions += 1
+            ops.predicate_deletions += len(q1.vertex(vid).predicates)
+        elif in2 and not in1:
+            ops.vertex_insertions += 1
+            ops.predicate_insertions += len(q2.vertex(vid).predicates)
+        else:
+            p1, p2 = q1.vertex(vid).predicates, q2.vertex(vid).predicates
+            _count_predicate_ops(p1, p2, ops)
+
+    for eid in q1.edge_ids | q2.edge_ids:
+        in1, in2 = q1.has_edge(eid), q2.has_edge(eid)
+        if in1 and not in2:
+            edge = q1.edge(eid)
+            ops.edge_deletions += 1
+            ops.predicate_deletions += len(edge.predicates)
+            if edge.types is not None:
+                ops.type_deletions += 1
+        elif in2 and not in1:
+            edge = q2.edge(eid)
+            ops.edge_insertions += 1
+            ops.predicate_insertions += len(edge.predicates)
+            if edge.types is not None:
+                ops.type_insertions += 1
+        else:
+            e1, e2 = q1.edge(eid), q2.edge(eid)
+            if e1.endpoints() != e2.endpoints():
+                ops.edge_deletions += 1
+                ops.edge_insertions += 1
+            _count_predicate_ops(e1.predicates, e2.predicates, ops)
+            d1 = {d.value for d in e1.directions}
+            d2 = {d.value for d in e2.directions}
+            ops.direction_deletions += len(d1 - d2)
+            ops.direction_insertions += len(d2 - d1)
+            t1 = e1.types or frozenset()
+            t2 = e2.types or frozenset()
+            if t1 != t2:
+                if t1 - t2:
+                    ops.type_deletions += 1
+                if t2 - t1:
+                    ops.type_insertions += 1
+
+    return ops
+
+
+def _count_predicate_ops(p1: Dict, p2: Dict, ops: EditOperationCount) -> None:
+    for attr in set(p1) | set(p2):
+        a, b = p1.get(attr), p2.get(attr)
+        if a is not None and b is None:
+            ops.predicate_deletions += 1
+        elif a is None and b is not None:
+            ops.predicate_insertions += 1
+        elif a is not None and b is not None and a != b:
+            ops.predicate_deletions += 1
+            ops.predicate_insertions += 1
+
+
+def coarse_ged(q1: GraphQuery, q2: GraphQuery) -> int:
+    """Total basic-operation count (the coarse GED of Sec. 3.2.1)."""
+    return count_edit_operations(q1, q2).total

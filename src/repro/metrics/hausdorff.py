@@ -1,0 +1,70 @@
+"""Set distances: point-point, point-set, modified Hausdorff (Sec. 3.2.2).
+
+The thesis compares query elements through the *modified Hausdorff
+distance* (MHD, Dubuisson & Jain) over sets of atomic descriptors
+(Definition 4, Eq. 3.10):
+
+    d(A, B) = max( 1/|A| * sum_{a in A} d(a, B),
+                   1/|B| * sum_{b in B} d(b, A) )
+
+with the Boolean point-point distance of Eq. 3.8 and the point-set
+distance of Definition 3 / Eq. 3.9 (``0`` when the point occurs in the
+other set, else ``1``).
+
+Conventions for degenerate inputs (not spelled out in the thesis, chosen
+to keep the measure monotone and bounded in [0, 1]):
+
+* both sets empty -> distance 0 (nothing differs),
+* exactly one set empty -> distance 1 (maximal difference).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Any, Callable, Hashable, Iterable
+
+PointDistance = Callable[[Any, Any], float]
+
+
+def boolean_point_distance(a: Any, b: Any) -> float:
+    """Eq. 3.8: 0 when equal, 1 otherwise."""
+    return 0.0 if a == b else 1.0
+
+
+def point_set_distance(
+    point: Any,
+    other: AbstractSet[Hashable],
+    point_distance: PointDistance = boolean_point_distance,
+) -> float:
+    """Definition 3: minimal point-point distance from ``point`` to ``other``.
+
+    With the Boolean point-point distance this degenerates to the
+    membership test of Eq. 3.9, which is evaluated in O(1).
+    """
+    if not other:
+        return 1.0
+    if point_distance is boolean_point_distance:
+        return 0.0 if point in other else 1.0
+    return min(point_distance(point, b) for b in other)
+
+
+def modified_hausdorff(
+    a: AbstractSet[Hashable],
+    b: AbstractSet[Hashable],
+    point_distance: PointDistance = boolean_point_distance,
+) -> float:
+    """Definition 4 / Eq. 3.10: modified Hausdorff distance between sets."""
+    if not a and not b:
+        return 0.0
+    if not a or not b:
+        return 1.0
+    forward = sum(point_set_distance(x, b, point_distance) for x in a) / len(a)
+    backward = sum(point_set_distance(y, a, point_distance) for y in b) / len(b)
+    return max(forward, backward)
+
+
+def jaccard_distance(a: AbstractSet[Hashable], b: AbstractSet[Hashable]) -> float:
+    """1 - |A cap B| / |A cup B| (auxiliary measure used in sanity tests)."""
+    if not a and not b:
+        return 0.0
+    union = len(a | b)
+    return 1.0 - len(a & b) / union

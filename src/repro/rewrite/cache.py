@@ -1,0 +1,79 @@
+"""Query-result caching for the rewriting engines (Contribution 4, App. B.2).
+
+Rewriting engines evaluate many overlapping query variants; different
+search branches frequently reach the *same* relaxed query through
+different modification sequences.  The cache memoises bounded
+cardinalities by canonical query signature so each distinct variant is
+executed at most once, and exports the hit/size counters reported in the
+Appendix B.2 resource-consumption experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+from repro.core.query import GraphQuery
+from repro.matching.matcher import PatternMatcher
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    size: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class QueryResultCache:
+    """Memoises bounded match counts keyed by canonical query signature.
+
+    A cached count is reusable only when it was computed with at least
+    the requested evaluation limit, so the cache stores the limit next to
+    the count (``None`` = unbounded, always reusable).
+    """
+
+    def __init__(self, matcher: PatternMatcher) -> None:
+        self.matcher = matcher
+        self._entries: Dict[Hashable, tuple] = {}
+        self.stats = CacheStats()
+
+    def count(self, query: GraphQuery, limit: Optional[int] = None) -> int:
+        """Cardinality of ``query`` (bounded by ``limit``), cached."""
+        key = query.signature()
+        entry = self._entries.get(key)
+        if entry is not None:
+            cached_count, cached_limit = entry
+            reusable = (
+                cached_limit is None
+                or (limit is not None and cached_limit >= limit)
+                # a count strictly below its own limit is exact
+                or cached_count < cached_limit
+            )
+            if reusable:
+                self.stats.hits += 1
+                if limit is not None and cached_count > limit:
+                    return limit
+                return cached_count
+        self.stats.misses += 1
+        count = self.matcher.count(query, limit=limit)
+        self._entries[key] = (count, limit)
+        self.stats.size = len(self._entries)
+        return count
+
+    def invalidate(self) -> None:
+        """Drop all entries (used when the data graph changes)."""
+        self._entries.clear()
+        self.stats.size = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,109 @@
+"""User-preference model for why-empty rewriting (Sec. 5.4).
+
+The coarse rewriter proposes relaxed queries; the user rates each
+proposal in [0, 1] ("how acceptable is this rewriting?").  From these
+ratings the model learns, per query element, how strongly the user wants
+the element's constraints *kept*: when a proposal that dropped element X
+is rated badly, X's keep-weight rises; when it is rated well, the weight
+falls.  The rewriter multiplies candidate priorities by the model's
+penalty so disliked removals sink in the queue (Sec. 5.4.2) -- the user
+steers the search without ever picking relaxation steps by hand
+(non-intrusive integration, Sec. 3.1.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.rewrite.operations import ElementRef, Modification
+
+#: Keep-weight assumed for elements without any feedback yet.
+DEFAULT_KEEP_WEIGHT = 0.5
+
+
+@dataclass
+class RewritePreferenceModel:
+    """Learns per-element keep-weights from proposal ratings.
+
+    ``learning_rate`` controls how quickly feedback moves a weight;
+    ``penalty_strength`` controls how strongly the learned weights bend
+    the candidate priorities.
+    """
+
+    learning_rate: float = 0.5
+    penalty_strength: float = 1.0
+    keep_weights: Dict[ElementRef, float] = field(default_factory=dict)
+    ratings_seen: int = 0
+
+    def keep_weight(self, element: ElementRef) -> float:
+        return self.keep_weights.get(element, DEFAULT_KEEP_WEIGHT)
+
+    def rate_proposal(
+        self, modifications: Sequence[Modification], rating: float
+    ) -> None:
+        """Record the user's rating of one proposed rewriting.
+
+        A rating of 0 means "this proposal removed something I need":
+        every touched element's keep-weight moves towards 1.  A rating of
+        1 moves the touched weights towards 0 (freely modifiable).
+        """
+        if not 0.0 <= rating <= 1.0:
+            raise ValueError(f"rating must be in [0, 1], got {rating}")
+        self.ratings_seen += 1
+        target = 1.0 - rating
+        for op in modifications:
+            element = op.target
+            current = self.keep_weight(element)
+            self.keep_weights[element] = current + self.learning_rate * (
+                target - current
+            )
+
+    def modification_penalty(self, modifications: Sequence[Modification]) -> float:
+        """Largest keep-weight among the elements a candidate touches.
+
+        The maximum (not the mean) matters: a proposal is objectionable as
+        soon as it touches *one* element the user insists on keeping, and
+        a mean would let long modification sequences dilute the protected
+        element's weight with unrated collateral operations.
+        """
+        if not modifications:
+            return 0.0
+        return max(self.keep_weight(op.target) for op in modifications)
+
+    def adjust_priority(
+        self, priority: float, modifications: Sequence[Modification]
+    ) -> float:
+        """Re-weight a candidate priority with the learned preferences.
+
+        Applies a multiplicative damping in (0, 1]: candidates touching
+        only protected elements are pushed to the back of the queue but
+        never become unreachable (the search must stay complete).
+        """
+        penalty = self.modification_penalty(modifications)
+        damping = 1.0 - self.penalty_strength * penalty * 0.9
+        # priorities may be negative (e.g. -syntactic distance); shift the
+        # damping to an additive penalty in that case to keep ordering sane
+        if priority >= 0:
+            return priority * damping
+        return priority - self.penalty_strength * penalty
+
+    def penalty_bucket(
+        self, modifications: Sequence[Modification], buckets: int = 4
+    ) -> int:
+        """Discretised penalty for scale-free lexicographic ordering.
+
+        The rewriter orders open candidates by ``(bucket, -priority)``:
+        any candidate the user has (transitively) objected to sorts after
+        every candidate in a lower bucket, regardless of how the priority
+        function scales -- neutral elements (weight 0.5) land in the
+        middle bucket, protected ones (weight -> 1) in the last.
+        """
+        penalty = self.modification_penalty(modifications)
+        return min(buckets - 1, int(penalty * buckets))
+
+    def protected_elements(self, threshold: float = 0.75) -> Tuple[ElementRef, ...]:
+        """Elements the model currently considers user-critical."""
+        return tuple(
+            sorted(e for e, w in self.keep_weights.items() if w >= threshold)
+        )

@@ -1,0 +1,247 @@
+"""Query-dependent statistics and cardinality estimation (Sec. 5.2).
+
+The coarse-grained rewriter must predict which relaxation is most likely
+to produce a non-empty result *without* executing every candidate.  The
+thesis computes query-dependent statistics on three granularities:
+
+* **vertices / edges** (Sec. 5.2.2): how many data elements satisfy one
+  query element's own constraints, exactly, via the graph indexes;
+* **path(1)** (Sec. 5.2.3): how many data edges satisfy a query edge
+  *together with* both endpoint constraints -- the cardinality of the
+  one-hop pattern;
+* **path(n)**: estimated by chaining path(1) statistics under the classic
+  attribute-independence assumption: joining two sub-paths at a shared
+  vertex divides the product of their cardinalities by the number of data
+  vertices admissible at the join vertex.
+
+Exact per-element statistics are cached by predicate signature, so
+repeated candidate scoring touches the graph only once per distinct
+constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.core.graph import PropertyGraph
+from repro.core.query import BOTH_DIRECTIONS, Direction, GraphQuery, QueryEdge, QueryVertex
+from repro.matching.candidates import attributes_match, vertex_candidates
+
+
+class GraphStatistics:
+    """Statistics provider bound to one data graph."""
+
+    def __init__(self, graph: PropertyGraph) -> None:
+        self.graph = graph
+        self._vertex_cache: Dict[Hashable, int] = {}
+        self._edge_cache: Dict[Hashable, int] = {}
+        self._path1_cache: Dict[Hashable, int] = {}
+
+    # -- vertex / edge statistics (Sec. 5.2.2) -------------------------------
+
+    def vertex_cardinality(self, qvertex: QueryVertex) -> int:
+        """Exact number of data vertices satisfying the vertex predicates."""
+        key = qvertex.signature()[1]
+        cached = self._vertex_cache.get(key)
+        if cached is not None:
+            return cached
+        candidates = vertex_candidates(self.graph, qvertex)
+        count = self.graph.num_vertices if candidates is None else len(candidates)
+        self._vertex_cache[key] = count
+        return count
+
+    def edge_cardinality(self, qedge: QueryEdge) -> int:
+        """Exact number of data edges satisfying type set and predicates.
+
+        Endpoint constraints are ignored here; they belong to path(1).
+        """
+        key = (
+            tuple(sorted(qedge.types)) if qedge.types is not None else None,
+            tuple(sorted((a, p.signature()) for a, p in qedge.predicates.items())),
+        )
+        cached = self._edge_cache.get(key)
+        if cached is not None:
+            return cached
+        count = 0
+        for record in self._edges_of_types(qedge.types):
+            if attributes_match(record.attributes, qedge.predicates):
+                count += 1
+        self._edge_cache[key] = count
+        return count
+
+    # -- path statistics (Sec. 5.2.3) -------------------------------------------
+
+    def path1_cardinality(self, query: GraphQuery, eid: int) -> int:
+        """Exact cardinality of the one-hop pattern around query edge ``eid``.
+
+        Counts data edges satisfying the edge constraints whose endpoints
+        satisfy the source/target vertex predicates in at least one
+        admitted orientation.
+        """
+        qedge = query.edge(eid)
+        source = query.vertex(qedge.source)
+        target = query.vertex(qedge.target)
+        key = (
+            tuple(sorted(qedge.types)) if qedge.types is not None else None,
+            tuple(sorted((a, p.signature()) for a, p in qedge.predicates.items())),
+            source.signature()[1],
+            target.signature()[1],
+            tuple(sorted(d.value for d in qedge.directions)),
+        )
+        cached = self._path1_cache.get(key)
+        if cached is not None:
+            return cached
+
+        forward = Direction.FORWARD in qedge.directions
+        backward = Direction.BACKWARD in qedge.directions
+        count = 0
+        for record in self._edges_of_types(qedge.types):
+            if not attributes_match(record.attributes, qedge.predicates):
+                continue
+            src_attrs = self.graph.vertex_attributes(record.source)
+            tgt_attrs = self.graph.vertex_attributes(record.target)
+            hit = False
+            if forward:
+                hit = attributes_match(src_attrs, source.predicates) and (
+                    attributes_match(tgt_attrs, target.predicates)
+                )
+            if not hit and backward:
+                hit = attributes_match(src_attrs, target.predicates) and (
+                    attributes_match(tgt_attrs, source.predicates)
+                )
+            if hit:
+                count += 1
+        self._path1_cache[key] = count
+        return count
+
+    def average_path1_cardinality(self, query: GraphQuery) -> float:
+        """Mean path(1) cardinality over all query edges (Sec. 5.5.3)."""
+        eids = sorted(query.edge_ids)
+        if not eids:
+            vertices = list(query.vertices())
+            if not vertices:
+                return 0.0
+            return sum(self.vertex_cardinality(v) for v in vertices) / len(vertices)
+        return sum(self.path1_cardinality(query, eid) for eid in eids) / len(eids)
+
+    def estimate_path_cardinality(self, query: GraphQuery, eids: List[int]) -> float:
+        """Path(n) estimate for a chain of query edges (Sec. 5.2.3).
+
+        ``est(e1..en) = path1(e1) * prod_i path1(ei) / |V(join_i)|`` where
+        ``join_i`` is the query vertex shared between consecutive edges.
+        """
+        if not eids:
+            return 0.0
+        estimate = float(self.path1_cardinality(query, eids[0]))
+        for prev_eid, eid in zip(eids, eids[1:]):
+            shared = self._shared_vertex(query, prev_eid, eid)
+            join_card = max(1, self.vertex_cardinality(query.vertex(shared)))
+            estimate *= self.path1_cardinality(query, eid) / join_card
+        return estimate
+
+    def estimate_query_cardinality(self, query: GraphQuery) -> float:
+        """Independence-based cardinality estimate of a whole query.
+
+        Uses a spanning forest of the query: multiply path(1)
+        cardinalities of tree edges, divide by the vertex cardinality of
+        every join vertex occurrence, then apply the selectivity of each
+        remaining non-tree edge (``path1 / (|Vs| * |Vt|)``).  Isolated
+        vertices multiply their own vertex cardinality.
+        """
+        if query.num_vertices == 0:
+            return 0.0
+        estimate = 1.0
+        visited: set = set()
+        for component in query.weakly_connected_components():
+            estimate *= self._estimate_component(query, component)
+            visited |= component
+        return estimate
+
+    def _estimate_component(self, query: GraphQuery, vertices) -> float:
+        in_tree: set = set()
+        tree_edges: List[int] = []
+        non_tree: List[int] = []
+        edges = sorted(
+            (eid for eid in query.edge_ids
+             if query.edge(eid).source in vertices),
+            key=lambda eid: -self.path1_cardinality(query, eid),
+        )
+        # Greedy spanning tree preferring high-cardinality edges first so
+        # the most significant joins anchor the estimate.
+        root = min(vertices)
+        in_tree.add(root)
+        remaining = [eid for eid in edges]
+        progress = True
+        while progress:
+            progress = False
+            for eid in list(remaining):
+                edge = query.edge(eid)
+                s_in, t_in = edge.source in in_tree, edge.target in in_tree
+                if s_in and t_in:
+                    non_tree.append(eid)
+                    remaining.remove(eid)
+                elif s_in or t_in:
+                    tree_edges.append(eid)
+                    in_tree.add(edge.source)
+                    in_tree.add(edge.target)
+                    remaining.remove(eid)
+                    progress = True
+        non_tree.extend(remaining)
+
+        if not tree_edges:
+            vertex = query.vertex(next(iter(vertices)))
+            return float(self.vertex_cardinality(vertex))
+
+        estimate = 1.0
+        joined: set = set()
+        for eid in tree_edges:
+            edge = query.edge(eid)
+            path1 = self.path1_cardinality(query, eid)
+            if not joined:
+                estimate = float(path1)
+                joined |= {edge.source, edge.target}
+                continue
+            shared = edge.source if edge.source in joined else edge.target
+            join_card = max(1, self.vertex_cardinality(query.vertex(shared)))
+            estimate *= path1 / join_card
+            joined |= {edge.source, edge.target}
+        for eid in non_tree:
+            edge = query.edge(eid)
+            path1 = self.path1_cardinality(query, eid)
+            denom = max(
+                1,
+                self.vertex_cardinality(query.vertex(edge.source))
+                * self.vertex_cardinality(query.vertex(edge.target)),
+            )
+            estimate *= path1 / denom
+        # Isolated vertices of this component (no edges at all).
+        for vid in vertices - in_tree:
+            estimate *= self.vertex_cardinality(query.vertex(vid))
+        return estimate
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _edges_of_types(self, types) -> Iterable:
+        if types is None:
+            yield from self.graph.edges()
+            return
+        for t in types:
+            for eid in self.graph.edges_of_type(t):
+                yield self.graph.edge(eid)
+
+    @staticmethod
+    def _shared_vertex(query: GraphQuery, eid_a: int, eid_b: int) -> int:
+        a, b = query.edge(eid_a), query.edge(eid_b)
+        shared = set(a.endpoints()) & set(b.endpoints())
+        if not shared:
+            raise ValueError(f"edges {eid_a} and {eid_b} share no vertex")
+        return min(shared)
+
+    @property
+    def cache_sizes(self) -> Dict[str, int]:
+        """Sizes of the statistic caches (Appendix B.2 reporting)."""
+        return {
+            "vertex": len(self._vertex_cache),
+            "edge": len(self._edge_cache),
+            "path1": len(self._path1_cache),
+        }

@@ -1,0 +1,6 @@
+"""Holistic why-query dispatching (Sec. 3.1.3) and interactive sessions."""
+
+from repro.why.engine import WhyQueryEngine, WhyQueryReport
+from repro.why.session import DebugSession, SessionEvent
+
+__all__ = ["DebugSession", "SessionEvent", "WhyQueryEngine", "WhyQueryReport"]

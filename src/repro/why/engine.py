@@ -1,0 +1,198 @@
+"""Holistic why-query engine (Sec. 3.1.3, Fig. 3.1).
+
+The user hands over a pattern query and (optionally) a cardinality
+threshold interval; the engine executes the query, classifies the outcome
+as *why-empty*, *why-so-few*, *why-so-many* or *expected*, and dispatches
+to the matching debuggers:
+
+===========  ==========================  ================================
+problem      subgraph explanation        modification-based explanation
+===========  ==========================  ================================
+why-empty    DISCOVERMCS (Ch. 4)         coarse-grained rewriting (Ch. 5)
+why-so-few   BOUNDEDMCS (Ch. 4)          TRAVERSESEARCHTREE (Ch. 6)
+why-so-many  BOUNDEDMCS (Ch. 4)          TRAVERSESEARCHTREE (Ch. 6)
+===========  ==========================  ================================
+
+All engines share one matcher and one query-result cache, so the work one
+debugger performs (e.g. the bounded counts of BOUNDEDMCS) is reused by
+the next (the rewriting search), and the cardinality can oscillate around
+the threshold without re-paying for previously evaluated variants.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.core.graph import PropertyGraph
+from repro.core.query import GraphQuery
+from repro.explain.bounded_mcs import bounded_mcs
+from repro.explain.discover_mcs import McsResult, discover_mcs
+from repro.explain.preferences import UserPreferences
+from repro.finegrained.traverse_search_tree import (
+    FineRewriteResult,
+    TraverseSearchTree,
+)
+from repro.matching.matcher import PatternMatcher
+from repro.metrics.cardinality import CardinalityProblem, CardinalityThreshold
+from repro.rewrite.cache import QueryResultCache
+from repro.rewrite.coarse import CoarseRewriteResult, CoarseRewriter
+from repro.rewrite.operations import AttributeDomain
+from repro.rewrite.preference_model import RewritePreferenceModel
+
+RewritingOutcome = Union[CoarseRewriteResult, FineRewriteResult, None]
+
+
+@dataclass
+class WhyQueryReport:
+    """Everything the engine found out about one unexpected result."""
+
+    query: GraphQuery
+    problem: CardinalityProblem
+    observed_cardinality: int
+    threshold: CardinalityThreshold
+    subgraph_explanation: Optional[McsResult]
+    rewriting: RewritingOutcome
+    elapsed: float
+
+    def summary(self) -> str:
+        """Human-readable report (what the DebEAQ-style frontend shows)."""
+        lines = [
+            f"problem: {self.problem.value} "
+            f"(observed cardinality {self.observed_cardinality}, "
+            f"expected {self.threshold})"
+        ]
+        if self.problem == CardinalityProblem.EXPECTED:
+            lines.append("the result size meets the expectation; nothing to debug")
+            return "\n".join(lines)
+        if self.subgraph_explanation is not None:
+            lines.append("-- subgraph-based explanation (why did it fail?) --")
+            lines.append(self.subgraph_explanation.differential.describe())
+        if isinstance(self.rewriting, CoarseRewriteResult):
+            lines.append("-- modification-based explanations (how to fix it?) --")
+            if self.rewriting.explanations:
+                for rewriting in self.rewriting.explanations:
+                    lines.append(rewriting.describe())
+            else:
+                lines.append("no non-empty rewriting found within the budget")
+        elif isinstance(self.rewriting, FineRewriteResult):
+            lines.append("-- modification-based explanation (how to fix it?) --")
+            lines.append(self.rewriting.describe())
+            if not self.rewriting.converged:
+                lines.append("(threshold not fully reached within the budget)")
+        return "\n".join(lines)
+
+
+class WhyQueryEngine:
+    """One-stop debugging interface over a property graph."""
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        matcher: Optional[PatternMatcher] = None,
+        preferences: Optional[UserPreferences] = None,
+        preference_model: Optional[RewritePreferenceModel] = None,
+        mcs_strategy: str = "frontier",
+        max_explanation_evaluations: Optional[int] = 200,
+        max_rewrite_evaluations: int = 300,
+        rewrite_k: int = 3,
+        include_topology: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.matcher = matcher if matcher is not None else PatternMatcher(graph)
+        self.cache = QueryResultCache(self.matcher)
+        self.domain = AttributeDomain(graph)
+        self.preferences = preferences
+        self.preference_model = preference_model
+        self.mcs_strategy = mcs_strategy
+        self.max_explanation_evaluations = max_explanation_evaluations
+        self.max_rewrite_evaluations = max_rewrite_evaluations
+        self.rewrite_k = rewrite_k
+        self.include_topology = include_topology
+
+    def classify(
+        self, query: GraphQuery, threshold: Optional[CardinalityThreshold] = None
+    ) -> CardinalityProblem:
+        """Classify the query's result size without debugging it."""
+        thr = threshold or CardinalityThreshold.at_least(1)
+        observed = self.cache.count(query, limit=thr.probe_limit)
+        return thr.classify(observed)
+
+    def debug(
+        self,
+        query: GraphQuery,
+        threshold: Optional[CardinalityThreshold] = None,
+        explain: bool = True,
+        rewrite: bool = True,
+    ) -> WhyQueryReport:
+        """Full debugging pass: classify, explain, rewrite.
+
+        Without an explicit threshold only the empty-answer problem is
+        detectable (``at_least(1)``), mirroring the thesis: too-few /
+        too-many need a user-provided cardinality expectation.
+        """
+        start = time.perf_counter()
+        thr = threshold or CardinalityThreshold.at_least(1)
+        probe = thr.probe_limit
+        observed = self.cache.count(
+            query, limit=None if probe is None else max(probe * 4, probe + 16)
+        )
+        problem = thr.classify(observed)
+
+        subgraph: Optional[McsResult] = None
+        rewriting: RewritingOutcome = None
+
+        if problem == CardinalityProblem.EMPTY:
+            if explain:
+                subgraph = discover_mcs(
+                    self.graph,
+                    query,
+                    strategy=self.mcs_strategy,
+                    preferences=self.preferences,
+                    max_evaluations=self.max_explanation_evaluations,
+                    matcher=self.matcher,
+                )
+            if rewrite:
+                rewriter = CoarseRewriter(
+                    self.graph,
+                    matcher=self.matcher,
+                    cache=self.cache,
+                    preference_model=self.preference_model,
+                    max_evaluations=self.max_rewrite_evaluations,
+                )
+                rewriting = rewriter.rewrite(query, k=self.rewrite_k)
+        elif problem in (CardinalityProblem.TOO_FEW, CardinalityProblem.TOO_MANY):
+            if explain:
+                subgraph = bounded_mcs(
+                    self.graph,
+                    query,
+                    thr,
+                    problem=problem,
+                    strategy=self.mcs_strategy,
+                    preferences=self.preferences,
+                    max_evaluations=self.max_explanation_evaluations,
+                    matcher=self.matcher,
+                )
+            if rewrite:
+                engine = TraverseSearchTree(
+                    self.graph,
+                    thr,
+                    matcher=self.matcher,
+                    cache=self.cache,
+                    domain=self.domain,
+                    include_topology=self.include_topology,
+                    constrainable_attrs=self.domain.common_vertex_attrs(),
+                    max_evaluations=self.max_rewrite_evaluations,
+                )
+                rewriting = engine.search(query)
+
+        return WhyQueryReport(
+            query=query,
+            problem=problem,
+            observed_cardinality=observed,
+            threshold=thr,
+            subgraph_explanation=subgraph,
+            rewriting=rewriting,
+            elapsed=time.perf_counter() - start,
+        )

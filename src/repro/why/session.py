@@ -1,0 +1,208 @@
+"""Interactive debugging sessions (the DebEAQ workflow).
+
+The thesis' demonstrator (DebEAQ, ICDE 2016) wraps the why-query engines
+into an interactive loop: the system proposes an explanation, the user
+rates it, the preference models adapt, and the next proposal reflects the
+feedback.  :class:`DebugSession` provides that loop as a library API:
+
+>>> session = DebugSession(graph, failed_query)
+>>> proposal = session.propose()          # best current rewriting
+>>> session.rate(0.0)                     # "don't touch that element"
+>>> proposal = session.propose()          # adapted proposal
+>>> session.accept()                      # freeze the accepted rewriting
+
+The session keeps a full transcript (proposals, ratings, timings) that a
+frontend can render and tests can assert on, and exposes the subgraph
+explanation of the failed query for the "why did it fail?" panel.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.errors import ExplanationError
+from repro.core.graph import PropertyGraph
+from repro.core.query import GraphQuery
+from repro.explain.discover_mcs import McsResult, discover_mcs
+from repro.explain.preferences import UserPreferences
+from repro.matching.matcher import PatternMatcher
+from repro.metrics.cardinality import CardinalityProblem, CardinalityThreshold
+from repro.rewrite.cache import QueryResultCache
+from repro.rewrite.coarse import CoarseRewriter, RewrittenQuery
+from repro.rewrite.preference_model import RewritePreferenceModel
+from repro.finegrained.traverse_search_tree import TraverseSearchTree
+
+
+@dataclass
+class SessionEvent:
+    """One transcript entry: a proposal and the user's reaction."""
+
+    round: int
+    proposal: RewrittenQuery
+    rating: Optional[float] = None
+    accepted: bool = False
+    elapsed: float = 0.0
+
+
+@dataclass
+class DebugSession:
+    """Stateful propose-rate-accept loop over one failed query."""
+
+    graph: PropertyGraph
+    query: GraphQuery
+    threshold: CardinalityThreshold = field(
+        default_factory=lambda: CardinalityThreshold.at_least(1)
+    )
+    max_evaluations: int = 300
+    _matcher: PatternMatcher = field(init=False)
+    _cache: QueryResultCache = field(init=False)
+    model: RewritePreferenceModel = field(default_factory=RewritePreferenceModel)
+    preferences: UserPreferences = field(default_factory=UserPreferences)
+    transcript: List[SessionEvent] = field(default_factory=list)
+    accepted: Optional[RewrittenQuery] = None
+
+    def __post_init__(self) -> None:
+        self._matcher = PatternMatcher(self.graph)
+        self._cache = QueryResultCache(self._matcher)
+        self._explanation: Optional[McsResult] = None
+
+    # -- "why did it fail?" panel ------------------------------------------------
+
+    @property
+    def problem(self) -> CardinalityProblem:
+        """Classification of the session's query."""
+        observed = self._cache.count(self.query, limit=self.threshold.probe_limit)
+        return self.threshold.classify(observed)
+
+    def explanation(self) -> McsResult:
+        """The subgraph-based explanation (computed once, then cached)."""
+        if self._explanation is None:
+            self._explanation = discover_mcs(
+                self.graph,
+                self.query,
+                preferences=self.preferences,
+                matcher=self._matcher,
+            )
+        return self._explanation
+
+    # -- propose / rate / accept ------------------------------------------------------
+
+    @property
+    def pending(self) -> Optional[SessionEvent]:
+        """The proposal awaiting a rating, if any."""
+        if self.transcript and self.transcript[-1].rating is None and not (
+            self.transcript[-1].accepted
+        ):
+            return self.transcript[-1]
+        return None
+
+    def propose(self) -> Optional[RewrittenQuery]:
+        """Produce the next proposal under the current preference model.
+
+        Returns ``None`` when the search finds no rewriting within the
+        budget.  Raises :class:`ExplanationError` when a proposal is
+        already awaiting its rating.
+        """
+        if self.accepted is not None:
+            raise ExplanationError("session already accepted a rewriting")
+        if self.pending is not None:
+            raise ExplanationError("rate the pending proposal first")
+        start = time.perf_counter()
+        proposal = self._next_proposal()
+        if proposal is None:
+            return None
+        self.transcript.append(
+            SessionEvent(
+                round=len(self.transcript) + 1,
+                proposal=proposal,
+                elapsed=time.perf_counter() - start,
+            )
+        )
+        return proposal
+
+    def _next_proposal(self) -> Optional[RewrittenQuery]:
+        problem = self.problem
+        if problem == CardinalityProblem.EXPECTED:
+            raise ExplanationError("query meets its expectation; nothing to propose")
+        if problem == CardinalityProblem.EMPTY:
+            rewriter = CoarseRewriter(
+                self.graph,
+                matcher=self._matcher,
+                cache=self._cache,
+                preference_model=self.model,
+                max_evaluations=self.max_evaluations,
+            )
+            # skip rewritings the user has already rated
+            seen = {e.proposal.query.signature() for e in self.transcript}
+            result = rewriter.rewrite(self.query, k=len(seen) + 1)
+            for candidate in result.explanations:
+                if candidate.query.signature() not in seen:
+                    return candidate
+            return None
+        engine = TraverseSearchTree(
+            self.graph,
+            self.threshold,
+            matcher=self._matcher,
+            cache=self._cache,
+            max_evaluations=self.max_evaluations,
+        )
+        outcome = engine.search(self.query)
+        seen = {e.proposal.query.signature() for e in self.transcript}
+        if outcome.best_query.signature() in seen:
+            return None
+        from repro.metrics.syntactic import syntactic_distance
+
+        return RewrittenQuery(
+            query=outcome.best_query,
+            cardinality=outcome.best_cardinality,
+            syntactic=syntactic_distance(self.query, outcome.best_query),
+            modifications=outcome.modifications,
+            estimate=float(outcome.best_cardinality),
+        )
+
+    def rate(self, rating: float) -> None:
+        """Rate the pending proposal; 0 = unacceptable, 1 = perfect.
+
+        Feeds both user-integration models: the rewrite preference model
+        (Sec. 5.4) and the traversal preferences (Sec. 4.4).
+        """
+        event = self.pending
+        if event is None:
+            raise ExplanationError("no pending proposal to rate")
+        event.rating = rating
+        self.model.rate_proposal(event.proposal.modifications, rating)
+        for op in event.proposal.modifications:
+            # a low rating on a change means the touched element matters
+            self.preferences.rate(op.target, 1.0 - rating)
+
+    def accept(self) -> RewrittenQuery:
+        """Accept the pending (or last rated) proposal and end the session."""
+        if self.accepted is not None:
+            return self.accepted
+        if not self.transcript:
+            raise ExplanationError("nothing proposed yet")
+        event = self.transcript[-1]
+        event.accepted = True
+        if event.rating is None:
+            event.rating = 1.0
+            self.model.rate_proposal(event.proposal.modifications, 1.0)
+        self.accepted = event.proposal
+        return event.proposal
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def summary(self) -> str:
+        """Readable transcript of the whole session."""
+        lines = [f"session: {self.problem.value}, threshold {self.threshold}"]
+        for event in self.transcript:
+            rating = "pending" if event.rating is None else f"{event.rating:.1f}"
+            mark = " [accepted]" if event.accepted else ""
+            lines.append(
+                f"  round {event.round}: {event.proposal.describe()} "
+                f"(rating {rating}){mark}"
+            )
+        if self.accepted is None:
+            lines.append("  no rewriting accepted yet")
+        return "\n".join(lines)

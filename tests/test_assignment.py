@@ -1,0 +1,121 @@
+"""Tests for the Hungarian assignment (Algorithm 2), including the thesis'
+Sec. 3.2.4 worked matrix and a scipy cross-check."""
+
+import pytest
+
+from repro.metrics.assignment import assignment_cost, hungarian
+
+#: The worked example of Sec. 3.2.4: optimal assignment r3->c1, r2->c2,
+#: r4->c3, r1->c4 with total cost 0.58 and result distance 0.58/4 = 0.145.
+THESIS_MATRIX = [
+    [0.15, 0.21, 0.18, 0.16],
+    [0.10, 0.17, 0.60, 0.48],
+    [0.12, 0.29, 0.10, 0.15],
+    [0.23, 0.44, 0.13, 0.25],
+]
+
+
+class TestThesisExample:
+    def test_total_cost(self):
+        total, _ = assignment_cost(THESIS_MATRIX)
+        assert total == pytest.approx(0.58)
+
+    def test_assignment_vector(self):
+        _, assignment = assignment_cost(THESIS_MATRIX)
+        assert assignment == [3, 1, 0, 2]
+
+    def test_normalised_result_distance(self):
+        total, _ = assignment_cost(THESIS_MATRIX)
+        assert total / 4 == pytest.approx(0.145)
+
+
+class TestHungarianBasics:
+    def test_identity_matrix(self):
+        cost = [[0.0, 1.0], [1.0, 0.0]]
+        assert hungarian(cost) == [0, 1]
+
+    def test_anti_identity(self):
+        cost = [[1.0, 0.0], [0.0, 1.0]]
+        assert hungarian(cost) == [1, 0]
+
+    def test_single_cell(self):
+        assert hungarian([[0.7]]) == [0]
+
+    def test_empty(self):
+        assert hungarian([]) == []
+
+    def test_rectangular_more_columns(self):
+        cost = [[5.0, 1.0, 3.0]]
+        assert hungarian(cost) == [1]
+
+    def test_rows_exceed_columns_rejected(self):
+        with pytest.raises(ValueError):
+            hungarian([[1.0], [2.0]])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            hungarian([[1.0, 2.0], [1.0]])
+
+    def test_assignment_is_a_permutation(self):
+        cost = [[float((i * 7 + j * 3) % 5) for j in range(6)] for i in range(6)]
+        assignment = hungarian(cost)
+        assert sorted(assignment) == list(range(6))
+
+
+class TestPadding:
+    def test_more_rows_than_columns_padded(self):
+        # 3 rows, 1 column: two rows must take the pad cost of 1.0
+        cost = [[0.2], [0.1], [0.9]]
+        total, assignment = assignment_cost(cost, pad_cost=1.0)
+        assert total == pytest.approx(0.1 + 1.0 + 1.0)
+        assert assignment.count(-1) == 2
+        assert assignment[1] == 0
+
+    def test_pad_cost_configurable(self):
+        cost = [[0.5], [0.5]]
+        total, _ = assignment_cost(cost, pad_cost=0.0)
+        assert total == pytest.approx(0.5)
+
+    def test_empty_matrix(self):
+        assert assignment_cost([]) == (0.0, [])
+
+
+class TestAgainstScipy:
+    """Our implementation must agree with scipy's reference solver."""
+
+    def test_random_square_matrices(self):
+        import random
+
+        import numpy as np
+        from scipy.optimize import linear_sum_assignment
+
+        rng = random.Random(42)
+        for n in (2, 3, 5, 8, 12):
+            cost = [[rng.random() for _ in range(n)] for _ in range(n)]
+            ours, _ = assignment_cost(cost)
+            rows, cols = linear_sum_assignment(np.array(cost))
+            reference = float(np.array(cost)[rows, cols].sum())
+            assert ours == pytest.approx(reference)
+
+    def test_random_rectangular_matrices(self):
+        import random
+
+        import numpy as np
+        from scipy.optimize import linear_sum_assignment
+
+        rng = random.Random(7)
+        for n, m in ((2, 5), (3, 7), (4, 9)):
+            cost = [[rng.random() for _ in range(m)] for _ in range(n)]
+            ours, _ = assignment_cost(cost)
+            rows, cols = linear_sum_assignment(np.array(cost))
+            reference = float(np.array(cost)[rows, cols].sum())
+            assert ours == pytest.approx(reference)
+
+    def test_integer_costs(self):
+        import numpy as np
+        from scipy.optimize import linear_sum_assignment
+
+        cost = [[4, 1, 3], [2, 0, 5], [3, 2, 2]]
+        ours, _ = assignment_cost(cost)
+        rows, cols = linear_sum_assignment(np.array(cost))
+        assert ours == pytest.approx(float(np.array(cost)[rows, cols].sum()))

@@ -1,0 +1,125 @@
+"""Tests for the Chapter 6 baseline searchers (Sec. 6.4.1)."""
+
+import pytest
+
+from repro.core import GraphQuery, between, equals
+from repro.finegrained import (
+    GreedyCoarseSearch,
+    RandomModificationSearch,
+    TraverseSearchTree,
+)
+from repro.metrics.cardinality import CardinalityThreshold
+
+
+def work_query() -> GraphQuery:
+    q = GraphQuery()
+    p = q.add_vertex(predicates={"type": equals("person")})
+    u = q.add_vertex(predicates={"type": equals("university")})
+    q.add_edge(p, u, types={"workAt"}, predicates={"sinceYear": between(2003, 2003)})
+    return q
+
+
+class TestRandomSearch:
+    def test_finds_solution_eventually(self, tiny_graph):
+        engine = RandomModificationSearch(
+            tiny_graph, CardinalityThreshold.at_least(3), max_evaluations=200, seed=5
+        )
+        result = engine.search(work_query())
+        assert result.converged
+
+    def test_deterministic_given_seed(self, tiny_graph):
+        def run():
+            return RandomModificationSearch(
+                tiny_graph,
+                CardinalityThreshold.at_least(3),
+                max_evaluations=50,
+                seed=42,
+            ).search(work_query())
+
+        a, b = run(), run()
+        assert a.best_cardinality == b.best_cardinality
+        assert a.evaluated == b.evaluated
+
+    def test_budget_respected(self, tiny_graph):
+        engine = RandomModificationSearch(
+            tiny_graph, CardinalityThreshold.at_least(10**6), max_evaluations=9, seed=1
+        )
+        result = engine.search(work_query())
+        assert result.evaluated <= 9
+        assert not result.converged
+
+    def test_already_satisfied(self, tiny_graph):
+        engine = RandomModificationSearch(
+            tiny_graph, CardinalityThreshold(lower=1, upper=5), seed=1
+        )
+        result = engine.search(work_query())
+        assert result.converged and result.modifications == ()
+
+
+class TestGreedyCoarse:
+    def test_relaxation_direction(self, tiny_graph):
+        engine = GreedyCoarseSearch(
+            tiny_graph, CardinalityThreshold.at_least(3), max_evaluations=100
+        )
+        result = engine.search(work_query())
+        assert result.converged
+        assert result.best_cardinality >= 3
+
+    def test_concretisation_direction(self, tiny_graph):
+        q = GraphQuery()
+        q.add_vertex(predicates={"type": equals("person")})
+        engine = GreedyCoarseSearch(
+            tiny_graph, CardinalityThreshold.at_most(2), max_evaluations=100
+        )
+        result = engine.search(q)
+        # whole-constraint additions only; may converge or get close
+        assert result.best_distance <= 2
+
+    def test_coarse_steps_only(self, tiny_graph):
+        engine = GreedyCoarseSearch(
+            tiny_graph, CardinalityThreshold.at_least(3), max_evaluations=100
+        )
+        result = engine.search(work_query())
+        names = {type(op).__name__ for op in result.modifications}
+        assert names <= {
+            "DropPredicate",
+            "DropEdge",
+            "DropVertex",
+            "DropTypeConstraint",
+            "RelaxDirection",
+            "AddPredicate",
+        }
+
+
+class TestComparativeShape:
+    """The Sec. 6.4.2 headline: the structured fine-grained search needs no
+    more evaluations than random search and produces explanations at
+    least as close syntactically as the coarse lattice."""
+
+    def test_tst_beats_random_on_average_evaluations(self, tiny_graph):
+        # A single random run can get lucky; the claim is about the
+        # average effort over seeds.
+        threshold = CardinalityThreshold.at_least(3)
+        tst = TraverseSearchTree(tiny_graph, threshold, max_evaluations=200).search(
+            work_query()
+        )
+        random_runs = [
+            RandomModificationSearch(
+                tiny_graph, threshold, max_evaluations=200, seed=seed
+            ).search(work_query())
+            for seed in range(8)
+        ]
+        assert tst.converged
+        mean_random = sum(r.evaluated for r in random_runs) / len(random_runs)
+        assert tst.evaluated <= mean_random + 1e-9
+
+    def test_tst_syntactically_closer_than_greedy(self, tiny_graph):
+        threshold = CardinalityThreshold.at_least(3)
+        tst = TraverseSearchTree(tiny_graph, threshold, max_evaluations=200).search(
+            work_query()
+        )
+        greedy = GreedyCoarseSearch(
+            tiny_graph, threshold, max_evaluations=200
+        ).search(work_query())
+        if tst.converged and greedy.converged:
+            assert tst.best_syntactic <= greedy.best_syntactic + 1e-9

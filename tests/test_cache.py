@@ -1,0 +1,87 @@
+"""Tests for the query-result cache (App. B.2 resource accounting)."""
+
+import pytest
+
+from repro.core import GraphQuery, equals
+from repro.matching import PatternMatcher
+from repro.rewrite.cache import QueryResultCache
+
+
+def person_query() -> GraphQuery:
+    q = GraphQuery()
+    q.add_vertex(predicates={"type": equals("person")})
+    return q
+
+
+class TestCaching:
+    def test_second_call_hits(self, tiny_graph):
+        cache = QueryResultCache(PatternMatcher(tiny_graph))
+        q = person_query()
+        assert cache.count(q) == 4
+        assert cache.count(q) == 4
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_equal_queries_share_entries(self, tiny_graph):
+        cache = QueryResultCache(PatternMatcher(tiny_graph))
+        cache.count(person_query())
+        cache.count(person_query())
+        assert len(cache) == 1
+
+    def test_different_queries_dont_collide(self, tiny_graph):
+        cache = QueryResultCache(PatternMatcher(tiny_graph))
+        cache.count(person_query())
+        q2 = GraphQuery()
+        q2.add_vertex(predicates={"type": equals("city")})
+        assert cache.count(q2) == 2
+        assert len(cache) == 2
+
+    def test_unbounded_entry_serves_bounded_request(self, tiny_graph):
+        cache = QueryResultCache(PatternMatcher(tiny_graph))
+        q = person_query()
+        assert cache.count(q) == 4  # unbounded
+        assert cache.count(q, limit=2) == 2  # clamped from cache
+        assert cache.stats.hits == 1
+
+    def test_bounded_entry_does_not_serve_larger_request(self, tiny_graph):
+        cache = QueryResultCache(PatternMatcher(tiny_graph))
+        q = person_query()
+        assert cache.count(q, limit=2) == 2
+        assert cache.count(q, limit=4) == 4  # must re-execute
+        assert cache.stats.misses == 2
+
+    def test_exact_bounded_count_is_reusable(self, tiny_graph):
+        # count < limit means the count is exact: reusable for any limit
+        cache = QueryResultCache(PatternMatcher(tiny_graph))
+        q = person_query()
+        assert cache.count(q, limit=100) == 4
+        assert cache.count(q) == 4
+        assert cache.stats.hits == 1
+
+    def test_invalidate(self, tiny_graph):
+        cache = QueryResultCache(PatternMatcher(tiny_graph))
+        cache.count(person_query())
+        cache.invalidate()
+        assert len(cache) == 0
+        cache.count(person_query())
+        assert cache.stats.misses == 2
+
+    def test_hit_rate(self, tiny_graph):
+        cache = QueryResultCache(PatternMatcher(tiny_graph))
+        q = person_query()
+        cache.count(q)
+        cache.count(q)
+        cache.count(q)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_rate_empty(self, tiny_graph):
+        cache = QueryResultCache(PatternMatcher(tiny_graph))
+        assert cache.stats.hit_rate == 0.0
+
+    def test_saves_matcher_calls(self, tiny_graph):
+        matcher = PatternMatcher(tiny_graph)
+        cache = QueryResultCache(matcher)
+        q = person_query()
+        for _ in range(5):
+            cache.count(q)
+        assert matcher.calls == 1

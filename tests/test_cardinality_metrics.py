@@ -1,0 +1,123 @@
+"""Tests for the cardinality distance (Defs. 2, 5) and threshold model."""
+
+import pytest
+
+from repro.metrics.cardinality import (
+    CardinalityProblem,
+    CardinalityThreshold,
+    cardinality_distance,
+    deviation,
+    empty_answer_cardinality_distance,
+)
+
+
+class TestDistances:
+    def test_deviation(self):
+        assert deviation(30, 100) == 70
+        assert deviation(130, 100) == 30
+
+    def test_eq_319_symmetric_around_threshold(self):
+        # both 30 and 170 deviate by 70 from threshold 100
+        assert cardinality_distance(100, 30, 170) == 0
+
+    def test_eq_319_example(self):
+        assert cardinality_distance(100, 90, 60) == 30
+
+    def test_eq_319_zero_for_equal(self):
+        assert cardinality_distance(50, 42, 42) == 0
+
+    def test_eq_320_basic(self):
+        assert empty_answer_cardinality_distance(10, 25) == 15
+
+    def test_eq_320_rejects_empty(self):
+        with pytest.raises(ValueError):
+            empty_answer_cardinality_distance(0, 5)
+        with pytest.raises(ValueError):
+            empty_answer_cardinality_distance(5, 0)
+
+
+class TestThresholdConstruction:
+    def test_needs_a_bound(self):
+        with pytest.raises(ValueError):
+            CardinalityThreshold()
+
+    def test_crossed_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            CardinalityThreshold(lower=10, upper=5)
+
+    def test_negative_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            CardinalityThreshold(lower=-1)
+
+    def test_exactly_with_tolerance(self):
+        t = CardinalityThreshold.exactly(100, tolerance=10)
+        assert t.lower == 90 and t.upper == 110
+
+    def test_exactly_clamps_at_zero(self):
+        t = CardinalityThreshold.exactly(3, tolerance=10)
+        assert t.lower == 0
+
+    def test_str(self):
+        assert str(CardinalityThreshold(lower=2, upper=5)) == "[2; 5]"
+        assert str(CardinalityThreshold.at_least(3)) == "[3; inf]"
+
+
+class TestClassification:
+    def test_empty(self):
+        t = CardinalityThreshold(lower=10, upper=20)
+        assert t.classify(0) == CardinalityProblem.EMPTY
+
+    def test_too_few(self):
+        t = CardinalityThreshold(lower=10, upper=20)
+        assert t.classify(5) == CardinalityProblem.TOO_FEW
+
+    def test_expected(self):
+        t = CardinalityThreshold(lower=10, upper=20)
+        assert t.classify(15) == CardinalityProblem.EXPECTED
+        assert t.classify(10) == CardinalityProblem.EXPECTED
+        assert t.classify(20) == CardinalityProblem.EXPECTED
+
+    def test_too_many(self):
+        t = CardinalityThreshold(lower=10, upper=20)
+        assert t.classify(21) == CardinalityProblem.TOO_MANY
+
+    def test_zero_allowed_when_lower_is_zero(self):
+        t = CardinalityThreshold(lower=0, upper=5)
+        assert t.classify(0) == CardinalityProblem.EXPECTED
+
+    def test_at_least_one_reports_empty(self):
+        t = CardinalityThreshold.at_least(1)
+        assert t.classify(0) == CardinalityProblem.EMPTY
+        assert t.classify(1) == CardinalityProblem.EXPECTED
+
+    def test_satisfied_by(self):
+        t = CardinalityThreshold(lower=2, upper=4)
+        assert t.satisfied_by(3)
+        assert not t.satisfied_by(5)
+
+
+class TestDistanceAndDirection:
+    def test_distance_inside_is_zero(self):
+        t = CardinalityThreshold(lower=10, upper=20)
+        assert t.distance(15) == 0
+
+    def test_distance_below(self):
+        t = CardinalityThreshold(lower=10, upper=20)
+        assert t.distance(4) == 6
+
+    def test_distance_above(self):
+        t = CardinalityThreshold(lower=10, upper=20)
+        assert t.distance(50) == 30
+
+    def test_direction_signs(self):
+        t = CardinalityThreshold(lower=10, upper=20)
+        assert t.direction(0) == 1
+        assert t.direction(5) == 1
+        assert t.direction(15) == 0
+        assert t.direction(25) == -1
+
+    def test_probe_limit_upper(self):
+        assert CardinalityThreshold(lower=10, upper=20).probe_limit == 21
+
+    def test_probe_limit_lower_only(self):
+        assert CardinalityThreshold.at_least(10).probe_limit == 10

@@ -1,0 +1,36 @@
+"""Tests for the command-line interface (``python -m repro``)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "why-empty" in out
+        assert "modification-based explanations" in out
+
+    def test_datasets_table(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "LDBC QUERY 1" in out and "DBPEDIA QUERY 4" in out
+
+    def test_experiments_selected_ids(self, capsys):
+        assert main(["experiments", "--dataset", "dbpedia", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "DISCOVERMCS" in out
+        assert "Sec. 5.5.1" not in out
+
+    def test_experiments_appB(self, capsys):
+        assert main(["experiments", "--dataset", "dbpedia", "appB"]) == 0
+        assert "App. B.2" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

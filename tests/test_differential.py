@@ -1,0 +1,113 @@
+"""Tests for differential graphs and component merging (Sec. 4.1-4.2)."""
+
+import pytest
+
+from repro.core import GraphQuery, equals
+from repro.explain.differential import (
+    DifferentialGraph,
+    FailureAnnotation,
+    FailureReason,
+    merge_components,
+)
+
+
+@pytest.fixture
+def query() -> GraphQuery:
+    q = GraphQuery()
+    a = q.add_vertex(predicates={"type": equals("person")})
+    b = q.add_vertex(predicates={"type": equals("university")})
+    c = q.add_vertex(predicates={"type": equals("city")})
+    q.add_edge(a, b, types={"workAt"})
+    q.add_edge(b, c, types={"locatedIn"})
+    return q
+
+
+@pytest.fixture
+def diff(query) -> DifferentialGraph:
+    ann = FailureAnnotation(("edge", 1), FailureReason.PREDICATE, "city gone")
+    return DifferentialGraph(
+        query=query,
+        mcs_edges=frozenset({0}),
+        mcs_vertices=frozenset({0, 1}),
+        annotations={("edge", 1): ann, ("vertex", 2): ann},
+        mcs_cardinality=3,
+    )
+
+
+class TestDifferentialGraph:
+    def test_missing_elements(self, diff):
+        assert diff.missing_edges == frozenset({1})
+        assert diff.missing_vertices == frozenset({2})
+
+    def test_coverage(self, diff):
+        assert diff.coverage == pytest.approx(3 / 5)
+
+    def test_full_coverage_when_nothing_missing(self, query):
+        d = DifferentialGraph(query, query.edge_ids, query.vertex_ids)
+        assert d.coverage == 1.0
+        assert "no failing part" in d.describe()
+
+    def test_mcs_query_runs(self, diff):
+        mcs = diff.mcs_query()
+        assert mcs.vertex_ids == frozenset({0, 1})
+        assert mcs.edge_ids == frozenset({0})
+        mcs.validate()
+
+    def test_differential_query_contains_failed_part(self, diff):
+        failed = diff.differential_query()
+        assert failed.edge_ids == frozenset({1})
+        # the failed edge keeps its endpoints
+        assert failed.vertex_ids == frozenset({1, 2})
+
+    def test_describe_mentions_failures(self, diff):
+        text = diff.describe()
+        assert "city gone" in text
+        assert "coverage 60%" in text
+
+    def test_empty_query_coverage(self):
+        d = DifferentialGraph(GraphQuery(), frozenset(), frozenset())
+        assert d.coverage == 1.0
+
+
+class TestMergeComponents:
+    def test_merge_unions_elements(self, query):
+        q = query.copy()
+        iso = q.add_vertex(predicates={"type": equals("tag")})
+        part1 = DifferentialGraph(
+            q.subquery({0, 1, 2}),
+            frozenset({0}),
+            frozenset({0, 1}),
+            {},
+            2,
+        )
+        part2 = DifferentialGraph(
+            q.subquery({iso}), frozenset(), frozenset({iso}), {}, 5
+        )
+        merged = merge_components([part1, part2], q)
+        assert merged.mcs_vertices == frozenset({0, 1, iso})
+        assert merged.mcs_cardinality == 10  # product of components
+
+    def test_merge_with_unknown_cardinality(self, query):
+        part = DifferentialGraph(
+            query, frozenset(), frozenset({0}), {}, mcs_cardinality=-1
+        )
+        merged = merge_components([part], query)
+        assert merged.mcs_cardinality == -1
+
+    def test_merge_preserves_annotations(self, query):
+        ann = FailureAnnotation(("edge", 1), FailureReason.TOPOLOGY)
+        part = DifferentialGraph(
+            query, frozenset({0}), frozenset({0, 1}), {("edge", 1): ann}, 1
+        )
+        merged = merge_components([part], query)
+        assert merged.annotations[("edge", 1)] is ann
+
+
+class TestFailureAnnotation:
+    def test_str_with_detail(self):
+        ann = FailureAnnotation(("vertex", 3), FailureReason.PREDICATE, "boom")
+        assert str(ann) == "vertex 3: predicate (boom)"
+
+    def test_str_without_detail(self):
+        ann = FailureAnnotation(("edge", 1), FailureReason.UNREACHED)
+        assert str(ann) == "edge 1: unreached"

@@ -1,0 +1,197 @@
+"""Tests for DISCOVERMCS (Sec. 4.2.1) on hand-checkable graphs and the
+synthetic data sets."""
+
+import pytest
+
+from repro.core import GraphQuery, between, equals
+from repro.datasets import ldbc
+from repro.explain import FailureReason, UserPreferences, discover_mcs
+
+
+def poisoned_query() -> GraphQuery:
+    """person -workAt-> university -locatedIn-> city(name=Nowhere).
+
+    On the tiny graph the first hop matches, the second fails because no
+    city is called Nowhere.
+    """
+    q = GraphQuery()
+    p = q.add_vertex(predicates={"type": equals("person")})
+    u = q.add_vertex(predicates={"type": equals("university")})
+    c = q.add_vertex(predicates={"type": equals("city"), "name": equals("Nowhere")})
+    q.add_edge(p, u, types={"workAt"})
+    q.add_edge(u, c, types={"locatedIn"})
+    return q
+
+
+class TestBasicDiscovery:
+    def test_mcs_is_the_succeeding_prefix(self, tiny_graph):
+        result = discover_mcs(tiny_graph, poisoned_query())
+        assert result.differential.mcs_edges == frozenset({0})
+        assert result.differential.mcs_vertices == frozenset({0, 1})
+
+    def test_failure_blames_the_poisoned_vertex(self, tiny_graph):
+        result = discover_mcs(tiny_graph, poisoned_query())
+        ann = result.differential.annotations[("vertex", 2)]
+        assert ann.reason == FailureReason.PREDICATE
+        assert "name" in ann.detail
+
+    def test_mcs_query_is_runnable_and_nonempty(self, tiny_graph, tiny_matcher):
+        result = discover_mcs(tiny_graph, poisoned_query())
+        assert tiny_matcher.exists(result.mcs)
+
+    def test_non_failing_query_has_full_coverage(self, tiny_graph):
+        q = poisoned_query()
+        q.vertex(2).predicates["name"] = equals("Dresden")
+        result = discover_mcs(tiny_graph, q)
+        assert result.differential.coverage == 1.0
+        assert not result.differential.annotations
+
+    def test_wrong_target_type_blamed_precisely(self, tiny_graph):
+        # city -isPartOf-> university: cities do have isPartOf edges (to
+        # countries), so the minimal culprit is the target's type predicate.
+        q = GraphQuery()
+        c = q.add_vertex(predicates={"type": equals("city")})
+        u = q.add_vertex(predicates={"type": equals("university")})
+        q.add_edge(c, u, types={"isPartOf"})
+        result = discover_mcs(tiny_graph, q)
+        ann = result.differential.annotations[("vertex", 1)]
+        assert ann.reason == FailureReason.PREDICATE
+
+    def test_nonexistent_type_blamed_as_type(self, tiny_graph):
+        # no marriedTo edge exists anywhere: stripping the type set is the
+        # only unblock -> TYPE diagnosis.
+        q = GraphQuery()
+        a = q.add_vertex()
+        b = q.add_vertex()
+        q.add_edge(a, b, types={"marriedTo"})
+        result = discover_mcs(tiny_graph, q)
+        reasons = {a.reason for a in result.differential.annotations.values()}
+        assert FailureReason.TYPE in reasons
+
+    def test_topology_failure_detected(self, tiny_graph):
+        # The tiny graph has no directed triangle: closing a 2-chain into
+        # a cycle fails even with every constraint stripped -> TOPOLOGY.
+        q = GraphQuery()
+        a, b, c = (q.add_vertex() for _ in range(3))
+        q.add_edge(a, b)
+        q.add_edge(b, c)
+        q.add_edge(c, a)
+        result = discover_mcs(tiny_graph, q)
+        reasons = {a.reason for a in result.differential.annotations.values()}
+        assert FailureReason.TOPOLOGY in reasons
+
+    def test_edge_predicate_failure_detected(self, tiny_graph):
+        q = GraphQuery()
+        p = q.add_vertex(predicates={"type": equals("person")})
+        u = q.add_vertex(predicates={"type": equals("university")})
+        q.add_edge(p, u, types={"workAt"}, predicates={"sinceYear": equals(1800)})
+        result = discover_mcs(tiny_graph, q)
+        ann = result.differential.annotations[("edge", 0)]
+        assert ann.reason == FailureReason.PREDICATE
+        assert "sinceYear" in ann.detail
+
+
+class TestStrategies:
+    def test_single_path_uses_fewer_evaluations(self, tiny_graph):
+        q = poisoned_query()
+        frontier = discover_mcs(tiny_graph, q, strategy="frontier")
+        single = discover_mcs(tiny_graph, q, strategy="single-path")
+        total_f = frontier.stats.evaluations + frontier.stats.annotation_evaluations
+        total_s = single.stats.evaluations + single.stats.annotation_evaluations
+        assert total_s <= total_f
+
+    def test_single_path_coverage_never_exceeds_frontier(self, ldbc_small):
+        for name in ldbc.queries():
+            failed = ldbc.empty_variant(name)
+            frontier = discover_mcs(ldbc_small.graph, failed, strategy="frontier")
+            single = discover_mcs(ldbc_small.graph, failed, strategy="single-path")
+            assert single.differential.coverage <= frontier.differential.coverage + 1e-9
+
+    def test_unknown_strategy_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            discover_mcs(tiny_graph, poisoned_query(), strategy="magic")
+
+    def test_explicit_edge_order(self, tiny_graph):
+        result = discover_mcs(tiny_graph, poisoned_query(), edge_order=[1, 0])
+        assert result.differential.mcs_edges == frozenset({0})
+
+
+class TestComponents:
+    def test_disconnected_components_processed_separately(self, tiny_graph):
+        q = poisoned_query()
+        iso = q.add_vertex(predicates={"type": equals("country")})
+        result = discover_mcs(tiny_graph, q)
+        assert iso in result.differential.mcs_vertices
+        assert len(result.components) == 2
+
+    def test_failing_isolated_vertex_annotated(self, tiny_graph):
+        q = poisoned_query()
+        q.vertex(2).predicates["name"] = equals("Dresden")  # heal main part
+        iso = q.add_vertex(predicates={"type": equals("starship")})
+        result = discover_mcs(tiny_graph, q)
+        assert ("vertex", iso) in result.differential.annotations
+
+    def test_merged_cardinality_is_product(self, tiny_graph):
+        q = GraphQuery()
+        q.add_vertex(predicates={"type": equals("city")})  # 2
+        q.add_vertex(predicates={"type": equals("country")})  # 1
+        result = discover_mcs(tiny_graph, q)
+        # existence probes bound each component's cardinality at 1
+        assert result.differential.mcs_cardinality == 1
+
+    def test_all_edges_fail_vertex_fallback(self, tiny_graph):
+        # both hops impossible: fallback reports the best satisfiable vertex
+        q = GraphQuery()
+        p = q.add_vertex(predicates={"type": equals("person"), "name": equals("Zed")})
+        u = q.add_vertex(predicates={"type": equals("university")})
+        c = q.add_vertex(predicates={"type": equals("city"), "name": equals("Nowhere")})
+        q.add_edge(p, u, types={"workAt"}, predicates={"sinceYear": equals(1800)})
+        q.add_edge(u, c, types={"locatedIn"}, predicates={"weight": equals(3)})
+        result = discover_mcs(tiny_graph, q)
+        assert result.differential.mcs_edges == frozenset()
+        assert len(result.differential.mcs_vertices) == 1
+
+
+class TestBudget:
+    def test_budget_limits_evaluations(self, ldbc_small):
+        failed = ldbc.empty_variant("LDBC QUERY 4")
+        result = discover_mcs(ldbc_small.graph, failed, max_evaluations=3)
+        total = result.stats.evaluations + result.stats.annotation_evaluations
+        assert total <= 4  # one in-flight evaluation may complete
+        assert result.stats.budget_exhausted or total <= 3
+
+    def test_annotation_can_be_disabled(self, tiny_graph):
+        result = discover_mcs(tiny_graph, poisoned_query(), annotate=False)
+        assert result.stats.annotation_evaluations == 0
+        reasons = {a.reason for a in result.differential.annotations.values()}
+        assert reasons <= {FailureReason.TOPOLOGY, FailureReason.UNREACHED}
+
+
+class TestPreferences:
+    def test_preferred_element_steers_traversal(self, tiny_graph):
+        q = poisoned_query()
+        prefs = UserPreferences()
+        prefs.mark_important(("edge", 1), ("vertex", 2))
+        result = discover_mcs(
+            tiny_graph, q, strategy="single-path", preferences=prefs
+        )
+        # the user cares about the failing hop; it is still reported failed
+        assert ("vertex", 2) in result.differential.annotations
+
+    def test_rank_reflects_preferences(self, tiny_graph):
+        q = poisoned_query()
+        neutral = discover_mcs(tiny_graph, q).differential.rank
+        prefs = UserPreferences()
+        prefs.mark_irrelevant(("vertex", 2), ("edge", 1))
+        liked = discover_mcs(tiny_graph, q, preferences=prefs).differential.rank
+        # losing only irrelevant elements makes the explanation rank higher
+        assert liked >= neutral
+
+
+class TestOnDatasets:
+    @pytest.mark.parametrize("name", list(ldbc.queries()))
+    def test_all_ldbc_empty_variants_explained(self, ldbc_small, name):
+        failed = ldbc.empty_variant(name)
+        result = discover_mcs(ldbc_small.graph, failed)
+        assert 0.0 < result.differential.coverage < 1.0
+        assert result.differential.annotations

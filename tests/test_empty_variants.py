@@ -1,0 +1,89 @@
+"""Tests for the why-empty workload variants of both data sets.
+
+Two families per data set: predicate-poisoned (``empty_variant``) and
+edge-poisoned (``empty_variant_edge``).  The Ch. 4/5 experiments rely on
+three properties: the variants are empty, they partially match (the MCS
+is non-trivial), and the edge-poisoned family admits fixes with disjoint
+targets (needed by the Sec. 5.5.4 user-integration scenarios).
+"""
+
+import pytest
+
+from repro.datasets import dbpedia, ldbc
+from repro.explain import discover_mcs
+from repro.matching import PatternMatcher
+from repro.rewrite import CoarseRewriter
+
+
+@pytest.fixture(scope="module")
+def ldbc_graph():
+    return ldbc.generate().graph
+
+
+@pytest.fixture(scope="module")
+def dbpedia_graph():
+    return dbpedia.generate().graph
+
+
+class TestLdbcEdgePoisonVariants:
+    @pytest.mark.parametrize("name", list(ldbc.queries()))
+    def test_variant_is_empty(self, ldbc_graph, name):
+        failed = ldbc.empty_variant_edge(name)
+        assert PatternMatcher(ldbc_graph).count(failed, limit=1) == 0
+
+    @pytest.mark.parametrize("name", list(ldbc.queries()))
+    def test_variant_partially_matches(self, ldbc_graph, name):
+        failed = ldbc.empty_variant_edge(name)
+        result = discover_mcs(ldbc_graph, failed)
+        assert result.differential.coverage > 0.2
+
+    @pytest.mark.parametrize("name", list(ldbc.queries()))
+    def test_blame_lands_on_poisoned_edge(self, ldbc_graph, name):
+        failed = ldbc.empty_variant_edge(name)
+        result = discover_mcs(ldbc_graph, failed)
+        blamed_edges = {
+            ident
+            for (kind, ident) in result.differential.annotations
+            if kind == "edge"
+        }
+        assert 0 in blamed_edges or name == "LDBC QUERY 3"
+
+    def test_disjoint_target_fixes_exist(self, ldbc_graph):
+        """The user-integration experiment needs at least two fixes with
+        disjoint target sets for edge-poisoned variants."""
+        failed = ldbc.empty_variant_edge("LDBC QUERY 4")
+        result = CoarseRewriter(ldbc_graph, max_evaluations=200).rewrite(failed, k=5)
+        target_sets = [
+            frozenset(op.target for op in e.modifications)
+            for e in result.explanations
+        ]
+        assert any(
+            not (a & b)
+            for i, a in enumerate(target_sets)
+            for b in target_sets[i + 1 :]
+        )
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            ldbc.empty_variant_edge("LDBC QUERY 9")
+
+
+class TestDbpediaEdgePoisonVariants:
+    @pytest.mark.parametrize("name", list(dbpedia.queries()))
+    def test_variant_is_empty(self, dbpedia_graph, name):
+        failed = dbpedia.empty_variant_edge(name)
+        assert PatternMatcher(dbpedia_graph).count(failed, limit=1) == 0
+
+    @pytest.mark.parametrize("name", list(dbpedia.queries()))
+    def test_variant_rewritable(self, dbpedia_graph, name):
+        failed = dbpedia.empty_variant_edge(name)
+        result = CoarseRewriter(dbpedia_graph, max_evaluations=150).rewrite(failed)
+        assert result.best is not None
+        assert result.best.cardinality > 0
+
+    @pytest.mark.parametrize("name", list(dbpedia.queries()))
+    def test_variant_keeps_query_shape(self, name):
+        base = dbpedia.queries()[name]
+        failed = dbpedia.empty_variant_edge(name)
+        assert failed.vertex_ids == base.vertex_ids
+        assert failed.edge_ids == base.edge_ids

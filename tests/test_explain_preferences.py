@@ -1,0 +1,124 @@
+"""Tests for user integration in subgraph explanations (Sec. 4.4)."""
+
+import pytest
+
+from repro.core import GraphQuery, equals
+from repro.explain.differential import DifferentialGraph
+from repro.explain.preferences import (
+    UserPreferences,
+    explanation_rank,
+    preferred_traversal_order,
+    rank_explanations,
+)
+
+
+@pytest.fixture
+def query() -> GraphQuery:
+    q = GraphQuery()
+    a = q.add_vertex(predicates={"type": equals("person")})
+    b = q.add_vertex(predicates={"type": equals("university")})
+    c = q.add_vertex(predicates={"type": equals("city")})
+    q.add_edge(a, b, types={"workAt"})
+    q.add_edge(b, c, types={"locatedIn"})
+    return q
+
+
+class TestUserPreferences:
+    def test_default_relevance(self):
+        prefs = UserPreferences()
+        assert prefs.relevance(("vertex", 0)) == 0.5
+
+    def test_rate_moves_towards_rating(self):
+        prefs = UserPreferences(adaptation=0.5)
+        prefs.rate(("vertex", 0), 1.0)
+        assert prefs.relevance(("vertex", 0)) == 0.75
+        prefs.rate(("vertex", 0), 1.0)
+        assert prefs.relevance(("vertex", 0)) == 0.875
+
+    def test_rate_validates_range(self):
+        with pytest.raises(ValueError):
+            UserPreferences().rate(("vertex", 0), 1.5)
+
+    def test_mark_important_and_irrelevant(self):
+        prefs = UserPreferences()
+        prefs.mark_important(("edge", 1))
+        prefs.mark_irrelevant(("edge", 2))
+        assert prefs.edge_relevance(1) == 1.0
+        assert prefs.edge_relevance(2) == 0.0
+
+    def test_edge_path_relevance_averages_endpoints(self, query):
+        prefs = UserPreferences()
+        prefs.mark_important(("vertex", 0))
+        r = prefs.edge_path_relevance(query, 0)
+        assert r == pytest.approx((0.5 + 1.0 + 0.5) / 3)
+
+
+class TestTraversalOrder:
+    def test_all_edges_covered_once(self, query):
+        order = preferred_traversal_order(query)
+        assert sorted(order) == [0, 1]
+
+    def test_preferred_edge_first(self, query):
+        prefs = UserPreferences()
+        prefs.mark_important(("edge", 1), ("vertex", 2))
+        order = preferred_traversal_order(query, prefs)
+        assert order[0] == 1
+
+    def test_connectivity_maintained(self):
+        # path a-b-c-d: starting in the middle must stay connected
+        q = GraphQuery()
+        vs = [q.add_vertex(predicates={"type": equals("t")}) for _ in range(4)]
+        for i in range(3):
+            q.add_edge(vs[i], vs[i + 1])
+        prefs = UserPreferences()
+        prefs.mark_important(("edge", 1))
+        order = preferred_traversal_order(q, prefs)
+        assert order[0] == 1
+        covered = set()
+        for eid in order:
+            e = q.edge(eid)
+            assert not covered or e.source in covered or e.target in covered
+            covered |= {e.source, e.target}
+
+    def test_disconnected_query_covers_all_components(self):
+        q = GraphQuery()
+        a, b, c, d = (q.add_vertex() for _ in range(4))
+        q.add_edge(a, b)
+        q.add_edge(c, d)
+        assert sorted(preferred_traversal_order(q)) == [0, 1]
+
+    def test_selectivity_tiebreak_with_graph(self, tiny_graph, query):
+        order = preferred_traversal_order(query, graph=tiny_graph)
+        # locatedIn (2 data edges) is rarer than workAt (3): comes first
+        assert order[0] == 1
+
+
+class TestRanking:
+    def test_rank_full_coverage_is_one(self, query):
+        d = DifferentialGraph(query, query.edge_ids, query.vertex_ids)
+        assert explanation_rank(d) == pytest.approx(1.0)
+
+    def test_rank_prefers_keeping_relevant_elements(self, query):
+        keeps_person = DifferentialGraph(
+            query, frozenset({0}), frozenset({0, 1})
+        )
+        keeps_city = DifferentialGraph(
+            query, frozenset({1}), frozenset({1, 2})
+        )
+        prefs = UserPreferences()
+        prefs.mark_important(("vertex", 0))
+        prefs.mark_irrelevant(("vertex", 2))
+        assert explanation_rank(keeps_person, prefs) > explanation_rank(
+            keeps_city, prefs
+        )
+
+    def test_rank_explanations_sorts_best_first(self, query):
+        small = DifferentialGraph(query, frozenset(), frozenset({0}))
+        large = DifferentialGraph(query, frozenset({0}), frozenset({0, 1}))
+        ranked = rank_explanations([small, large])
+        assert ranked[0] is large
+        assert ranked[0].rank >= ranked[1].rank
+
+    def test_rank_without_any_elements(self):
+        d = DifferentialGraph(GraphQuery(), frozenset(), frozenset())
+        assert explanation_rank(d) == 1.0

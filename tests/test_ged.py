@@ -1,0 +1,129 @@
+"""Tests for the coarse property-graph edit distance (Table 3.1)."""
+
+import pytest
+
+from repro.core import BOTH_DIRECTIONS, GraphQuery, equals, one_of
+from repro.metrics.ged import coarse_ged, count_edit_operations
+
+
+@pytest.fixture
+def base() -> GraphQuery:
+    q = GraphQuery()
+    a = q.add_vertex(predicates={"type": equals("person")})
+    b = q.add_vertex(predicates={"type": equals("city")})
+    q.add_edge(a, b, types={"isLocatedIn"}, predicates={"since": equals(2000)})
+    return q
+
+
+class TestIdentity:
+    def test_zero_for_identical(self, base):
+        assert coarse_ged(base, base.copy()) == 0
+
+    def test_symmetric_total(self, base, fig35_original):
+        variant = base.copy()
+        variant.vertex(0).predicates["name"] = equals("Anna")
+        assert coarse_ged(base, variant) == coarse_ged(variant, base)
+
+
+class TestPredicateOps:
+    def test_predicate_insertion(self, base):
+        variant = base.copy()
+        variant.vertex(0).predicates["name"] = equals("Anna")
+        ops = count_edit_operations(base, variant)
+        assert ops.predicate_insertions == 1
+        assert ops.total == 1
+
+    def test_predicate_deletion(self, base):
+        variant = base.copy()
+        del variant.vertex(0).predicates["type"]
+        ops = count_edit_operations(base, variant)
+        assert ops.predicate_deletions == 1
+        assert ops.total == 1
+
+    def test_predicate_substitution_counts_two(self, base):
+        variant = base.copy()
+        variant.vertex(0).predicates["type"] = one_of("person", "robot")
+        ops = count_edit_operations(base, variant)
+        assert ops.predicate_deletions == 1
+        assert ops.predicate_insertions == 1
+        assert ops.total == 2
+
+
+class TestTopologyOps:
+    def test_edge_deletion_includes_annotations(self, base):
+        variant = base.copy()
+        variant.remove_edge(0)
+        ops = count_edit_operations(base, variant)
+        assert ops.edge_deletions == 1
+        assert ops.predicate_deletions == 1  # the since predicate
+        assert ops.type_deletions == 1
+
+    def test_vertex_deletion_includes_predicates(self, base):
+        variant = base.copy()
+        variant.remove_vertex(1)
+        ops = count_edit_operations(base, variant)
+        assert ops.vertex_deletions == 1
+        assert ops.edge_deletions == 1
+
+    def test_vertex_insertion(self, base):
+        variant = base.copy()
+        variant.add_vertex(predicates={"type": equals("country")})
+        ops = count_edit_operations(base, variant)
+        assert ops.vertex_insertions == 1
+        assert ops.predicate_insertions == 1
+
+    def test_rewiring_counts_delete_plus_insert(self, base):
+        variant = base.copy()
+        c = variant.add_vertex()
+        variant.edge(0).target = c
+        ops = count_edit_operations(base, variant)
+        assert ops.edge_deletions == 1 and ops.edge_insertions == 1
+
+
+class TestDirectionAndTypeOps:
+    def test_direction_insertion(self, base):
+        variant = base.copy()
+        variant.edge(0).directions = BOTH_DIRECTIONS
+        ops = count_edit_operations(base, variant)
+        assert ops.direction_insertions == 1
+        assert ops.total == 1
+
+    def test_type_substitution(self, base):
+        variant = base.copy()
+        variant.edge(0).types = frozenset({"basedIn"})
+        ops = count_edit_operations(base, variant)
+        assert ops.type_deletions == 1 and ops.type_insertions == 1
+
+    def test_type_widening_counts_insertion_only(self, base):
+        variant = base.copy()
+        variant.edge(0).types = frozenset({"isLocatedIn", "basedIn"})
+        ops = count_edit_operations(base, variant)
+        assert ops.type_insertions == 1 and ops.type_deletions == 0
+
+    def test_type_constraint_drop(self, base):
+        variant = base.copy()
+        variant.edge(0).types = None
+        ops = count_edit_operations(base, variant)
+        assert ops.type_deletions == 1
+
+
+class TestCoarseness:
+    def test_ged_ignores_change_magnitude(self, base):
+        """The documented drawback (Sec. 3.2.1): extending a ValueSet by
+        one or by ten values costs the same two operations."""
+        small = base.copy()
+        small.vertex(0).predicates["type"] = one_of("person", "a")
+        large = base.copy()
+        large.vertex(0).predicates["type"] = one_of(
+            "person", "a", "b", "c", "d", "e"
+        )
+        assert coarse_ged(base, small) == coarse_ged(base, large)
+
+    def test_fig35_example_total(self, fig35_original, fig35_modified):
+        ops = count_edit_operations(fig35_original, fig35_modified)
+        # v4 deleted (1 vertex + 3 predicates), e3 deleted (1 edge + 1
+        # type), four predicate substitutions at 2 ops each (v1 name, v2
+        # type, v3 name, e1 sinceYear) -> 4 + 2 + 8 = 14
+        assert ops.vertex_deletions == 1
+        assert ops.edge_deletions == 1
+        assert ops.total == 14

@@ -1,0 +1,110 @@
+"""Tests for the experiment harness and reporting (DESIGN.md experiment
+index).  Uses reduced budgets; the benchmarks run the full versions."""
+
+import pytest
+
+from repro.harness import experiments, reporting
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = reporting.format_table(
+            ["a", "long-header"], [[1, 2.5], [10, 0.123]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long-header" in lines[1]
+        assert "0.123" in lines[-1]
+
+    def test_format_series_downsamples(self):
+        text = reporting.format_series("s", list(range(100)), max_points=10)
+        assert "n=100" in text
+        assert len(text.split(":")[1].split()) == 10
+
+    def test_format_series_empty(self):
+        assert "<empty>" in reporting.format_series("s", [])
+
+    def test_sparkline_monotone(self):
+        line = reporting.sparkline([1, 2, 3, 4, 5])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_flat(self):
+        assert reporting.sparkline([2, 2, 2]) == "▁▁▁"
+
+    def test_sparkline_empty(self):
+        assert reporting.sparkline([]) == ""
+
+
+class TestExperimentDrivers:
+    def test_load_dataset_unknown(self):
+        with pytest.raises(KeyError):
+            experiments.load_dataset("oracle")
+
+    def test_tabA_covers_both_datasets(self):
+        rows = experiments.tabA_datasets()
+        datasets = {r.dataset for r in rows}
+        assert datasets == {"ldbc", "dbpedia"}
+        assert len(rows) == 8
+        assert all(r.cardinality > 0 for r in rows)
+
+    def test_fig3_workload_shapes(self):
+        data = experiments.fig3_random_explanations(
+            "ldbc",
+            factors=(0.5, 2.0),
+            max_candidates=8,
+            queries=["LDBC QUERY 1"],
+        )
+        assert set(data) == {"LDBC QUERY 1"}
+        assert set(data["LDBC QUERY 1"]) == {0.5, 2.0}
+        assert data["LDBC QUERY 1"][0.5]
+
+    def test_fig3_10_buckets(self):
+        samples = experiments.fig3_random_explanations(
+            "ldbc", factors=(0.5,), max_candidates=10, queries=["LDBC QUERY 1"]
+        )["LDBC QUERY 1"][0.5]
+        rows = experiments.fig3_10_correlation(samples, buckets=4)
+        for upper, mean_result, count in rows:
+            assert 0 < upper <= 1.0
+            assert 0.0 <= mean_result <= 1.0
+            assert count > 0
+
+    def test_fig3_10_empty(self):
+        assert experiments.fig3_10_correlation([]) == []
+
+    def test_fig4_discovermcs_rows(self):
+        rows = experiments.fig4_discovermcs("dbpedia", strategies=("single-path",))
+        assert len(rows) == 4
+        for row in rows:
+            assert 0.0 <= row.coverage <= 1.0
+            assert row.evaluations > 0
+
+    def test_fig5_priorities_rows(self):
+        rows = experiments.fig5_priorities(
+            "dbpedia", priorities=("syntactic",), max_evaluations=60
+        )
+        assert len(rows) == 4
+        assert all(r.found for r in rows)
+
+    def test_fig5_convergence_traces(self):
+        traces = experiments.fig5_convergence(
+            "dbpedia",
+            query_name="DBPEDIA QUERY 1",
+            priorities=("syntactic",),
+            k=2,
+            max_evaluations=60,
+        )
+        assert "syntactic" in traces
+        assert traces["syntactic"]
+
+    def test_fig6_scenarios_cover_both_directions(self):
+        scenarios = experiments.fig6_scenarios("dbpedia")
+        names = [name for name, _, _ in scenarios]
+        assert any("too-few" in n for n in names)
+        assert any("too-many" in n for n in names)
+
+    def test_appB_resources_rows(self):
+        rows = experiments.appB_resources("dbpedia", k=2)
+        assert len(rows) == 4
+        for row in rows:
+            assert row.cache_entries >= 0
+            assert 0.0 <= row.cache_hit_rate <= 1.0

@@ -1,0 +1,173 @@
+"""End-to-end integration tests across the whole library.
+
+Each test tells one complete debugging story on a synthetic data set,
+exercising the public API the way the examples and benchmarks do.
+"""
+
+import pytest
+
+from repro.core import GraphQuery, equals, one_of
+from repro.datasets import dbpedia, ldbc
+from repro.explain import UserPreferences, discover_mcs
+from repro.finegrained import TraverseSearchTree
+from repro.matching import PatternMatcher
+from repro.metrics import (
+    CardinalityProblem,
+    CardinalityThreshold,
+    result_set_distance,
+    syntactic_distance,
+)
+from repro.rewrite import CoarseRewriter, RewritePreferenceModel
+from repro.why import WhyQueryEngine
+
+
+class TestWhyEmptyStory:
+    """A user writes an over-constrained query, gets nothing back, and
+    the library explains why and proposes a minimal fix."""
+
+    def test_full_story(self, ldbc_small):
+        graph = ldbc_small.graph
+        failed = ldbc.empty_variant("LDBC QUERY 2")
+        matcher = PatternMatcher(graph)
+        if matcher.count(failed, limit=1) > 0:
+            pytest.skip("variant not empty at this scale")
+
+        # 1. subgraph explanation: which part fails?
+        explanation = discover_mcs(graph, failed)
+        assert 0 < explanation.differential.coverage < 1
+        blamed = {
+            ref for ref, ann in explanation.differential.annotations.items()
+        }
+        assert blamed
+
+        # 2. the MCS is a runnable query that has matches
+        assert matcher.exists(explanation.mcs)
+
+        # 3. modification-based explanation: a non-empty rewriting; the
+        #    reported best is the syntactically closest one found
+        rewriting = CoarseRewriter(graph, max_evaluations=200).rewrite(failed, k=3)
+        best = rewriting.best
+        assert best is not None and best.cardinality > 0
+        assert best.syntactic == min(e.syntactic for e in rewriting.explanations)
+        assert best.syntactic < 1.0
+
+        # 4. the rewriting's results are real
+        results = matcher.match(best.query, limit=10)
+        assert results.cardinality > 0
+
+
+class TestCardinalityStory:
+    """Too-few and too-many debugging with result-content accounting."""
+
+    def test_too_few_to_satisfied(self, ldbc_small):
+        graph = ldbc_small.graph
+        query = ldbc.query_1()
+        matcher = PatternMatcher(graph)
+        original_results = matcher.match(query)
+        original = original_results.cardinality
+        if original < 2:
+            pytest.skip("graph too small")
+        threshold = CardinalityThreshold.at_least(original * 2)
+        engine = TraverseSearchTree(graph, threshold, max_evaluations=250)
+        outcome = engine.search(query)
+        if not outcome.converged:
+            pytest.skip("budget too small at this scale")
+        # relaxations must keep most original answers (Sec. 3.2.4)
+        new_results = matcher.match(outcome.best_query)
+        d = result_set_distance(original_results, new_results)
+        assert d < 0.5
+
+    def test_oscillation_recovers(self, tiny_graph):
+        """Fig. 3.1: a search step may overshoot; the engine recovers."""
+        q = GraphQuery()
+        q.add_vertex(
+            predicates={"name": one_of("Anna", "Bob", "Carol", "Dave")}
+        )
+        threshold = CardinalityThreshold(lower=2, upper=3)
+        engine = TraverseSearchTree(tiny_graph, threshold, max_evaluations=100)
+        outcome = engine.search(q)
+        assert outcome.converged
+        assert 2 <= outcome.best_cardinality <= 3
+
+
+class TestUserIntegrationStory:
+    """Non-intrusive preference learning across both explanation types."""
+
+    def test_traversal_respects_user_focus(self, ldbc_small):
+        failed = ldbc.empty_variant("LDBC QUERY 2")
+        prefs = UserPreferences()
+        prefs.mark_important(("vertex", 0), ("edge", 0))
+        result = discover_mcs(
+            ldbc_small.graph, failed, strategy="single-path", preferences=prefs
+        )
+        assert result.differential is not None
+
+    def test_rating_loop_changes_proposals(self, tiny_graph):
+        # edge-poisoned pattern: several structurally different fixes exist
+        q = GraphQuery()
+        p = q.add_vertex(predicates={"type": equals("person")})
+        u = q.add_vertex(predicates={"type": equals("university")})
+        q.add_edge(p, u, types={"workAt"}, predicates={"sinceYear": equals(1800)})
+
+        model = RewritePreferenceModel(learning_rate=1.0)
+        seen_targets = []
+        for _ in range(3):
+            rewriter = CoarseRewriter(
+                tiny_graph, priority="syntactic", preference_model=model
+            )
+            best = rewriter.rewrite(q).best
+            if best is None:
+                break
+            targets = frozenset(op.target for op in best.modifications)
+            if targets in seen_targets:
+                break
+            seen_targets.append(targets)
+            model.rate_proposal(best.modifications, rating=0.0)
+        assert len(seen_targets) >= 2  # the engine explored alternatives
+
+
+class TestHolisticStory:
+    def test_all_three_problems_on_one_engine(self, ldbc_small):
+        graph = ldbc_small.graph
+        engine = WhyQueryEngine(
+            graph, max_rewrite_evaluations=120, max_explanation_evaluations=80
+        )
+        matcher = PatternMatcher(graph)
+
+        failed = ldbc.empty_variant("LDBC QUERY 1")
+        if matcher.count(failed, limit=1) == 0:
+            report = engine.debug(failed)
+            assert report.problem == CardinalityProblem.EMPTY
+
+        q = ldbc.query_1()
+        c = matcher.count(q)
+        if c > 1:
+            report = engine.debug(q, CardinalityThreshold.at_most(max(1, c // 2)))
+            assert report.problem == CardinalityProblem.TOO_MANY
+            report = engine.debug(q, CardinalityThreshold.at_least(c * 3))
+            assert report.problem == CardinalityProblem.TOO_FEW
+
+    def test_dbpedia_end_to_end(self, dbpedia_small):
+        graph = dbpedia_small.graph
+        engine = WhyQueryEngine(graph, max_rewrite_evaluations=120)
+        failed = dbpedia.empty_variant("DBPEDIA QUERY 4")
+        matcher = PatternMatcher(graph)
+        if matcher.count(failed, limit=1) > 0:
+            pytest.skip("variant not empty at this scale")
+        report = engine.debug(failed)
+        assert report.problem == CardinalityProblem.EMPTY
+        assert report.summary()
+
+
+class TestMetricsConsistencyAcrossStack:
+    def test_rewriting_distances_recomputable(self, tiny_graph):
+        q = GraphQuery()
+        p = q.add_vertex(predicates={"type": equals("person")})
+        u = q.add_vertex(predicates={"type": equals("university")})
+        c = q.add_vertex(
+            predicates={"type": equals("city"), "name": equals("Nowhere")}
+        )
+        q.add_edge(p, u, types={"workAt"})
+        q.add_edge(u, c, types={"locatedIn"})
+        best = CoarseRewriter(tiny_graph).rewrite(q).best
+        assert best.syntactic == pytest.approx(syntactic_distance(q, best.query))

@@ -1,0 +1,84 @@
+"""Tests for networkx interoperability."""
+
+import networkx as nx
+import pytest
+
+from repro.core import GraphQuery, equals
+from repro.core.interop import from_networkx, to_networkx
+from repro.matching import PatternMatcher
+
+
+class TestExport:
+    def test_counts_preserved(self, tiny_graph):
+        g = to_networkx(tiny_graph)
+        assert g.number_of_nodes() == tiny_graph.num_vertices
+        assert g.number_of_edges() == tiny_graph.num_edges
+
+    def test_attributes_preserved(self, tiny_graph):
+        g = to_networkx(tiny_graph)
+        assert g.nodes[0]["name"] == "Anna"
+
+    def test_edge_type_exported(self, tiny_graph):
+        g = to_networkx(tiny_graph)
+        data = g.get_edge_data(0, 4)
+        assert any(attrs["type"] == "workAt" for attrs in data.values())
+
+    def test_multigraph_type(self, tiny_graph):
+        assert isinstance(to_networkx(tiny_graph), nx.MultiDiGraph)
+
+
+class TestImport:
+    def test_round_trip_matching(self, tiny_graph):
+        restored = from_networkx(to_networkx(tiny_graph))
+        q = GraphQuery()
+        p = q.add_vertex(predicates={"type": equals("person")})
+        u = q.add_vertex(predicates={"type": equals("university")})
+        q.add_edge(p, u, types={"workAt"})
+        assert PatternMatcher(restored).count(q) == PatternMatcher(tiny_graph).count(q)
+
+    def test_import_plain_digraph(self):
+        g = nx.DiGraph()
+        g.add_node("a", type="person")
+        g.add_node("b", type="person")
+        g.add_edge("a", "b", type="knows", since=2010)
+        imported = from_networkx(g)
+        assert imported.num_vertices == 2
+        assert imported.num_edges == 1
+        record = imported.edge(0)
+        assert record.type == "knows"
+        assert record.attributes["since"] == 2010
+
+    def test_string_labels_become_label_attribute(self):
+        g = nx.DiGraph()
+        g.add_edge("x", "y")
+        imported = from_networkx(g)
+        labels = {
+            imported.vertex_attributes(v).get("label") for v in imported.vertices()
+        }
+        assert labels == {"x", "y"}
+
+    def test_untyped_edges_get_default_type(self):
+        g = nx.DiGraph()
+        g.add_edge(0, 1)
+        imported = from_networkx(g)
+        assert imported.edge(0).type == "edge"
+
+    def test_debugging_on_imported_graph(self):
+        """End-to-end: a networkx user debugs a why-empty query."""
+        from repro.why import WhyQueryEngine
+
+        g = nx.MultiDiGraph()
+        g.add_node(0, type="person", name="Ada")
+        g.add_node(1, type="machine", name="Analytical Engine")
+        g.add_edge(0, 1, type="invented", year=1837)
+        graph = from_networkx(g)
+
+        q = GraphQuery()
+        p = q.add_vertex(predicates={"type": equals("person")})
+        m = q.add_vertex(
+            predicates={"type": equals("machine"), "name": equals("Difference Engine")}
+        )
+        q.add_edge(p, m, types={"invented"})
+        report = WhyQueryEngine(graph).debug(q)
+        assert report.problem.value == "why-empty"
+        assert report.rewriting.best is not None

@@ -1,0 +1,95 @@
+"""Tests for the operational query representation (Sec. 6.1.2)."""
+
+import pytest
+
+from repro.core import GraphQuery, equals
+from repro.finegrained.opquery import OperationalQuery
+from repro.matching import PatternMatcher
+from repro.rewrite.cache import QueryResultCache
+
+
+@pytest.fixture
+def query() -> GraphQuery:
+    q = GraphQuery()
+    p = q.add_vertex(predicates={"type": equals("person")})
+    u = q.add_vertex(predicates={"type": equals("university")})
+    c = q.add_vertex(predicates={"type": equals("city")})
+    q.add_edge(p, u, types={"workAt"})
+    q.add_edge(u, c, types={"locatedIn"})
+    return q
+
+
+class TestOperatorChain:
+    def test_every_element_bound_once(self, tiny_graph, query):
+        op = OperationalQuery(tiny_graph, query)
+        introduced = [ref for info in op.operators for ref in info.introduces]
+        assert len(introduced) == len(set(introduced)) == 5
+
+    def test_operator_of_element(self, tiny_graph, query):
+        op = OperationalQuery(tiny_graph, query)
+        for eid in query.edge_ids:
+            idx = op.operator_of(("edge", eid))
+            assert 0 <= idx < len(op)
+
+    def test_operator_of_unknown_raises(self, tiny_graph, query):
+        op = OperationalQuery(tiny_graph, query)
+        with pytest.raises(KeyError):
+            op.operator_of(("edge", 99))
+
+    def test_prefix_query_grows(self, tiny_graph, query):
+        op = OperationalQuery(tiny_graph, query)
+        sizes = [len(op.prefix_query(i + 1)) for i in range(len(op))]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == len(query)
+
+    def test_prefix_queries_are_valid(self, tiny_graph, query):
+        op = OperationalQuery(tiny_graph, query)
+        for i in range(len(op)):
+            op.prefix_query(i + 1).validate()
+
+
+class TestCardinalityTrace:
+    def test_full_prefix_equals_query_cardinality(self, tiny_graph, query):
+        matcher = PatternMatcher(tiny_graph)
+        cache = QueryResultCache(matcher)
+        op = OperationalQuery(tiny_graph, query)
+        trace = op.prefix_cardinalities(cache)
+        assert trace[-1] == matcher.count(query)
+
+    def test_trace_shows_collapse_point(self, tiny_graph):
+        # poisoned last hop: the trace collapses to 0 exactly at the end
+        q = GraphQuery()
+        p = q.add_vertex(predicates={"type": equals("person")})
+        u = q.add_vertex(predicates={"type": equals("university")})
+        c = q.add_vertex(predicates={"type": equals("city"), "name": equals("X")})
+        q.add_edge(p, u, types={"workAt"})
+        q.add_edge(u, c, types={"locatedIn"})
+        cache = QueryResultCache(PatternMatcher(tiny_graph))
+        op = OperationalQuery(tiny_graph, q, edge_order=[0, 1])
+        trace = op.prefix_cardinalities(cache)
+        assert trace[-1] == 0
+        assert any(v > 0 for v in trace[:-1])
+
+    def test_prefix_reuse_through_cache(self, tiny_graph, query):
+        """A modification at the last operator re-executes only the
+        suffix: the prefix signatures hit the cache (change propagation,
+        Sec. 6.3.1)."""
+        matcher = PatternMatcher(tiny_graph)
+        cache = QueryResultCache(matcher)
+        op = OperationalQuery(tiny_graph, query, edge_order=[0, 1])
+        op.prefix_cardinalities(cache)
+        misses_before = cache.stats.misses
+
+        variant = query.copy()
+        variant.vertex(2).predicates["name"] = equals("Dresden")
+        op2 = OperationalQuery(tiny_graph, variant, edge_order=[0, 1])
+        op2.prefix_cardinalities(cache)
+        new_misses = cache.stats.misses - misses_before
+        # only the prefixes containing the modified vertex re-execute
+        affected = len(op2) - op2.operator_of(("vertex", 2))
+        assert new_misses == affected
+
+    def test_first_affected_operator(self, tiny_graph, query):
+        op = OperationalQuery(tiny_graph, query, edge_order=[0, 1])
+        first = op.first_affected_operator([("vertex", 2), ("edge", 1)])
+        assert first == op.operator_of(("edge", 1))

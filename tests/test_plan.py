@@ -1,0 +1,86 @@
+"""Tests for the matcher's search-order planner."""
+
+import pytest
+
+from repro.core import GraphQuery, equals
+from repro.matching.plan import ExpandStep, SeedStep, build_plan
+
+
+@pytest.fixture
+def query() -> GraphQuery:
+    q = GraphQuery()
+    p = q.add_vertex(predicates={"type": equals("person")})       # 4 candidates
+    u = q.add_vertex(predicates={"type": equals("university")})   # 2 candidates
+    c = q.add_vertex(predicates={"type": equals("city")})         # 2 candidates
+    q.add_edge(p, u, types={"workAt"})
+    q.add_edge(u, c, types={"locatedIn"})
+    return q
+
+
+class TestAutomaticPlanning:
+    def test_one_seed_for_connected_query(self, tiny_graph, query):
+        plan = build_plan(tiny_graph, query)
+        seeds = [s for s in plan if isinstance(s, SeedStep)]
+        assert len(seeds) == 1
+
+    def test_every_edge_expanded_once(self, tiny_graph, query):
+        plan = build_plan(tiny_graph, query)
+        expanded = [s.eid for s in plan if isinstance(s, ExpandStep)]
+        assert sorted(expanded) == [0, 1]
+
+    def test_seed_is_selective(self, tiny_graph, query):
+        plan = build_plan(tiny_graph, query)
+        seed = next(s for s in plan if isinstance(s, SeedStep))
+        # universities/cities (2 candidates) beat persons (4)
+        assert seed.vid in (1, 2)
+
+    def test_expansion_anchors_are_bound(self, tiny_graph, query):
+        plan = build_plan(tiny_graph, query)
+        bound = set()
+        for step in plan:
+            if isinstance(step, SeedStep):
+                bound.add(step.vid)
+            else:
+                assert step.anchor in bound
+                if step.new_vid is not None:
+                    bound.add(step.new_vid)
+
+    def test_disconnected_query_gets_multiple_seeds(self, tiny_graph):
+        q = GraphQuery()
+        q.add_vertex(predicates={"type": equals("person")})
+        q.add_vertex(predicates={"type": equals("city")})
+        plan = build_plan(tiny_graph, q)
+        assert len([s for s in plan if isinstance(s, SeedStep)]) == 2
+
+    def test_cycle_closing_edge_checks_consistency(self, tiny_graph):
+        q = GraphQuery()
+        a = q.add_vertex(predicates={"type": equals("city")})
+        b = q.add_vertex(predicates={"type": equals("city")})
+        n = q.add_vertex(predicates={"type": equals("country")})
+        q.add_edge(a, n, types={"isPartOf"})
+        q.add_edge(b, n, types={"isPartOf"})
+        q.add_edge(a, b, types={"knows"})
+        plan = build_plan(tiny_graph, q)
+        closing = [s for s in plan if isinstance(s, ExpandStep) and s.new_vid is None]
+        assert len(closing) == 1
+
+
+class TestExplicitOrder:
+    def test_explicit_order_respected(self, tiny_graph, query):
+        plan = build_plan(tiny_graph, query, edge_order=[1, 0])
+        expanded = [s.eid for s in plan if isinstance(s, ExpandStep)]
+        assert expanded == [1, 0]
+
+    def test_explicit_order_seeds_automatically(self, tiny_graph, query):
+        plan = build_plan(tiny_graph, query, edge_order=[0, 1])
+        assert isinstance(plan[0], SeedStep)
+
+    def test_missing_edges_rejected(self, tiny_graph, query):
+        with pytest.raises(ValueError):
+            build_plan(tiny_graph, query, edge_order=[0])
+
+    def test_isolated_vertices_seeded_after_order(self, tiny_graph, query):
+        iso = query.add_vertex(predicates={"type": equals("country")})
+        plan = build_plan(tiny_graph, query, edge_order=[0, 1])
+        seeds = [s.vid for s in plan if isinstance(s, SeedStep)]
+        assert iso in seeds

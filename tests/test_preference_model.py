@@ -1,0 +1,87 @@
+"""Tests for the Sec. 5.4 user-preference model."""
+
+import pytest
+
+from repro.rewrite.operations import DropEdge, DropPredicate
+from repro.rewrite.preference_model import RewritePreferenceModel
+
+
+class TestLearning:
+    def test_default_keep_weight(self):
+        model = RewritePreferenceModel()
+        assert model.keep_weight(("vertex", 0)) == 0.5
+
+    def test_bad_rating_raises_keep_weight(self):
+        model = RewritePreferenceModel(learning_rate=0.5)
+        op = DropPredicate(("vertex", 2), "name")
+        model.rate_proposal([op], rating=0.0)
+        assert model.keep_weight(("vertex", 2)) == 0.75
+
+    def test_good_rating_lowers_keep_weight(self):
+        model = RewritePreferenceModel(learning_rate=0.5)
+        op = DropEdge(1)
+        model.rate_proposal([op], rating=1.0)
+        assert model.keep_weight(("edge", 1)) == 0.25
+
+    def test_repeated_feedback_converges(self):
+        model = RewritePreferenceModel(learning_rate=0.5)
+        op = DropPredicate(("vertex", 2), "name")
+        for _ in range(10):
+            model.rate_proposal([op], rating=0.0)
+        assert model.keep_weight(("vertex", 2)) > 0.99
+
+    def test_rating_validated(self):
+        with pytest.raises(ValueError):
+            RewritePreferenceModel().rate_proposal([], rating=2.0)
+
+    def test_ratings_counted(self):
+        model = RewritePreferenceModel()
+        model.rate_proposal([], rating=0.5)
+        model.rate_proposal([], rating=0.5)
+        assert model.ratings_seen == 2
+
+
+class TestPenalty:
+    def test_penalty_is_max_keep_weight(self):
+        model = RewritePreferenceModel(learning_rate=1.0)
+        a = DropPredicate(("vertex", 1), "x")
+        b = DropPredicate(("vertex", 2), "y")
+        model.rate_proposal([a], rating=0.0)  # keep weight 1.0
+        model.rate_proposal([b], rating=1.0)  # keep weight 0.0
+        assert model.modification_penalty([a, b]) == pytest.approx(1.0)
+
+    def test_penalty_not_dilutable(self):
+        """A protected element must dominate no matter how many unrated
+        collateral operations a proposal bundles around it."""
+        model = RewritePreferenceModel(learning_rate=1.0)
+        bad = DropPredicate(("vertex", 1), "x")
+        model.rate_proposal([bad], rating=0.0)
+        padding = [DropPredicate(("vertex", i), "y") for i in range(2, 8)]
+        assert model.modification_penalty([bad] + padding) == pytest.approx(1.0)
+
+    def test_no_modifications_no_penalty(self):
+        assert RewritePreferenceModel().modification_penalty([]) == 0.0
+
+    def test_adjust_positive_priority_damps(self):
+        model = RewritePreferenceModel(learning_rate=1.0, penalty_strength=1.0)
+        op = DropEdge(0)
+        model.rate_proposal([op], rating=0.0)
+        assert model.adjust_priority(10.0, [op]) < 10.0
+        assert model.adjust_priority(10.0, [op]) > 0.0
+
+    def test_adjust_negative_priority_subtracts(self):
+        model = RewritePreferenceModel(learning_rate=1.0, penalty_strength=1.0)
+        op = DropEdge(0)
+        model.rate_proposal([op], rating=0.0)
+        assert model.adjust_priority(-0.1, [op]) < -0.1
+
+    def test_unrated_elements_get_mild_penalty(self):
+        model = RewritePreferenceModel()
+        op = DropEdge(3)
+        assert 0.0 < model.modification_penalty([op]) < 1.0
+
+    def test_protected_elements_listing(self):
+        model = RewritePreferenceModel(learning_rate=1.0)
+        a = DropPredicate(("vertex", 1), "x")
+        model.rate_proposal([a], rating=0.0)
+        assert model.protected_elements() == (("vertex", 1),)

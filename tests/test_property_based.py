@@ -1,0 +1,282 @@
+"""Property-based tests (hypothesis) for the core data structures and
+metric invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GraphQuery, Interval, PropertyGraph, ValueSet, equals
+from repro.core.predicates import predicate_distance
+from repro.matching import PatternMatcher
+from repro.metrics.assignment import assignment_cost
+from repro.metrics.cardinality import CardinalityThreshold, cardinality_distance
+from repro.metrics.ged import coarse_ged
+from repro.metrics.hausdorff import modified_hausdorff
+from repro.metrics.result_distance import result_graph_distance
+from repro.core.result import ResultGraph
+from repro.metrics.syntactic import syntactic_distance
+
+# -- strategies ---------------------------------------------------------------
+
+atoms = st.one_of(
+    st.integers(-50, 50), st.text(alphabet="abcdef", min_size=1, max_size=3)
+)
+atom_sets = st.frozensets(atoms, min_size=0, max_size=8)
+
+value_sets = st.frozensets(atoms, min_size=1, max_size=5).map(ValueSet)
+
+intervals = st.tuples(
+    st.integers(-100, 100), st.integers(0, 50), st.booleans(), st.booleans()
+).map(lambda t: Interval(t[0], t[0] + t[1] + 1, t[2], t[3]))
+
+predicates = st.one_of(value_sets, intervals)
+
+
+@st.composite
+def small_queries(draw):
+    """Random small queries with shared id space (for distance tests)."""
+    n_vertices = draw(st.integers(1, 4))
+    q = GraphQuery()
+    for vid in range(n_vertices):
+        preds = {}
+        if draw(st.booleans()):
+            preds["type"] = draw(value_sets)
+        if draw(st.booleans()):
+            preds["age"] = draw(intervals)
+        q.add_vertex(vid=vid, predicates=preds)
+    n_edges = draw(st.integers(0, 4))
+    for eid in range(n_edges):
+        source = draw(st.integers(0, n_vertices - 1))
+        target = draw(st.integers(0, n_vertices - 1))
+        types = frozenset(draw(st.sets(st.sampled_from("xyz"), min_size=1, max_size=2)))
+        q.add_edge(source, target, eid=eid, types=types)
+    return q
+
+
+@st.composite
+def bindings(draw):
+    v = draw(st.dictionaries(st.integers(0, 5), st.integers(0, 20), max_size=5))
+    e = draw(st.dictionaries(st.integers(0, 5), st.integers(0, 20), max_size=5))
+    return ResultGraph.from_mappings(v, e)
+
+
+# -- modified Hausdorff ----------------------------------------------------------
+
+
+class TestMhdProperties:
+    @given(atom_sets, atom_sets)
+    def test_symmetry(self, a, b):
+        assert modified_hausdorff(a, b) == modified_hausdorff(b, a)
+
+    @given(atom_sets)
+    def test_identity(self, a):
+        assert modified_hausdorff(a, a) == 0.0
+
+    @given(atom_sets, atom_sets)
+    def test_bounded(self, a, b):
+        assert 0.0 <= modified_hausdorff(a, b) <= 1.0
+
+    @given(atom_sets, atom_sets)
+    def test_zero_iff_equal(self, a, b):
+        d = modified_hausdorff(a, b)
+        if a != b:
+            assert d > 0.0
+        else:
+            assert d == 0.0
+
+
+# -- predicates ---------------------------------------------------------------------
+
+
+class TestPredicateProperties:
+    @given(value_sets, atoms)
+    def test_with_value_admits(self, pred, value):
+        assert pred.with_value(value).matches(value)
+
+    @given(value_sets)
+    def test_atoms_match_semantics(self, pred):
+        for atom in pred.atoms():
+            assert pred.matches(atom)
+
+    @given(intervals)
+    def test_interval_atoms_inside(self, pred):
+        for atom in pred.atoms():
+            if isinstance(atom, int):
+                assert pred.matches(atom)
+
+    @given(intervals, st.integers(1, 5))
+    def test_widen_superset(self, pred, step):
+        widened = pred.widen(step)
+        lo, hi = pred._int_bounds()
+        for value in range(lo, min(hi, lo + 20) + 1):
+            assert widened.matches(value) or not pred.matches(value)
+
+    @given(predicates, predicates)
+    def test_predicate_distance_bounded(self, a, b):
+        assert 0.0 <= predicate_distance(a, b) <= 1.0
+
+    @given(predicates)
+    def test_predicate_distance_identity(self, p):
+        assert predicate_distance(p, p) == 0.0
+
+
+# -- syntactic distance -----------------------------------------------------------
+
+
+class TestSyntacticProperties:
+    @settings(max_examples=40)
+    @given(small_queries(), small_queries())
+    def test_symmetry(self, q1, q2):
+        assert syntactic_distance(q1, q2) == pytest.approx(
+            syntactic_distance(q2, q1)
+        )
+
+    @settings(max_examples=40)
+    @given(small_queries())
+    def test_identity(self, q):
+        assert syntactic_distance(q, q.copy()) == 0.0
+
+    @settings(max_examples=40)
+    @given(small_queries(), small_queries())
+    def test_bounded(self, q1, q2):
+        assert 0.0 <= syntactic_distance(q1, q2) <= 1.0
+
+    @settings(max_examples=40)
+    @given(small_queries(), small_queries())
+    def test_coarse_ged_zero_iff_syntactic_zero(self, q1, q2):
+        # the two metrics must agree on *whether* queries differ
+        assert (coarse_ged(q1, q2) == 0) == (syntactic_distance(q1, q2) == 0.0)
+
+
+# -- result distance -----------------------------------------------------------------
+
+
+class TestResultDistanceProperties:
+    @given(bindings(), bindings())
+    def test_symmetry(self, r1, r2):
+        assert result_graph_distance(r1, r2) == result_graph_distance(r2, r1)
+
+    @given(bindings())
+    def test_identity(self, r):
+        assert result_graph_distance(r, r) == 0.0
+
+    @given(bindings(), bindings())
+    def test_bounded(self, r1, r2):
+        assert 0.0 <= result_graph_distance(r1, r2) <= 1.0
+
+    @given(bindings(), bindings(), bindings())
+    def test_triangle_inequality(self, a, b, c):
+        ab = result_graph_distance(a, b)
+        bc = result_graph_distance(b, c)
+        ac = result_graph_distance(a, c)
+        assert ac <= ab + bc + 1e-9
+
+
+# -- Hungarian assignment ----------------------------------------------------------------
+
+
+class TestAssignmentProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(1, 6).flatmap(
+            lambda n: st.lists(
+                st.lists(st.floats(0, 1, allow_nan=False), min_size=n, max_size=n),
+                min_size=1,
+                max_size=n,
+            )
+        )
+    )
+    def test_matches_scipy(self, cost):
+        import numpy as np
+        from scipy.optimize import linear_sum_assignment
+
+        ours, _ = assignment_cost(cost)
+        rows, cols = linear_sum_assignment(np.array(cost))
+        reference = float(np.array(cost)[rows, cols].sum())
+        assert ours == pytest.approx(reference, abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(2, 5).flatmap(
+            lambda n: st.lists(
+                st.lists(st.floats(0, 1, allow_nan=False), min_size=n, max_size=n),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    def test_assignment_is_injective(self, cost):
+        _, assignment = assignment_cost(cost)
+        real = [c for c in assignment if c >= 0]
+        assert len(real) == len(set(real))
+
+
+# -- cardinality metrics -------------------------------------------------------------------
+
+
+class TestCardinalityProperties:
+    @given(st.integers(0, 1000), st.integers(0, 1000), st.integers(0, 1000))
+    def test_eq319_symmetry_in_explanations(self, thr, c1, c2):
+        assert cardinality_distance(thr, c1, c2) == cardinality_distance(thr, c2, c1)
+
+    @given(st.integers(0, 1000), st.integers(0, 1000))
+    def test_eq319_identity(self, thr, c):
+        assert cardinality_distance(thr, c, c) == 0
+
+    @given(st.integers(0, 100), st.integers(0, 100))
+    def test_threshold_direction_consistent_with_distance(self, lo_raw, span):
+        thr = CardinalityThreshold(lower=lo_raw, upper=lo_raw + span)
+        for c in (0, lo_raw, lo_raw + span, lo_raw + span + 7):
+            if thr.distance(c) == 0:
+                assert thr.direction(c) == 0
+            else:
+                assert thr.direction(c) != 0
+
+
+# -- matcher invariants ---------------------------------------------------------------------
+
+
+class TestMatcherProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_count_equals_match_len(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        g = PropertyGraph()
+        n = rng.randint(2, 8)
+        for i in range(n):
+            g.add_vertex(type=rng.choice("ab"), x=rng.randint(0, 3))
+        for _ in range(rng.randint(1, 12)):
+            g.add_edge(
+                rng.randrange(n), rng.randrange(n), rng.choice("rst")
+            )
+        q = GraphQuery()
+        a = q.add_vertex(predicates={"type": equals("a")})
+        b = q.add_vertex()
+        q.add_edge(a, b, types={"r"})
+        matcher = PatternMatcher(g)
+        assert matcher.count(q) == matcher.match(q).cardinality
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 5))
+    def test_limit_is_monotone(self, seed, limit):
+        import random
+
+        rng = random.Random(seed)
+        g = PropertyGraph()
+        n = rng.randint(2, 8)
+        for i in range(n):
+            g.add_vertex(type=rng.choice("ab"))
+        for _ in range(rng.randint(1, 12)):
+            g.add_edge(rng.randrange(n), rng.randrange(n), "r")
+        q = GraphQuery()
+        a = q.add_vertex(predicates={"type": equals("a")})
+        b = q.add_vertex()
+        q.add_edge(a, b, types={"r"})
+        matcher = PatternMatcher(g)
+        bounded = matcher.count(q, limit=limit)
+        full = matcher.count(q)
+        assert bounded == min(limit, full)

@@ -1,0 +1,145 @@
+"""Tests for the result-level comparison (Defs. 6-8), including the
+thesis' Fig. 3.6 worked example (distance 4/7)."""
+
+import pytest
+
+from repro.core.result import ResultGraph, ResultSet
+from repro.metrics.result_distance import (
+    result_distance_matrix,
+    result_graph_distance,
+    result_overlap,
+    result_set_distance,
+)
+
+
+def rg(vertices, edges):
+    return ResultGraph.from_mappings(vertices, edges)
+
+
+@pytest.fixture
+def fig36_r1():
+    """Fig. 3.6a: v1->person.1, v2->person.2, v3->city.5; e1->friend.1,
+    e2->locatedIn.10 (data ids encoded as ints)."""
+    return rg({1: 101, 2: 102, 3: 205}, {1: 301, 2: 310})
+
+
+@pytest.fixture
+def fig36_r2():
+    """Fig. 3.6b: v1->person.1, v2->person.2, v4->city.15; e1->friend.1,
+    e4->locatedIn.15."""
+    return rg({1: 101, 2: 102, 4: 215}, {1: 301, 4: 315})
+
+
+class TestResultGraphDistance:
+    def test_fig36_example(self, fig36_r1, fig36_r2):
+        # delete v3, e2; insert v4, e4 -> cost 4; union 4 vertices + 3 edges
+        assert result_graph_distance(fig36_r1, fig36_r2) == pytest.approx(4 / 7)
+
+    def test_identity(self, fig36_r1):
+        assert result_graph_distance(fig36_r1, fig36_r1) == 0.0
+
+    def test_symmetry(self, fig36_r1, fig36_r2):
+        assert result_graph_distance(fig36_r1, fig36_r2) == result_graph_distance(
+            fig36_r2, fig36_r1
+        )
+
+    def test_relabeling_costs_one(self):
+        a = rg({1: 10}, {})
+        b = rg({1: 11}, {})
+        assert result_graph_distance(a, b) == 1.0
+
+    def test_partial_relabeling(self):
+        a = rg({1: 10, 2: 20}, {1: 30})
+        b = rg({1: 10, 2: 21}, {1: 30})
+        assert result_graph_distance(a, b) == pytest.approx(1 / 3)
+
+    def test_disjoint_results(self):
+        a = rg({1: 10}, {1: 30})
+        b = rg({2: 11}, {2: 31})
+        assert result_graph_distance(a, b) == 1.0
+
+    def test_empty_results(self):
+        assert result_graph_distance(rg({}, {}), rg({}, {})) == 0.0
+
+    def test_bounded(self, fig36_r1, fig36_r2):
+        assert 0.0 <= result_graph_distance(fig36_r1, fig36_r2) <= 1.0
+
+
+class TestResultSetDistance:
+    def test_identical_sets(self, fig36_r1, fig36_r2):
+        s = ResultSet([fig36_r1, fig36_r2])
+        assert result_set_distance(s, s) == 0.0
+
+    def test_both_empty(self):
+        assert result_set_distance(ResultSet(), ResultSet()) == 0.0
+
+    def test_original_lost(self, fig36_r1):
+        s = ResultSet([fig36_r1])
+        assert result_set_distance(s, ResultSet()) == 1.0
+
+    def test_nothing_shared(self, fig36_r1):
+        s1 = ResultSet([fig36_r1])
+        s2 = ResultSet([rg({9: 99}, {9: 999})])
+        assert result_set_distance(s1, s2) == 1.0
+
+    def test_partial_overlap_graded(self, fig36_r1, fig36_r2):
+        s1 = ResultSet([fig36_r1, fig36_r2])
+        s2 = ResultSet([fig36_r1])
+        d = result_set_distance(s1, s2)
+        # one result survives (cost 0), one is padded (cost 1) -> 1/2
+        assert d == pytest.approx(0.5)
+
+    def test_more_answers_than_original_is_cheap(self, fig36_r1):
+        extra = rg({1: 500}, {1: 600})
+        s1 = ResultSet([fig36_r1])
+        s2 = ResultSet([fig36_r1, extra])
+        assert result_set_distance(s1, s2) == 0.0
+
+    def test_normalisation_by_original(self, fig36_r1, fig36_r2):
+        # |R1|=2, one exact survivor + one padded: (0 + 1)/2
+        s1 = ResultSet([fig36_r1, fig36_r2])
+        s2 = ResultSet([fig36_r2])
+        assert result_set_distance(s1, s2) == pytest.approx(0.5)
+
+    def test_sampling_is_deterministic(self, fig36_r1, fig36_r2):
+        s1 = ResultSet([rg({1: i}, {}) for i in range(40)])
+        s2 = ResultSet([rg({1: i}, {}) for i in range(20, 60)])
+        d1 = result_set_distance(s1, s2, sample_limit=16)
+        d2 = result_set_distance(s1, s2, sample_limit=16)
+        assert d1 == d2
+
+    def test_matrix_shape(self, fig36_r1, fig36_r2):
+        s1 = ResultSet([fig36_r1, fig36_r2])
+        s2 = ResultSet([fig36_r1])
+        matrix = result_distance_matrix(s1, s2)
+        assert len(matrix) == 2 and len(matrix[0]) == 1
+
+
+class TestResultSet:
+    def test_deduplication(self, fig36_r1):
+        s = ResultSet([fig36_r1, fig36_r1])
+        assert s.cardinality == 1
+
+    def test_iteration_order_stable(self, fig36_r1, fig36_r2):
+        s = ResultSet([fig36_r1, fig36_r2])
+        assert list(s) == [fig36_r1, fig36_r2]
+
+    def test_contains(self, fig36_r1, fig36_r2):
+        s = ResultSet([fig36_r1])
+        assert fig36_r1 in s and fig36_r2 not in s
+
+    def test_sample_bounds(self, fig36_r1, fig36_r2):
+        s = ResultSet([fig36_r1, fig36_r2])
+        assert s.sample(1).cardinality == 1
+        assert s.sample(10).cardinality == 2
+
+    def test_overlap(self, fig36_r1, fig36_r2):
+        s1 = ResultSet([fig36_r1, fig36_r2])
+        s2 = ResultSet([fig36_r2])
+        assert result_overlap(s1, s2) == (1, 2)
+
+    def test_result_graph_accessors(self, fig36_r1):
+        assert fig36_r1.data_vertex(1) == 101
+        assert fig36_r1.data_vertex(99) is None
+        assert fig36_r1.data_edge(2) == 310
+        assert len(fig36_r1) == 5

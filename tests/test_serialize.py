@@ -1,0 +1,135 @@
+"""Tests for JSON (de)serialisation of graphs, queries and results."""
+
+import json
+import math
+
+import pytest
+
+from repro.core import (
+    BOTH_DIRECTIONS,
+    GraphQuery,
+    Interval,
+    MalformedQueryError,
+    at_least,
+    between,
+    equals,
+    one_of,
+)
+from repro.core.result import ResultGraph, ResultSet
+from repro.core.serialize import (
+    graph_from_dict,
+    graph_to_dict,
+    predicate_from_dict,
+    predicate_to_dict,
+    query_from_dict,
+    query_to_dict,
+    result_set_from_dict,
+    result_set_to_dict,
+)
+
+
+class TestPredicateRoundTrip:
+    @pytest.mark.parametrize(
+        "pred",
+        [
+            equals("Anna"),
+            one_of("a", "b", "c"),
+            one_of(1, 2, 3),
+            between(2000, 2005),
+            Interval(1, 4, low_open=True, high_open=True),
+            at_least(10),
+            Interval(-math.inf, 5, True, False, integral=False),
+        ],
+    )
+    def test_round_trip(self, pred):
+        assert predicate_from_dict(predicate_to_dict(pred)) == pred
+
+    def test_infinity_is_json_safe(self):
+        data = predicate_to_dict(at_least(10))
+        text = json.dumps(data)
+        assert "Infinity" not in text
+        assert predicate_from_dict(json.loads(text)) == at_least(10)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(MalformedQueryError):
+            predicate_from_dict({"kind": "regex"})
+
+
+class TestQueryRoundTrip:
+    def test_full_round_trip(self, fig35_original):
+        data = query_to_dict(fig35_original)
+        restored = query_from_dict(data)
+        assert restored == fig35_original
+
+    def test_json_round_trip(self, fig35_original):
+        text = json.dumps(query_to_dict(fig35_original))
+        assert query_from_dict(json.loads(text)) == fig35_original
+
+    def test_directions_preserved(self):
+        q = GraphQuery()
+        a, b = q.add_vertex(), q.add_vertex()
+        q.add_edge(a, b, directions=BOTH_DIRECTIONS)
+        restored = query_from_dict(query_to_dict(q))
+        assert restored.edge(0).directions == BOTH_DIRECTIONS
+
+    def test_untyped_edge_preserved(self):
+        q = GraphQuery()
+        a, b = q.add_vertex(), q.add_vertex()
+        q.add_edge(a, b, types=None)
+        restored = query_from_dict(query_to_dict(q))
+        assert restored.edge(0).types is None
+
+    def test_ids_preserved(self, fig35_original):
+        restored = query_from_dict(query_to_dict(fig35_original))
+        assert restored.vertex_ids == fig35_original.vertex_ids
+        assert restored.edge_ids == fig35_original.edge_ids
+
+    def test_restored_query_is_runnable(self, tiny_graph, fig35_original):
+        from repro.matching import PatternMatcher
+
+        restored = query_from_dict(query_to_dict(fig35_original))
+        PatternMatcher(tiny_graph).count(restored)  # no exception
+
+
+class TestGraphRoundTrip:
+    def test_round_trip(self, tiny_graph):
+        restored = graph_from_dict(graph_to_dict(tiny_graph))
+        assert restored.num_vertices == tiny_graph.num_vertices
+        assert restored.num_edges == tiny_graph.num_edges
+        for vid in tiny_graph.vertices():
+            assert restored.vertex_attributes(vid) == tiny_graph.vertex_attributes(vid)
+        for record in tiny_graph.edges():
+            other = restored.edge(record.eid)
+            assert (other.source, other.target, other.type) == (
+                record.source,
+                record.target,
+                record.type,
+            )
+            assert other.attributes == record.attributes
+
+    def test_queries_match_identically_after_round_trip(self, tiny_graph):
+        from repro.matching import PatternMatcher
+        from repro.core import equals
+
+        q = GraphQuery()
+        q.add_vertex(predicates={"type": equals("person")})
+        restored = graph_from_dict(graph_to_dict(tiny_graph))
+        assert PatternMatcher(restored).count(q) == PatternMatcher(tiny_graph).count(q)
+
+
+class TestResultSetRoundTrip:
+    def test_round_trip(self):
+        results = ResultSet(
+            [
+                ResultGraph.from_mappings({0: 10, 1: 11}, {0: 20}),
+                ResultGraph.from_mappings({0: 12, 1: 13}, {0: 21}),
+            ]
+        )
+        restored = result_set_from_dict(result_set_to_dict(results))
+        assert list(restored) == list(results)
+
+    def test_json_round_trip(self):
+        results = ResultSet([ResultGraph.from_mappings({0: 1}, {})])
+        text = json.dumps(result_set_to_dict(results))
+        restored = result_set_from_dict(json.loads(text))
+        assert restored.cardinality == 1

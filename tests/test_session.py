@@ -1,0 +1,125 @@
+"""Tests for the interactive debugging session (DebEAQ workflow)."""
+
+import pytest
+
+from repro.core import ExplanationError, GraphQuery, equals
+from repro.metrics.cardinality import CardinalityProblem, CardinalityThreshold
+from repro.why.session import DebugSession
+
+
+def failing_query() -> GraphQuery:
+    q = GraphQuery()
+    p = q.add_vertex(predicates={"type": equals("person")})
+    u = q.add_vertex(predicates={"type": equals("university")})
+    q.add_edge(p, u, types={"workAt"}, predicates={"sinceYear": equals(1800)})
+    return q
+
+
+class TestSessionLifecycle:
+    def test_problem_classification(self, tiny_graph):
+        session = DebugSession(tiny_graph, failing_query())
+        assert session.problem == CardinalityProblem.EMPTY
+
+    def test_propose_rate_accept(self, tiny_graph):
+        session = DebugSession(tiny_graph, failing_query())
+        first = session.propose()
+        assert first is not None and first.cardinality > 0
+        session.rate(0.0)
+        second = session.propose()
+        assert second is not None
+        assert second.query.signature() != first.query.signature()
+        session.rate(1.0)
+        accepted = session.accept()
+        assert accepted is second
+        assert session.accepted is second
+
+    def test_rejection_redirects_targets(self, tiny_graph):
+        session = DebugSession(tiny_graph, failing_query())
+        first = session.propose()
+        session.rate(0.0)
+        second = session.propose()
+        first_targets = {op.target for op in first.modifications}
+        second_targets = {op.target for op in second.modifications}
+        assert not (first_targets & second_targets)
+
+    def test_pending_must_be_rated_before_next(self, tiny_graph):
+        session = DebugSession(tiny_graph, failing_query())
+        session.propose()
+        with pytest.raises(ExplanationError):
+            session.propose()
+
+    def test_rate_without_pending_raises(self, tiny_graph):
+        session = DebugSession(tiny_graph, failing_query())
+        with pytest.raises(ExplanationError):
+            session.rate(0.5)
+
+    def test_accept_without_proposal_raises(self, tiny_graph):
+        session = DebugSession(tiny_graph, failing_query())
+        with pytest.raises(ExplanationError):
+            session.accept()
+
+    def test_no_proposals_after_accept(self, tiny_graph):
+        session = DebugSession(tiny_graph, failing_query())
+        session.propose()
+        session.accept()
+        with pytest.raises(ExplanationError):
+            session.propose()
+
+    def test_accept_implies_top_rating(self, tiny_graph):
+        session = DebugSession(tiny_graph, failing_query())
+        session.propose()
+        session.accept()
+        assert session.transcript[-1].rating == 1.0
+
+    def test_expected_query_refuses_session(self, tiny_graph):
+        q = GraphQuery()
+        q.add_vertex(predicates={"type": equals("person")})
+        session = DebugSession(
+            tiny_graph, q, threshold=CardinalityThreshold(lower=1, upper=10)
+        )
+        with pytest.raises(ExplanationError):
+            session.propose()
+
+
+class TestSessionExplanation:
+    def test_explanation_available(self, tiny_graph):
+        session = DebugSession(tiny_graph, failing_query())
+        explanation = session.explanation()
+        assert explanation.differential.coverage < 1.0
+        assert session.explanation() is explanation  # cached
+
+    def test_preferences_learn_from_ratings(self, tiny_graph):
+        session = DebugSession(tiny_graph, failing_query())
+        proposal = session.propose()
+        session.rate(0.0)
+        for op in proposal.modifications:
+            assert session.preferences.relevance(op.target) > 0.5
+
+
+class TestCardinalitySession:
+    def test_too_few_session(self, tiny_graph):
+        from repro.core import between
+
+        q = GraphQuery()
+        p = q.add_vertex(predicates={"type": equals("person")})
+        u = q.add_vertex(predicates={"type": equals("university")})
+        q.add_edge(
+            p, u, types={"workAt"}, predicates={"sinceYear": between(2003, 2003)}
+        )
+        session = DebugSession(
+            tiny_graph, q, threshold=CardinalityThreshold.at_least(3)
+        )
+        assert session.problem == CardinalityProblem.TOO_FEW
+        proposal = session.propose()
+        assert proposal is not None
+        assert proposal.cardinality >= 3
+
+    def test_summary_transcript(self, tiny_graph):
+        session = DebugSession(tiny_graph, failing_query())
+        session.propose()
+        session.rate(0.0)
+        session.propose()
+        session.accept()
+        text = session.summary()
+        assert "round 1" in text and "round 2" in text
+        assert "[accepted]" in text

@@ -1,0 +1,148 @@
+"""Tests for query-dependent statistics and path(n) estimation (Sec. 5.2)."""
+
+import pytest
+
+from repro.core import BACKWARD_ONLY, BOTH_DIRECTIONS, GraphQuery, between, equals
+from repro.matching import PatternMatcher
+from repro.rewrite.statistics import GraphStatistics
+
+
+@pytest.fixture
+def stats(tiny_graph) -> GraphStatistics:
+    return GraphStatistics(tiny_graph)
+
+
+def work_query() -> GraphQuery:
+    q = GraphQuery()
+    p = q.add_vertex(predicates={"type": equals("person")})
+    u = q.add_vertex(predicates={"type": equals("university")})
+    q.add_edge(p, u, types={"workAt"})
+    return q
+
+
+class TestVertexEdgeStatistics:
+    def test_vertex_cardinality_exact(self, stats):
+        q = work_query()
+        assert stats.vertex_cardinality(q.vertex(0)) == 4
+        assert stats.vertex_cardinality(q.vertex(1)) == 2
+
+    def test_unconstrained_vertex_counts_all(self, stats, tiny_graph):
+        q = GraphQuery()
+        q.add_vertex()
+        assert stats.vertex_cardinality(q.vertex(0)) == tiny_graph.num_vertices
+
+    def test_edge_cardinality_by_type(self, stats):
+        q = work_query()
+        assert stats.edge_cardinality(q.edge(0)) == 3
+
+    def test_edge_cardinality_with_predicate(self, stats):
+        q = work_query()
+        q.edge(0).predicates["sinceYear"] = equals(2003)
+        assert stats.edge_cardinality(q.edge(0)) == 2
+
+    def test_edge_cardinality_untyped(self, stats, tiny_graph):
+        q = GraphQuery()
+        a, b = q.add_vertex(), q.add_vertex()
+        q.add_edge(a, b)
+        assert stats.edge_cardinality(q.edge(0)) == tiny_graph.num_edges
+
+    def test_caches_by_signature(self, stats):
+        q = work_query()
+        stats.vertex_cardinality(q.vertex(0))
+        stats.edge_cardinality(q.edge(0))
+        stats.path1_cardinality(q, 0)
+        sizes = stats.cache_sizes
+        assert sizes["vertex"] >= 1 and sizes["edge"] >= 1 and sizes["path1"] >= 1
+
+
+class TestPath1:
+    def test_path1_equals_matcher_count(self, stats, tiny_graph):
+        q = work_query()
+        matcher = PatternMatcher(tiny_graph)
+        assert stats.path1_cardinality(q, 0) == matcher.count(q)
+
+    def test_path1_respects_endpoint_predicates(self, stats):
+        q = work_query()
+        q.vertex(0).predicates["gender"] = equals("female")
+        assert stats.path1_cardinality(q, 0) == 1  # only anna
+
+    def test_path1_backward_direction(self, stats, tiny_graph):
+        q = GraphQuery()
+        u = q.add_vertex(predicates={"type": equals("university")})
+        p = q.add_vertex(predicates={"type": equals("person")})
+        q.add_edge(u, p, types={"workAt"}, directions=BACKWARD_ONLY)
+        matcher = PatternMatcher(tiny_graph)
+        assert stats.path1_cardinality(q, 0) == matcher.count(q)
+
+    def test_path1_both_directions(self, stats, tiny_graph):
+        q = GraphQuery()
+        a = q.add_vertex(predicates={"type": equals("person")})
+        b = q.add_vertex(predicates={"type": equals("person")})
+        q.add_edge(a, b, types={"knows"}, directions=BOTH_DIRECTIONS)
+        # per-edge counting: each knows edge satisfies one orientation
+        assert stats.path1_cardinality(q, 0) == 2
+
+    def test_average_path1(self, stats):
+        q = work_query()
+        u = q.vertex_ids - {0}
+        c = q.add_vertex(predicates={"type": equals("city")})
+        q.add_edge(1, c, types={"locatedIn"})
+        avg = stats.average_path1_cardinality(q)
+        assert avg == pytest.approx((3 + 2) / 2)
+
+    def test_average_path1_vertex_only_query(self, stats):
+        q = GraphQuery()
+        q.add_vertex(predicates={"type": equals("person")})
+        assert stats.average_path1_cardinality(q) == 4.0
+
+
+class TestEstimates:
+    def test_chain_estimate(self, stats):
+        q = work_query()
+        c = q.add_vertex(predicates={"type": equals("city")})
+        q.add_edge(1, c, types={"locatedIn"})
+        est = stats.estimate_path_cardinality(q, [0, 1])
+        # path1(workAt)=3, path1(locatedIn)=2, join on university (2)
+        assert est == pytest.approx(3 * 2 / 2)
+
+    def test_estimate_requires_shared_vertex(self, stats):
+        q = GraphQuery()
+        a, b, c, d = (q.add_vertex() for _ in range(4))
+        q.add_edge(a, b)
+        q.add_edge(c, d)
+        with pytest.raises(ValueError):
+            stats.estimate_path_cardinality(q, [0, 1])
+
+    def test_query_estimate_positive_for_matching_query(self, stats):
+        assert stats.estimate_query_cardinality(work_query()) > 0
+
+    def test_query_estimate_zero_for_impossible_predicate(self, stats):
+        q = work_query()
+        q.vertex(1).predicates["name"] = equals("Nowhere U")
+        assert stats.estimate_query_cardinality(q) == 0.0
+
+    def test_query_estimate_multiplies_components(self, stats):
+        q = GraphQuery()
+        q.add_vertex(predicates={"type": equals("city")})  # 2
+        q.add_vertex(predicates={"type": equals("country")})  # 1
+        assert stats.estimate_query_cardinality(q) == pytest.approx(2.0)
+
+    def test_estimate_tracks_actual_order_of_magnitude(self, ldbc_small):
+        """Independence estimates won't be exact, but on the synthetic
+        LDBC graph they must stay within ~two orders of magnitude for the
+        benchmark queries (they steer the search, not the reporting)."""
+        from repro.datasets import ldbc
+
+        stats = GraphStatistics(ldbc_small.graph)
+        matcher = PatternMatcher(ldbc_small.graph)
+        for name, query in ldbc.queries().items():
+            actual = matcher.count(query)
+            estimate = stats.estimate_query_cardinality(query)
+            if actual == 0:
+                continue
+            assert estimate > 0, name
+            ratio = estimate / actual
+            assert 0.01 <= ratio <= 100, (name, actual, estimate)
+
+    def test_empty_query_estimate(self, stats):
+        assert stats.estimate_query_cardinality(GraphQuery()) == 0.0

@@ -1,0 +1,156 @@
+"""Tests for the syntactic distance (Algorithm 1), including the thesis'
+Fig. 3.5 worked example as a regression."""
+
+import pytest
+
+from repro.core import BOTH_DIRECTIONS, GraphQuery, equals, one_of
+from repro.metrics.syntactic import (
+    edge_distance,
+    element_distances,
+    syntactic_distance,
+    vertex_distance,
+)
+
+
+class TestFig35WorkedExample:
+    """Element-by-element regression of the Sec. 3.2.2 example.
+
+    The thesis reports d(v1)=0.16, d(v2)=1/3, d(v3)=0.33, d(v4)=1,
+    d(e1)=0.1, d(e2)=0, d(e3)=1 and a total of 0.42.  Applying Eq. 3.11
+    literally gives d(v3)=0.25 (type matches: 0; name: 1; IN/OUT: 0;
+    denominator |PI|+2 = 4) -- the text's 0.33 appears to be a slip.  We
+    assert the formula-exact values and keep the total inside the
+    example's corridor.
+    """
+
+    def test_v1(self, fig35_original, fig35_modified):
+        # name {Anna} vs {Anna, Alice, Sandra}: max(0, 2/3) = 2/3
+        d = vertex_distance(fig35_original, fig35_modified, 1)
+        assert d == pytest.approx((0 + 2 / 3 + 0 + 0) / 4)
+
+    def test_v2(self, fig35_original, fig35_modified):
+        d = vertex_distance(fig35_original, fig35_modified, 2)
+        assert d == pytest.approx(1 / 3)
+
+    def test_v3_formula_exact(self, fig35_original, fig35_modified):
+        d = vertex_distance(fig35_original, fig35_modified, 3)
+        assert d == pytest.approx(0.25)
+
+    def test_v4_missing(self, fig35_original, fig35_modified):
+        parts = element_distances(fig35_original, fig35_modified)
+        assert parts["vertices"][4] == 1.0
+
+    def test_e1(self, fig35_original, fig35_modified):
+        d = edge_distance(fig35_original, fig35_modified, 1)
+        assert d == pytest.approx(0.1)
+
+    def test_e2_unchanged(self, fig35_original, fig35_modified):
+        assert edge_distance(fig35_original, fig35_modified, 2) == 0.0
+
+    def test_e3_missing(self, fig35_original, fig35_modified):
+        parts = element_distances(fig35_original, fig35_modified)
+        assert parts["edges"][3] == 1.0
+
+    def test_total_in_example_corridor(self, fig35_original, fig35_modified):
+        d = syntactic_distance(fig35_original, fig35_modified)
+        expected = (1 / 6 + 1 / 3 + 0.25 + 1 + 0.1 + 0 + 1) / 7
+        assert d == pytest.approx(expected)
+        assert 0.40 <= d <= 0.42
+
+
+class TestMetricProperties:
+    def test_identity(self, fig35_original):
+        assert syntactic_distance(fig35_original, fig35_original) == 0.0
+
+    def test_identity_on_copy(self, fig35_original):
+        assert syntactic_distance(fig35_original, fig35_original.copy()) == 0.0
+
+    def test_symmetry(self, fig35_original, fig35_modified):
+        assert syntactic_distance(
+            fig35_original, fig35_modified
+        ) == pytest.approx(syntactic_distance(fig35_modified, fig35_original))
+
+    def test_bounded(self, fig35_original, fig35_modified):
+        assert 0.0 <= syntactic_distance(fig35_original, fig35_modified) <= 1.0
+
+    def test_empty_queries(self):
+        assert syntactic_distance(GraphQuery(), GraphQuery()) == 0.0
+
+    def test_completely_disjoint_queries(self):
+        a = GraphQuery()
+        a.add_vertex(vid=0, predicates={"type": equals("x")})
+        b = GraphQuery()
+        b.add_vertex(vid=1, predicates={"type": equals("y")})
+        assert syntactic_distance(a, b) == 1.0
+
+
+class TestSensitivity:
+    """The distance must grow monotonically with each additional change
+    (the staircase behaviour of Fig. 3.7)."""
+
+    def test_predicate_value_extension_is_small(self, fig35_original):
+        variant = fig35_original.copy()
+        variant.vertex(1).predicates["name"] = one_of("Anna", "Alice")
+        d = syntactic_distance(fig35_original, variant)
+        assert 0.0 < d < 0.1
+
+    def test_predicate_drop_is_larger_than_extension(self, fig35_original):
+        extended = fig35_original.copy()
+        extended.vertex(1).predicates["name"] = one_of("Anna", "Alice")
+        dropped = fig35_original.copy()
+        del dropped.vertex(1).predicates["name"]
+        assert syntactic_distance(fig35_original, dropped) > syntactic_distance(
+            fig35_original, extended
+        )
+
+    def test_edge_removal_is_large(self, fig35_original):
+        variant = fig35_original.copy()
+        variant.remove_edge(3)
+        d_edge = syntactic_distance(fig35_original, variant)
+        assert d_edge > 0.1
+
+    def test_vertex_removal_is_largest(self, fig35_original):
+        no_edge = fig35_original.copy()
+        no_edge.remove_edge(3)
+        no_vertex = fig35_original.copy()
+        no_vertex.remove_vertex(4)
+        assert syntactic_distance(fig35_original, no_vertex) >= syntactic_distance(
+            fig35_original, no_edge
+        )
+
+    def test_direction_change_detected(self, fig35_original):
+        variant = fig35_original.copy()
+        variant.edge(2).directions = BOTH_DIRECTIONS
+        assert syntactic_distance(fig35_original, variant) > 0.0
+
+    def test_type_set_change_detected(self, fig35_original):
+        variant = fig35_original.copy()
+        variant.edge(2).types = frozenset({"locatedIn", "basedIn"})
+        assert syntactic_distance(fig35_original, variant) > 0.0
+
+    def test_type_constraint_removal_detected(self, fig35_original):
+        variant = fig35_original.copy()
+        variant.edge(2).types = None
+        assert syntactic_distance(fig35_original, variant) > 0.0
+
+    def test_rewired_edge_detected(self):
+        a = GraphQuery()
+        v0, v1, v2 = a.add_vertex(), a.add_vertex(), a.add_vertex()
+        a.add_edge(v0, v1)
+        b = a.copy()
+        b.edge(0).target = v2
+        assert syntactic_distance(a, b) > 0.0
+
+    def test_accumulation(self, fig35_original):
+        """More changes -> larger distance (staircase monotonicity)."""
+        one = fig35_original.copy()
+        one.vertex(1).predicates["name"] = one_of("Anna", "Alice")
+        two = one.copy()
+        two.edge(1).predicates["sinceYear"] = one_of(2003, 2004)
+        three = two.copy()
+        three.remove_edge(3)
+        d0 = syntactic_distance(fig35_original, fig35_original)
+        d1 = syntactic_distance(fig35_original, one)
+        d2 = syntactic_distance(fig35_original, two)
+        d3 = syntactic_distance(fig35_original, three)
+        assert d0 < d1 < d2 < d3

@@ -1,0 +1,107 @@
+"""Tests for the Sec. 3.2.5 random-explanation workload generator."""
+
+import pytest
+
+from repro.core import GraphQuery, equals
+from repro.datasets.workload import (
+    ExplanationSample,
+    generate_explanations,
+    modification_pool,
+    ordered_series,
+)
+from repro.rewrite.operations import AttributeDomain
+
+
+def base_query() -> GraphQuery:
+    q = GraphQuery()
+    p = q.add_vertex(predicates={"type": equals("person")})
+    u = q.add_vertex(predicates={"type": equals("university")})
+    q.add_edge(p, u, types={"workAt"})
+    return q
+
+
+class TestModificationPool:
+    def test_pool_nonempty(self, tiny_graph):
+        pool = modification_pool(base_query(), AttributeDomain(tiny_graph))
+        assert pool
+
+    def test_pool_deduplicated(self, tiny_graph):
+        pool = modification_pool(base_query(), AttributeDomain(tiny_graph))
+        sigs = [op.signature() for op in pool]
+        assert len(sigs) == len(set(sigs))
+
+    def test_pool_mixes_directions(self, tiny_graph):
+        pool = modification_pool(base_query(), AttributeDomain(tiny_graph))
+        assert any(op.is_relaxation for op in pool)
+
+
+class TestGeneration:
+    def test_requires_nonempty_original(self, tiny_graph):
+        q = base_query()
+        q.vertex(1).predicates["name"] = equals("X")
+        with pytest.raises(ValueError):
+            generate_explanations(tiny_graph, q, 0.5)
+
+    def test_samples_have_all_three_distances(self, tiny_graph):
+        samples = generate_explanations(
+            tiny_graph, base_query(), 0.5, seed=1, max_candidates=20
+        )
+        assert samples
+        for s in samples:
+            assert 0.0 <= s.syntactic <= 1.0
+            assert 0.0 <= s.result <= 1.0
+            assert s.deviation >= 0
+            assert 1 <= s.depth <= 3
+
+    def test_deterministic(self, tiny_graph):
+        a = generate_explanations(tiny_graph, base_query(), 0.5, seed=3, max_candidates=15)
+        b = generate_explanations(tiny_graph, base_query(), 0.5, seed=3, max_candidates=15)
+        assert [s.cardinality for s in a] == [s.cardinality for s in b]
+        assert [s.syntactic for s in a] == [s.syntactic for s in b]
+
+    def test_distinct_candidates(self, tiny_graph):
+        samples = generate_explanations(
+            tiny_graph, base_query(), 0.5, seed=1, max_candidates=30
+        )
+        sigs = [s.query.signature() for s in samples]
+        assert len(sigs) == len(set(sigs))
+
+    def test_candidate_budget_respected(self, tiny_graph):
+        samples = generate_explanations(
+            tiny_graph, base_query(), 2.0, seed=1, max_candidates=10
+        )
+        assert len(samples) <= 10
+
+    def test_deviation_uses_threshold_factor(self, tiny_graph):
+        # original C=3; factor 2 -> threshold 6
+        samples = generate_explanations(
+            tiny_graph, base_query(), 2.0, seed=2, max_candidates=10
+        )
+        for s in samples:
+            assert s.deviation == abs(6 - s.cardinality)
+
+
+class TestOrderedSeries:
+    def test_descending(self, tiny_graph):
+        samples = generate_explanations(
+            tiny_graph, base_query(), 0.5, seed=1, max_candidates=20
+        )
+        series = ordered_series(samples, "syntactic")
+        assert series == sorted(series, reverse=True)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            ordered_series([], "nope")
+
+    def test_result_series_saturates_for_too_many(self, ldbc_small):
+        """Fig. 3.8 shape: for C<1 factors, most random explanations lose
+        most of the original results (distance near 1)."""
+        from repro.datasets import ldbc
+
+        samples = generate_explanations(
+            ldbc_small.graph, ldbc.query_1(), 0.2, seed=9, max_candidates=25
+        )
+        if len(samples) < 5:
+            pytest.skip("not enough candidates on scaled-down graph")
+        series = ordered_series(samples, "result")
+        assert series[0] > 0.5
