@@ -29,7 +29,18 @@ def priority_rows():
 
 def test_fig5_priority_functions(priority_rows, write_result, benchmark, ldbc_bundle):
     report = format_table(
-        ["query", "priority", "found", "evaluated", "generated", "C", "syntactic", "sec"],
+        [
+            "query",
+            "priority",
+            "found",
+            "evaluated",
+            "generated",
+            "C",
+            "syntactic",
+            "sec",
+            "plan hits",
+            "cand hits",
+        ],
         [
             (
                 r.query,
@@ -40,12 +51,19 @@ def test_fig5_priority_functions(priority_rows, write_result, benchmark, ldbc_bu
                 r.best_cardinality,
                 r.best_syntactic,
                 r.elapsed,
+                r.plan_hits,
+                r.candidate_hits,
             )
             for r in priority_rows
         ],
         title="Sec. 5.5.1: query-candidate selector priority functions",
     )
     write_result("fig5_priorities", report)
+
+    # the per-graph shared plan and candidate caches must actually serve
+    # the rewriting workload (typed-adjacency PR acceptance criterion)
+    assert sum(r.plan_hits for r in priority_rows) > 0
+    assert sum(r.candidate_hits for r in priority_rows) > 0
 
     by_priority = defaultdict(list)
     for r in priority_rows:
@@ -125,7 +143,19 @@ def test_fig5_user_integration(write_result, benchmark):
 def test_appB_resource_consumption(write_result, benchmark):
     rows = appB_resources("ldbc") + appB_resources("dbpedia")
     report = format_table(
-        ["query", "evaluated", "generated", "queue peak", "cache entries", "hits", "hit rate"],
+        [
+            "query",
+            "evaluated",
+            "generated",
+            "queue peak",
+            "cache entries",
+            "hits",
+            "hit rate",
+            "plan hits",
+            "cand hits",
+            "cand rate",
+            "steps",
+        ],
         [
             (
                 r.query,
@@ -135,6 +165,10 @@ def test_appB_resource_consumption(write_result, benchmark):
                 r.cache_entries,
                 r.cache_hits,
                 r.cache_hit_rate,
+                r.plan_hits,
+                r.candidate_hits,
+                r.candidate_hit_rate,
+                r.matcher_steps,
             )
             for r in rows
         ],
@@ -144,4 +178,7 @@ def test_appB_resource_consumption(write_result, benchmark):
     for r in rows:
         assert r.generated >= r.evaluated
         assert r.cache_entries > 0
+    # the candidate cache is shared across every engine on the graph, so
+    # the overlapping variants of one search alone must already hit it
+    assert sum(r.candidate_hits for r in rows) > 0
     benchmark.pedantic(lambda: appB_resources("dbpedia", k=1), rounds=1, iterations=1)

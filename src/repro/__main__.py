@@ -137,8 +137,29 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         rows = appB_resources(dataset)
         print(
             format_table(
-                ["query", "evaluated", "generated", "cache entries"],
-                [(r.query, r.evaluated, r.generated, r.cache_entries) for r in rows],
+                [
+                    "query",
+                    "evaluated",
+                    "generated",
+                    "cache entries",
+                    "plan hits",
+                    "cand hits",
+                    "cand rate",
+                    "steps",
+                ],
+                [
+                    (
+                        r.query,
+                        r.evaluated,
+                        r.generated,
+                        r.cache_entries,
+                        r.plan_hits,
+                        r.candidate_hits,
+                        r.candidate_hit_rate,
+                        r.matcher_steps,
+                    )
+                    for r in rows
+                ],
                 title=f"App. B.2 resources ({dataset})",
             )
         )

@@ -6,24 +6,52 @@ whose vertices and edges carry attribute maps; edges additionally carry a
 edge, Sec. 3.2.2).  Multiple edges may connect the same pair of vertices.
 
 The implementation favours read-heavy analytical use: adjacency lists in
-both directions, plus secondary indexes (vertex-attribute index, edge-type
-index) that the pattern matcher and the statistics provider (Sec. 5.2) use
-for candidate pruning.  Indexes are maintained incrementally, so graphs can
-be grown after queries have run.
+both directions, *type-partitioned* adjacency lists
+(``vertex -> edge type -> out/in neighbour lists``), plus secondary
+indexes (vertex-attribute index, edge-type index) that the pattern matcher
+and the statistics provider (Sec. 5.2) use for candidate pruning.  Indexes
+are maintained incrementally, so graphs can be grown after queries have run.
+
+Storage-layer invariants
+------------------------
+
+* **Zero-copy read accessors.**  ``out_edges``, ``in_edges``,
+  ``out_edges_of_type``, ``in_edges_of_type``, ``vertices_with``,
+  ``vertex_attr_values`` and ``edges_of_type`` return *live views* of the
+  internal containers (lists / sets / key views), not copies.  Callers must
+  treat them as read-only and must not hold them across graph mutations
+  while iterating.  This is what makes the matcher's expansion loop
+  allocation-free on the hot path.
+* **Typed adjacency maintenance.**  ``add_edge`` appends the new edge id to
+  the untyped ``out_edges``/``in_edges`` lists *and* to the per-type
+  partitions ``out_by_type[type]``/``in_by_type[type]`` of both endpoints,
+  and to the global edge-type index.  The typed partitions of a vertex are
+  therefore always a disjoint partition of its untyped lists, in insertion
+  order.
+* **O(1) counts.**  ``num_edges_of_type``, ``num_vertices_with``,
+  ``out_degree_of_type`` and ``in_degree_of_type`` are constant-time reads
+  of maintained structures; no histogram dict is rebuilt per call.
+* **Version counter.**  Every mutation (``add_vertex``/``add_edge``) bumps
+  ``version``; evaluation-layer caches (plan cache, candidate cache in
+  :mod:`repro.matching.evalcache`) snapshot it and self-invalidate when the
+  graph has changed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import (
+    AbstractSet,
     Any,
     Dict,
     FrozenSet,
     Iterable,
     Iterator,
+    KeysView,
     List,
     Mapping,
     Optional,
+    Sequence,
     Set,
     Tuple,
 )
@@ -59,6 +87,15 @@ class _VertexCell:
     attributes: Dict[str, Any]
     out_edges: List[int] = field(default_factory=list)
     in_edges: List[int] = field(default_factory=list)
+    # type-partitioned adjacency: edge type -> edge ids (insertion order)
+    out_by_type: Dict[str, List[int]] = field(default_factory=dict)
+    in_by_type: Dict[str, List[int]] = field(default_factory=dict)
+
+
+#: Shared immutable empties returned by the zero-copy accessors for
+#: absent types/values, so callers never trigger per-miss allocations.
+_EMPTY_SEQ: Tuple[int, ...] = ()
+_EMPTY_SET: FrozenSet[int] = frozenset()
 
 
 class PropertyGraph:
@@ -82,6 +119,13 @@ class PropertyGraph:
         self._indexed_attrs: Set[str] = set()
         # edge type -> set of edge ids
         self._type_index: Dict[str, Set[int]] = {}
+        # bumped on every mutation; caches snapshot it to self-invalidate
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter (monotonically increasing)."""
+        return self._version
 
     # -- construction ------------------------------------------------------
 
@@ -99,6 +143,7 @@ class PropertyGraph:
         self._vertices[vid] = _VertexCell(dict(attributes))
         for attr in self._indexed_attrs & attributes.keys():
             self._vertex_index[attr].setdefault(attributes[attr], set()).add(vid)
+        self._version += 1
         return vid
 
     def add_edge(
@@ -121,9 +166,14 @@ class PropertyGraph:
         self._next_eid = max(self._next_eid, eid + 1)
         record = EdgeRecord(eid, source, target, type, dict(attributes))
         self._edges[eid] = record
-        self._vertices[source].out_edges.append(eid)
-        self._vertices[target].in_edges.append(eid)
+        source_cell = self._vertices[source]
+        target_cell = self._vertices[target]
+        source_cell.out_edges.append(eid)
+        target_cell.in_edges.append(eid)
+        source_cell.out_by_type.setdefault(type, []).append(eid)
+        target_cell.in_by_type.setdefault(type, []).append(eid)
         self._type_index.setdefault(type, set()).add(eid)
+        self._version += 1
         return eid
 
     # -- element access ----------------------------------------------------
@@ -147,29 +197,53 @@ class PropertyGraph:
         except KeyError:
             raise UnknownEdgeError(eid) from None
 
-    def out_edges(self, vid: int) -> Tuple[int, ...]:
-        """Identifiers of edges whose source is ``vid``."""
+    def out_edges(self, vid: int) -> Sequence[int]:
+        """Identifiers of edges whose source is ``vid`` (live view)."""
         try:
-            return tuple(self._vertices[vid].out_edges)
+            return self._vertices[vid].out_edges
         except KeyError:
             raise UnknownVertexError(vid) from None
 
-    def in_edges(self, vid: int) -> Tuple[int, ...]:
-        """Identifiers of edges whose target is ``vid``."""
+    def in_edges(self, vid: int) -> Sequence[int]:
+        """Identifiers of edges whose target is ``vid`` (live view)."""
         try:
-            return tuple(self._vertices[vid].in_edges)
+            return self._vertices[vid].in_edges
         except KeyError:
             raise UnknownVertexError(vid) from None
+
+    def out_edges_of_type(self, vid: int, type: str) -> Sequence[int]:
+        """Outgoing edges of ``vid`` carrying ``type`` (live view)."""
+        try:
+            cell = self._vertices[vid]
+        except KeyError:
+            raise UnknownVertexError(vid) from None
+        return cell.out_by_type.get(type, _EMPTY_SEQ)
+
+    def in_edges_of_type(self, vid: int, type: str) -> Sequence[int]:
+        """Incoming edges of ``vid`` carrying ``type`` (live view)."""
+        try:
+            cell = self._vertices[vid]
+        except KeyError:
+            raise UnknownVertexError(vid) from None
+        return cell.in_by_type.get(type, _EMPTY_SEQ)
 
     def incident_edges(self, vid: int) -> Tuple[int, ...]:
         """All edges touching ``vid`` in either direction."""
-        return self.out_edges(vid) + self.in_edges(vid)
+        return tuple(self.out_edges(vid)) + tuple(self.in_edges(vid))
 
     def degree(self, vid: int) -> int:
         cell = self._vertices.get(vid)
         if cell is None:
             raise UnknownVertexError(vid)
         return len(cell.out_edges) + len(cell.in_edges)
+
+    def out_degree_of_type(self, vid: int, type: str) -> int:
+        """Number of outgoing ``type`` edges of ``vid`` (O(1))."""
+        return len(self.out_edges_of_type(vid, type))
+
+    def in_degree_of_type(self, vid: int, type: str) -> int:
+        """Number of incoming ``type`` edges of ``vid`` (O(1))."""
+        return len(self.in_edges_of_type(vid, type))
 
     # -- iteration & size ----------------------------------------------------
 
@@ -205,20 +279,25 @@ class PropertyGraph:
         self._vertex_index[attr] = index
         self._indexed_attrs.add(attr)
 
-    def vertices_with(self, attr: str, value: Any) -> FrozenSet[int]:
+    def vertices_with(self, attr: str, value: Any) -> AbstractSet[int]:
         """Vertices whose attribute ``attr`` equals ``value`` (index-backed).
 
-        The index for ``attr`` is built lazily on first use.
+        The index for ``attr`` is built lazily on first use.  The returned
+        set is a live view of the index bucket; treat it as read-only.
         """
         if attr not in self._indexed_attrs:
             self.create_vertex_index(attr)
-        return frozenset(self._vertex_index[attr].get(value, frozenset()))
+        return self._vertex_index[attr].get(value, _EMPTY_SET)
 
-    def vertex_attr_values(self, attr: str) -> FrozenSet[Any]:
-        """Distinct values taken by a vertex attribute (index-backed)."""
+    def num_vertices_with(self, attr: str, value: Any) -> int:
+        """O(1) count of vertices whose ``attr`` equals ``value``."""
+        return len(self.vertices_with(attr, value))
+
+    def vertex_attr_values(self, attr: str) -> KeysView:
+        """Distinct values taken by a vertex attribute (live key view)."""
         if attr not in self._indexed_attrs:
             self.create_vertex_index(attr)
-        return frozenset(self._vertex_index[attr])
+        return self._vertex_index[attr].keys()
 
     def vertex_value_counts(self, attr: str) -> Dict[Any, int]:
         """Histogram of a vertex attribute (used by Sec. 5.2 statistics)."""
@@ -226,9 +305,13 @@ class PropertyGraph:
             self.create_vertex_index(attr)
         return {value: len(vids) for value, vids in self._vertex_index[attr].items()}
 
-    def edges_of_type(self, type: str) -> FrozenSet[int]:
-        """Edges carrying the given type (index-backed)."""
-        return frozenset(self._type_index.get(type, frozenset()))
+    def edges_of_type(self, type: str) -> AbstractSet[int]:
+        """Edges carrying the given type (index-backed live view)."""
+        return self._type_index.get(type, _EMPTY_SET)
+
+    def num_edges_of_type(self, type: str) -> int:
+        """O(1) count of edges carrying ``type``."""
+        return len(self._type_index.get(type, _EMPTY_SET))
 
     def edge_type_counts(self) -> Dict[str, int]:
         """Histogram of edge types."""

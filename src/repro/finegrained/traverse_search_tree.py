@@ -93,7 +93,9 @@ class TraverseSearchTree:
         self.cache = cache if cache is not None else QueryResultCache(self.matcher)
         self.domain = domain if domain is not None else AttributeDomain(graph)
         self.statistics = (
-            statistics if statistics is not None else GraphStatistics(graph)
+            statistics
+            if statistics is not None
+            else GraphStatistics(graph, evalcache=self.matcher.evalcache)
         )
         self.include_topology = include_topology
         self.constrainable_attrs = (

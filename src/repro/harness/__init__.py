@@ -17,7 +17,12 @@ from repro.harness.experiments import (
     load_dataset,
     tabA_datasets,
 )
-from repro.harness.reporting import format_series, format_table, sparkline
+from repro.harness.reporting import (
+    format_cache_report,
+    format_series,
+    format_table,
+    sparkline,
+)
 
 __all__ = [
     "CARDINALITY_FACTORS",
@@ -33,6 +38,7 @@ __all__ = [
     "fig6_baselines",
     "fig6_scenarios",
     "fig6_topology",
+    "format_cache_report",
     "format_series",
     "format_table",
     "load_dataset",

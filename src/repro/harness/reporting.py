@@ -52,6 +52,21 @@ def format_series(
     return f"{name} (n={len(values)}): {body}"
 
 
+def format_cache_report(report: Dict[str, Dict[str, Any]]) -> str:
+    """Render a nested cache-counter report (one line per cache layer).
+
+    Accepts the shape produced by ``PatternMatcher.cache_info`` /
+    ``WhyQueryEngine.cache_report``: ``{layer: {counter: value}}``.
+    """
+    lines = []
+    for layer in sorted(report):
+        counters = ", ".join(
+            f"{key}={_fmt(value)}" for key, value in sorted(report[layer].items())
+        )
+        lines.append(f"{layer}: {counters}")
+    return "\n".join(lines)
+
+
 def sparkline(values: Sequence[float], width: int = 48) -> str:
     """Unicode sparkline of a numeric series (figures in a terminal)."""
     if not values:

@@ -8,10 +8,17 @@ from repro.matching.candidates import (
     vertex_candidates,
     vertex_matches,
 )
+from repro.matching.evalcache import (
+    CacheStats,
+    EvaluationCache,
+    shared_evaluation_cache,
+)
 from repro.matching.matcher import PatternMatcher
-from repro.matching.plan import ExpandStep, SeedStep, build_plan
+from repro.matching.plan import ExpandStep, SeedStep, build_plan, plan_cache_stats
 
 __all__ = [
+    "CacheStats",
+    "EvaluationCache",
     "ExpandStep",
     "PatternMatcher",
     "SeedStep",
@@ -20,6 +27,8 @@ __all__ = [
     "edge_matches",
     "estimate_edge_candidates",
     "estimate_vertex_candidates",
+    "plan_cache_stats",
+    "shared_evaluation_cache",
     "vertex_candidates",
     "vertex_matches",
 ]

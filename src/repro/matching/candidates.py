@@ -66,9 +66,12 @@ def vertex_candidates(
     best_union: Optional[FrozenSet[int]] = None
     for attr, pred in preds.items():
         if isinstance(pred, ValueSet):
-            union: FrozenSet[int] = frozenset()
+            # accumulate into one mutable set, freeze once: |= on a
+            # frozenset would copy the growing union per value
+            acc: set = set()
             for value in pred.values:
-                union |= graph.vertices_with(attr, value)
+                acc.update(graph.vertices_with(attr, value))
+            union = frozenset(acc)
             if best_union is None or len(union) < len(best_union):
                 best_attr, best_union = attr, union
 
@@ -100,15 +103,16 @@ def estimate_vertex_candidates(graph: PropertyGraph, qvertex: QueryVertex) -> in
     best = graph.num_vertices
     for attr, pred in preds.items():
         if isinstance(pred, ValueSet):
-            counts = graph.vertex_value_counts(attr)
-            total = sum(counts.get(v, 0) for v in pred.values)
+            total = sum(graph.num_vertices_with(attr, v) for v in pred.values)
             best = min(best, total)
     return best
 
 
 def estimate_edge_candidates(graph: PropertyGraph, qedge: QueryEdge) -> int:
-    """Cheap upper-bound estimate of an edge's candidate count (by type)."""
+    """Cheap upper-bound estimate of an edge's candidate count (by type).
+
+    Uses the O(1) per-type counts; no edge-type histogram is rebuilt.
+    """
     if qedge.types is None:
         return graph.num_edges
-    counts = graph.edge_type_counts()
-    return sum(counts.get(t, 0) for t in qedge.types)
+    return sum(graph.num_edges_of_type(t) for t in qedge.types)

@@ -1,0 +1,147 @@
+"""Shared evaluation caches for the matching/rewriting hot path.
+
+The rewriting engines (Ch. 5-6) and the why-query engine (Sec. 3.1.3)
+enumerate hundreds of *overlapping* query variants over one data graph:
+most variants share almost all of their vertex predicates, and many are
+re-evaluated by independently constructed matchers (priority-function
+comparisons, preference-model rounds, the oracle runs of Sec. 5.5.4).
+
+This module memoises the expensive per-call derivations so each graph
+index is touched at most once per distinct constraint:
+
+* :class:`EvaluationCache` caches ``vertex_candidates`` results by
+  *predicate signature* (the vertex-id-independent part of
+  :meth:`~repro.core.query.QueryVertex.signature`), shared between the
+  matcher's seed enumeration, :class:`~repro.rewrite.statistics.GraphStatistics`
+  and, transitively, :class:`~repro.rewrite.cache.QueryResultCache`.
+* :func:`shared_evaluation_cache` hands out one cache per data graph (a
+  weak registry), so every component bound to the same graph shares hits
+  automatically without explicit plumbing.
+
+Caches snapshot :attr:`PropertyGraph.version` and self-invalidate when
+the graph has been mutated since they were filled.  All caches expose
+:class:`CacheStats` hit/miss counters; the harness reports them next to
+the matcher's ``calls``/``steps`` instrumentation.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Optional
+
+from repro.core.graph import PropertyGraph
+from repro.core.query import QueryVertex
+from repro.matching.candidates import vertex_candidates
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    size: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        """Point-in-time copy (for delta reporting in the harness)."""
+        return CacheStats(self.hits, self.misses, self.size)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": self.size,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def predicate_signature(qvertex: QueryVertex) -> Hashable:
+    """Vertex-id-independent signature of a query vertex's predicates.
+
+    Two query vertices with equal predicate maps share candidate sets
+    regardless of their position in the query, so this is the cache key.
+    """
+    return tuple(
+        sorted((a, p.signature()) for a, p in qvertex.predicates.items())
+    )
+
+
+class EvaluationCache:
+    """Memoises per-predicate-signature candidate sets for one graph.
+
+    The graph is held weakly: caches live as values of the per-graph
+    registry, and a strong back-reference would keep every graph (and
+    its cached candidate sets) alive for the process lifetime.
+    """
+
+    def __init__(self, graph: PropertyGraph) -> None:
+        self._graph_ref = weakref.ref(graph)
+        self._version = graph.version
+        self._vertex_candidates: Dict[Hashable, Optional[FrozenSet[int]]] = {}
+        self.stats = CacheStats()
+
+    @property
+    def graph(self) -> PropertyGraph:
+        graph = self._graph_ref()
+        if graph is None:  # pragma: no cover - caller must hold the graph
+            raise ReferenceError("the cached graph has been garbage-collected")
+        return graph
+
+    def _validate(self, graph: PropertyGraph) -> None:
+        if graph.version != self._version:
+            self._vertex_candidates.clear()
+            self._version = graph.version
+            self.stats.size = 0
+
+    def vertex_candidates(self, qvertex: QueryVertex) -> Optional[FrozenSet[int]]:
+        """Cached :func:`repro.matching.candidates.vertex_candidates`.
+
+        ``None`` (unconstrained vertex) is cached like any other result.
+        The returned frozensets are immutable snapshots, safe to share
+        between the matcher, the statistics provider and the rewriters.
+        """
+        graph = self.graph
+        self._validate(graph)
+        key = predicate_signature(qvertex)
+        try:
+            result = self._vertex_candidates[key]
+        except KeyError:
+            self.stats.misses += 1
+            result = vertex_candidates(graph, qvertex)
+            self._vertex_candidates[key] = result
+            self.stats.size = len(self._vertex_candidates)
+            return result
+        self.stats.hits += 1
+        return result
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._vertex_candidates.clear()
+        self.stats.size = 0
+
+    def __len__(self) -> int:
+        return len(self._vertex_candidates)
+
+
+#: graph -> its process-wide shared evaluation cache
+_SHARED_CACHES: "weakref.WeakKeyDictionary[PropertyGraph, EvaluationCache]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def shared_evaluation_cache(graph: PropertyGraph) -> EvaluationCache:
+    """The per-graph shared :class:`EvaluationCache` (created on first use)."""
+    cache = _SHARED_CACHES.get(graph)
+    if cache is None:
+        cache = EvaluationCache(graph)
+        _SHARED_CACHES[graph] = cache
+    return cache

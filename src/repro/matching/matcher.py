@@ -16,7 +16,10 @@ isomorphism with:
 
 The matcher also counts how many match calls it has served (``calls``) and
 how many backtracking steps were taken (``steps``); all evaluation-budget
-experiments report these counters.
+experiments report these counters.  Expansion walks the graph's
+type-partitioned adjacency, so a query edge with a type set only ever
+visits data edges of those types; :meth:`PatternMatcher.cache_info`
+reports the shared plan/candidate cache counters next to them.
 """
 
 from __future__ import annotations
@@ -24,30 +27,65 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 from repro.core.graph import PropertyGraph
-from repro.core.query import Direction, GraphQuery
+from repro.core.query import Direction, GraphQuery, QueryEdge
 from repro.core.result import ResultGraph, ResultSet
 from repro.matching.candidates import (
+    attributes_match,
     edge_matches,
-    vertex_candidates,
     vertex_matches,
 )
-from repro.matching.plan import ExpandStep, PlanStep, SeedStep, build_plan
+from repro.matching.evalcache import (
+    EvaluationCache,
+    shared_evaluation_cache,
+)
+from repro.matching.plan import (
+    ExpandStep,
+    PlanStep,
+    SeedStep,
+    build_plan,
+    plan_cache_stats,
+)
 
 
 class PatternMatcher:
     """Evaluates :class:`~repro.core.query.GraphQuery` patterns on a graph.
 
     One matcher instance is bound to one data graph; it is stateless
-    between calls apart from its instrumentation counters.
+    between calls apart from its instrumentation counters.  Matchers bound
+    to the same graph share one evaluation cache (candidate sets) and one
+    plan cache by default, so independently constructed engines reuse each
+    other's derivations; pass ``evalcache`` to isolate a matcher.
+
+    ``typed_adjacency=False`` disables the type-partitioned expansion and
+    falls back to scanning all incident edges with a per-edge type test
+    (the pre-optimisation behaviour; kept for benchmarking and as a
+    correctness oracle).
     """
 
-    def __init__(self, graph: PropertyGraph, injective: bool = True) -> None:
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        injective: bool = True,
+        evalcache: Optional[EvaluationCache] = None,
+        typed_adjacency: bool = True,
+    ) -> None:
         self.graph = graph
         self.injective = injective
+        self.evalcache = (
+            evalcache if evalcache is not None else shared_evaluation_cache(graph)
+        )
+        self.typed_adjacency = typed_adjacency
         #: number of match/count/exists invocations served
         self.calls = 0
         #: cumulative number of binding attempts (search effort)
         self.steps = 0
+
+    def cache_info(self) -> Dict[str, Dict[str, float]]:
+        """Hit/miss counters of the shared evaluation caches."""
+        return {
+            "plan": plan_cache_stats(self.graph).as_dict(),
+            "vertex_candidates": self.evalcache.stats.as_dict(),
+        }
 
     # -- public API -----------------------------------------------------------
 
@@ -145,7 +183,7 @@ class PatternMatcher:
         used_edges: Set[int],
     ) -> Iterator[ResultGraph]:
         qvertex = query.vertex(step.vid)
-        candidates = vertex_candidates(self.graph, qvertex)
+        candidates = self.evalcache.vertex_candidates(qvertex)
         pool = candidates if candidates is not None else self.graph.vertices()
         for data_vid in pool:
             self.steps += 1
@@ -178,15 +216,23 @@ class PatternMatcher:
         qedge = query.edge(step.eid)
         anchor_data = vbind[step.anchor]
         anchor_is_source = step.anchor == qedge.source
+        # the typed adjacency walk already filtered edge types, so only the
+        # edge predicates remain to be checked per candidate
+        type_prefiltered = self.typed_adjacency and qedge.types is not None
 
         for data_eid, data_other in self._incident_candidates(
-            anchor_data, anchor_is_source, qedge.directions
+            anchor_data, anchor_is_source, qedge
         ):
             self.steps += 1
             if self.injective and data_eid in used_edges:
                 continue
             record = self.graph.edge(data_eid)
-            if not edge_matches(record, qedge):
+            if type_prefiltered:
+                if qedge.predicates and not attributes_match(
+                    record.attributes, qedge.predicates
+                ):
+                    continue
+            elif not edge_matches(record, qedge):
                 continue
             if step.new_vid is None:
                 # Both endpoints bound: the edge must connect them.
@@ -223,27 +269,53 @@ class PatternMatcher:
         self,
         anchor_data: int,
         anchor_is_source: bool,
-        directions: frozenset,
+        qedge: QueryEdge,
     ) -> Iterator[tuple]:
         """Yield ``(data_eid, opposite_data_vid)`` pairs honouring directions.
 
         With the anchor bound to the query edge's *source*, a FORWARD
         direction walks the anchor's outgoing data edges and a BACKWARD
         direction its incoming ones; anchored at the *target* the roles
-        swap.
+        swap.  When the query edge carries a type set, only the anchor's
+        type-partitioned adjacency lists for those types are walked, so
+        edges of other types are never visited (and never counted as
+        ``steps``).
         """
+        directions = qedge.directions
         want_out = (anchor_is_source and Direction.FORWARD in directions) or (
             not anchor_is_source and Direction.BACKWARD in directions
         )
         want_in = (anchor_is_source and Direction.BACKWARD in directions) or (
             not anchor_is_source and Direction.FORWARD in directions
         )
+        graph = self.graph
+        edge = graph.edge
+        # sorted for deterministic enumeration order (frozenset iteration
+        # varies with PYTHONHASHSEED; steps counters are reproducible records)
+        types = (
+            sorted(qedge.types)
+            if self.typed_adjacency and qedge.types is not None
+            else None
+        )
         if want_out:
-            for eid in self.graph.out_edges(anchor_data):
-                yield eid, self.graph.edge(eid).target
+            if types is None:
+                for eid in graph.out_edges(anchor_data):
+                    yield eid, edge(eid).target
+            else:
+                for t in types:
+                    for eid in graph.out_edges_of_type(anchor_data, t):
+                        yield eid, edge(eid).target
         if want_in:
-            for eid in self.graph.in_edges(anchor_data):
-                record = self.graph.edge(eid)
-                if want_out and record.source == record.target:
-                    continue  # self-loop already yielded via out_edges
-                yield eid, record.source
+            if types is None:
+                for eid in graph.in_edges(anchor_data):
+                    record = edge(eid)
+                    if want_out and record.source == record.target:
+                        continue  # self-loop already yielded via the out walk
+                    yield eid, record.source
+            else:
+                for t in types:
+                    for eid in graph.in_edges_of_type(anchor_data, t):
+                        record = edge(eid)
+                        if want_out and record.source == record.target:
+                            continue  # self-loop already yielded via the out walk
+                        yield eid, record.source

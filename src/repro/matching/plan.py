@@ -10,12 +10,21 @@ highly-constrained elements are matched first (the classic "fail fast"
 ordering the GRAPHITE executor used); a caller-supplied ``edge_order`` can
 override this, which is how the Ch. 4 traversal-path selection steers the
 evaluation.
+
+Plans are pure functions of ``(graph, query signature, edge_order)``, so
+they are memoised in a per-graph cache: the rewriting engines re-evaluate
+the same query variants through independently constructed matchers
+(priority comparisons, preference rounds), and repeated evaluation of a
+variant must not re-pay selectivity estimation.  The cache snapshots the
+graph's mutation counter and self-invalidates when the graph changes;
+:func:`plan_cache_stats` exposes its hit/miss counters to the harness.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Union
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.graph import PropertyGraph
 from repro.core.query import GraphQuery
@@ -23,6 +32,7 @@ from repro.matching.candidates import (
     estimate_edge_candidates,
     estimate_vertex_candidates,
 )
+from repro.matching.evalcache import CacheStats
 
 
 @dataclass(frozen=True)
@@ -49,17 +59,73 @@ class ExpandStep:
 PlanStep = Union[SeedStep, ExpandStep]
 
 
+class _PlanCache:
+    """Per-graph memo of built plans, keyed by (query signature, order)."""
+
+    __slots__ = ("version", "entries", "stats")
+
+    def __init__(self, version: int) -> None:
+        self.version = version
+        self.entries: Dict[Hashable, List[PlanStep]] = {}
+        self.stats = CacheStats()
+
+
+_PLAN_CACHES: "weakref.WeakKeyDictionary[PropertyGraph, _PlanCache]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _plan_cache(graph: PropertyGraph) -> _PlanCache:
+    cache = _PLAN_CACHES.get(graph)
+    if cache is None:
+        cache = _PlanCache(graph.version)
+        _PLAN_CACHES[graph] = cache
+    elif cache.version != graph.version:
+        cache.entries.clear()
+        cache.version = graph.version
+        cache.stats.size = 0
+    return cache
+
+
+def plan_cache_stats(graph: PropertyGraph) -> CacheStats:
+    """Hit/miss counters of the graph's plan cache (harness reporting)."""
+    return _plan_cache(graph).stats
+
+
 def build_plan(
     graph: PropertyGraph,
     query: GraphQuery,
     edge_order: Optional[Sequence[int]] = None,
 ) -> List[PlanStep]:
-    """Produce a connected, selectivity-ordered evaluation plan.
+    """Produce a connected, selectivity-ordered evaluation plan (memoised).
 
     ``edge_order`` forces the given query-edge processing order (edges must
     form a valid traversal; seeds are inserted automatically whenever the
-    next edge touches no bound vertex).
+    next edge touches no bound vertex).  Repeated calls for the same
+    ``(graph, query signature, edge_order)`` return the cached plan; plans
+    are immutable step sequences, so sharing them is safe.
     """
+    cache = _plan_cache(graph)
+    key: Tuple[Hashable, Optional[Tuple[int, ...]]] = (
+        query.signature(),
+        tuple(edge_order) if edge_order is not None else None,
+    )
+    cached = cache.entries.get(key)
+    if cached is not None:
+        cache.stats.hits += 1
+        return cached
+    cache.stats.misses += 1
+    plan = _build_plan_uncached(graph, query, edge_order)
+    cache.entries[key] = plan
+    cache.stats.size = len(cache.entries)
+    return plan
+
+
+def _build_plan_uncached(
+    graph: PropertyGraph,
+    query: GraphQuery,
+    edge_order: Optional[Sequence[int]] = None,
+) -> List[PlanStep]:
     if edge_order is not None:
         return _plan_from_edge_order(query, list(edge_order))
 

@@ -10,28 +10,13 @@ Appendix B.2 resource-consumption experiment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Hashable, Optional
 
 from repro.core.query import GraphQuery
+from repro.matching.evalcache import CacheStats, EvaluationCache
 from repro.matching.matcher import PatternMatcher
 
-
-@dataclass
-class CacheStats:
-    """Hit/miss counters of one cache instance."""
-
-    hits: int = 0
-    misses: int = 0
-    size: int = 0
-
-    @property
-    def requests(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        return self.hits / self.requests if self.requests else 0.0
+__all__ = ["CacheStats", "QueryResultCache"]
 
 
 class QueryResultCache:
@@ -40,15 +25,33 @@ class QueryResultCache:
     A cached count is reusable only when it was computed with at least
     the requested evaluation limit, so the cache stores the limit next to
     the count (``None`` = unbounded, always reusable).
+
+    The wrapped matcher's plan and candidate caches are shared per graph,
+    so even a cache *miss* here reuses the evaluation-layer derivations of
+    every other engine bound to the same graph.
     """
 
     def __init__(self, matcher: PatternMatcher) -> None:
         self.matcher = matcher
+        self._version = matcher.graph.version
         self._entries: Dict[Hashable, tuple] = {}
         self.stats = CacheStats()
 
+    @property
+    def evalcache(self) -> EvaluationCache:
+        """The evaluation cache shared with the wrapped matcher."""
+        return self.matcher.evalcache
+
+    def _validate(self) -> None:
+        """Self-invalidate when the data graph has been mutated."""
+        if self.matcher.graph.version != self._version:
+            self._entries.clear()
+            self._version = self.matcher.graph.version
+            self.stats.size = 0
+
     def count(self, query: GraphQuery, limit: Optional[int] = None) -> int:
         """Cardinality of ``query`` (bounded by ``limit``), cached."""
+        self._validate()
         key = query.signature()
         entry = self._entries.get(key)
         if entry is not None:

@@ -120,7 +120,11 @@ class CoarseRewriter:
         self.graph = graph
         self.matcher = matcher if matcher is not None else PatternMatcher(graph)
         self.cache = cache if cache is not None else QueryResultCache(self.matcher)
-        self.statistics = statistics if statistics is not None else GraphStatistics(graph)
+        self.statistics = (
+            statistics
+            if statistics is not None
+            else GraphStatistics(graph, evalcache=self.matcher.evalcache)
+        )
         self.preference_model = preference_model
         self.priority_fn = (
             get_priority_function(priority) if isinstance(priority, str) else priority

@@ -16,7 +16,9 @@ thesis computes query-dependent statistics on three granularities:
 
 Exact per-element statistics are cached by predicate signature, so
 repeated candidate scoring touches the graph only once per distinct
-constraint.
+constraint.  Vertex candidate sets come from the per-graph shared
+:class:`~repro.matching.evalcache.EvaluationCache`, so the statistics
+provider and the matcher never derive the same candidate set twice.
 """
 
 from __future__ import annotations
@@ -25,36 +27,46 @@ from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.core.graph import PropertyGraph
 from repro.core.query import BOTH_DIRECTIONS, Direction, GraphQuery, QueryEdge, QueryVertex
-from repro.matching.candidates import attributes_match, vertex_candidates
+from repro.matching.candidates import attributes_match
+from repro.matching.evalcache import EvaluationCache, shared_evaluation_cache
 
 
 class GraphStatistics:
     """Statistics provider bound to one data graph."""
 
-    def __init__(self, graph: PropertyGraph) -> None:
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        evalcache: Optional[EvaluationCache] = None,
+    ) -> None:
         self.graph = graph
-        self._vertex_cache: Dict[Hashable, int] = {}
+        self.evalcache = (
+            evalcache if evalcache is not None else shared_evaluation_cache(graph)
+        )
+        self._version = graph.version
         self._edge_cache: Dict[Hashable, int] = {}
         self._path1_cache: Dict[Hashable, int] = {}
+
+    def _validate(self) -> None:
+        """Drop stale statistics when the graph has been mutated."""
+        if self.graph.version != self._version:
+            self._edge_cache.clear()
+            self._path1_cache.clear()
+            self._version = self.graph.version
 
     # -- vertex / edge statistics (Sec. 5.2.2) -------------------------------
 
     def vertex_cardinality(self, qvertex: QueryVertex) -> int:
         """Exact number of data vertices satisfying the vertex predicates."""
-        key = qvertex.signature()[1]
-        cached = self._vertex_cache.get(key)
-        if cached is not None:
-            return cached
-        candidates = vertex_candidates(self.graph, qvertex)
-        count = self.graph.num_vertices if candidates is None else len(candidates)
-        self._vertex_cache[key] = count
-        return count
+        candidates = self.evalcache.vertex_candidates(qvertex)
+        return self.graph.num_vertices if candidates is None else len(candidates)
 
     def edge_cardinality(self, qedge: QueryEdge) -> int:
         """Exact number of data edges satisfying type set and predicates.
 
         Endpoint constraints are ignored here; they belong to path(1).
         """
+        self._validate()
         key = (
             tuple(sorted(qedge.types)) if qedge.types is not None else None,
             tuple(sorted((a, p.signature()) for a, p in qedge.predicates.items())),
@@ -62,10 +74,17 @@ class GraphStatistics:
         cached = self._edge_cache.get(key)
         if cached is not None:
             return cached
-        count = 0
-        for record in self._edges_of_types(qedge.types):
-            if attributes_match(record.attributes, qedge.predicates):
-                count += 1
+        if not qedge.predicates:
+            # pure type constraint: O(1) per-type counts, no edge scan
+            if qedge.types is None:
+                count = self.graph.num_edges
+            else:
+                count = sum(self.graph.num_edges_of_type(t) for t in qedge.types)
+        else:
+            count = 0
+            for record in self._edges_of_types(qedge.types):
+                if attributes_match(record.attributes, qedge.predicates):
+                    count += 1
         self._edge_cache[key] = count
         return count
 
@@ -78,6 +97,7 @@ class GraphStatistics:
         satisfy the source/target vertex predicates in at least one
         admitted orientation.
         """
+        self._validate()
         qedge = query.edge(eid)
         source = query.vertex(qedge.source)
         target = query.vertex(qedge.target)
@@ -239,9 +259,13 @@ class GraphStatistics:
 
     @property
     def cache_sizes(self) -> Dict[str, int]:
-        """Sizes of the statistic caches (Appendix B.2 reporting)."""
+        """Sizes of the statistic caches (Appendix B.2 reporting).
+
+        ``vertex`` reports the shared evaluation cache (candidate sets by
+        predicate signature), which this provider populates and reads.
+        """
         return {
-            "vertex": len(self._vertex_cache),
+            "vertex": len(self.evalcache),
             "edge": len(self._edge_cache),
             "path1": len(self._path1_cache),
         }

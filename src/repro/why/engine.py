@@ -17,6 +17,11 @@ All engines share one matcher and one query-result cache, so the work one
 debugger performs (e.g. the bounded counts of BOUNDEDMCS) is reused by
 the next (the rewriting search), and the cardinality can oscillate around
 the threshold without re-paying for previously evaluated variants.
+Below the result cache, all engines bound to the same graph additionally
+share the per-graph plan and candidate caches
+(:mod:`repro.matching.evalcache`), so the overlapping query variants the
+debuggers enumerate touch each graph index at most once;
+:meth:`WhyQueryEngine.cache_report` exposes every layer's counters.
 """
 
 from __future__ import annotations
@@ -110,6 +115,21 @@ class WhyQueryEngine:
         self.max_rewrite_evaluations = max_rewrite_evaluations
         self.rewrite_k = rewrite_k
         self.include_topology = include_topology
+
+    def cache_report(self) -> dict:
+        """Hit/miss counters of every cache layer this engine touches.
+
+        ``results`` is the query-result cache (App. B.2); ``plan`` and
+        ``vertex_candidates`` are the per-graph shared evaluation caches,
+        reported next to the matcher's ``calls``/``steps`` counters.
+        """
+        report = dict(self.matcher.cache_info())
+        report["results"] = self.cache.stats.as_dict()
+        report["matcher"] = {
+            "calls": self.matcher.calls,
+            "steps": self.matcher.steps,
+        }
+        return report
 
     def classify(
         self, query: GraphQuery, threshold: Optional[CardinalityThreshold] = None
