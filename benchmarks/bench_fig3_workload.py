@@ -84,9 +84,9 @@ def test_fig3_8_result_series(workload, write_result, benchmark, ldbc_bundle):
                 assert series[0] >= 0.5
     # kernel timing: one result-set distance
     from repro.datasets import ldbc
-    from repro.matching import PatternMatcher
+    from repro.exec import ExecutionContext
 
-    matcher = PatternMatcher(ldbc_bundle.graph)
+    matcher = ExecutionContext.for_graph(ldbc_bundle.graph).matcher
     name = "LDBC QUERY 1"
     original = matcher.match(ldbc.queries()[name], limit=64)
     sample = workload[name][0.5][0]

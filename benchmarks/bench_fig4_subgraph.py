@@ -81,11 +81,11 @@ def test_fig4_boundedmcs_too_many(write_result, benchmark):
     from repro.harness import load_dataset
     from repro.metrics.cardinality import CardinalityProblem, CardinalityThreshold
     from repro.explain import bounded_mcs
-    from repro.matching import PatternMatcher
+    from repro.exec import ExecutionContext
 
     bundle, queries, _ = load_dataset("ldbc")
     query = queries["LDBC QUERY 1"]
-    original = PatternMatcher(bundle.graph).count(query)
+    original = ExecutionContext.for_graph(bundle.graph).count(query)
     threshold = CardinalityThreshold.at_most(max(1, original // 2))
     benchmark.pedantic(
         lambda: bounded_mcs(

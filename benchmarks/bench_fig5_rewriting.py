@@ -80,10 +80,13 @@ def test_fig5_priority_functions(priority_rows, write_result, benchmark, ldbc_bu
     assert mean_syn(by_priority["hybrid"]) <= mean_syn(by_priority["avg_path1"]) + 1e-9
 
     from repro.datasets import ldbc
+    from repro.exec import ExecutionContext
 
     failed = ldbc.empty_variant("LDBC QUERY 1")
     benchmark.pedantic(
-        lambda: CoarseRewriter(ldbc_bundle.graph, priority="hybrid").rewrite(failed),
+        lambda: CoarseRewriter(
+            context=ExecutionContext(ldbc_bundle.graph), priority="hybrid"
+        ).rewrite(failed),
         rounds=3,
         iterations=1,
     )

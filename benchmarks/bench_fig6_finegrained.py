@@ -80,15 +80,16 @@ def test_fig6_baseline_comparison(baseline_rows, write_result, benchmark, ldbc_b
         assert tst_syn <= greedy_syn + 1e-9
 
     from repro.datasets import ldbc
-    from repro.matching import PatternMatcher
+    from repro.exec import ExecutionContext
     from repro.metrics.cardinality import CardinalityThreshold
 
+    context = ExecutionContext.for_graph(ldbc_bundle.graph)
     query = ldbc.query_1()
-    c = PatternMatcher(ldbc_bundle.graph).count(query)
+    c = context.count(query)
     threshold = CardinalityThreshold(lower=2 * c, upper=4 * c)
     benchmark.pedantic(
         lambda: TraverseSearchTree(
-            ldbc_bundle.graph, threshold, max_evaluations=150
+            context=context, threshold=threshold, max_evaluations=150
         ).search(query),
         rounds=3,
         iterations=1,

@@ -17,14 +17,17 @@ DBpedia-like film data:
 Run:  python examples/data_integration_why_empty.py
 """
 
+from repro import execution_context
 from repro.datasets import dbpedia
 from repro.explain import discover_mcs
-from repro.matching import PatternMatcher
-from repro.rewrite import CoarseRewriter, QueryResultCache
+from repro.rewrite import CoarseRewriter
 
 kg = dbpedia.generate()
 graph = kg.graph
-matcher = PatternMatcher(graph)
+# the graph's shared execution context: the explanation engines and the
+# rewriter below all evaluate through the same matcher and caches
+context = execution_context(graph)
+matcher = context.matcher
 
 print(f"integrated knowledge graph: {graph}")
 
@@ -34,7 +37,7 @@ validation = dbpedia.empty_variant("DBPEDIA QUERY 1")
 print()
 print("validation query:")
 print(validation.describe())
-print(f"result cardinality: {matcher.count(validation)}")
+print(f"result cardinality: {context.count(validation)}")
 
 # -- why does it fail? ---------------------------------------------------------
 
@@ -71,8 +74,8 @@ for i, result in enumerate(sample):
 
 print()
 print("-- modification-based explanations (coarse rewriting, top 3) --")
-cache = QueryResultCache(matcher)
-rewriter = CoarseRewriter(graph, matcher=matcher, cache=cache, max_evaluations=200)
+cache = context.cache
+rewriter = CoarseRewriter(context=context, max_evaluations=200)
 outcome = rewriter.rewrite(validation, k=3)
 for proposal in outcome.explanations:
     print(f"  {proposal.describe()}")

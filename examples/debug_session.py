@@ -12,12 +12,15 @@ import json
 
 from repro.core import query_to_dict
 from repro.datasets import ldbc
-from repro.why import DebugSession
+from repro.service import WhyQueryService
 
 network = ldbc.generate()
 failed = ldbc.empty_variant_edge("LDBC QUERY 4")
 
-session = DebugSession(network.graph, failed)
+# sessions opened through a service run on the graph's warm context, so
+# this session reuses everything previous requests already evaluated
+service = WhyQueryService()
+session = service.open_session(network.graph, failed)
 print(f"problem: {session.problem.value}")
 print()
 print("-- why did it fail? --")

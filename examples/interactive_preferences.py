@@ -17,20 +17,23 @@ DISCOVERMCS starts its traversal there.
 Run:  python examples/interactive_preferences.py
 """
 
+from repro import execution_context
 from repro.datasets import ldbc
 from repro.explain import UserPreferences, discover_mcs, preferred_traversal_order
-from repro.matching import PatternMatcher
 from repro.rewrite import CoarseRewriter, RewritePreferenceModel
 
 network = ldbc.generate()
 graph = network.graph
+# every rating round below evaluates through this one shared context, so
+# re-proposals after a rejection reuse all previously counted variants
+context = execution_context(graph)
 
 # The analyst's failed query: LDBC QUERY 4 with an impossible sinceYear
 # band on the workAt edge (edge 2).
 failed = ldbc.empty_variant("LDBC QUERY 4")
 print("failed query:")
 print(failed.describe())
-print(f"cardinality: {PatternMatcher(graph).count(failed)}")
+print(f"cardinality: {context.count(failed)}")
 
 WORKAT_EDGE = ("edge", 2)
 
@@ -47,7 +50,7 @@ model = RewritePreferenceModel(learning_rate=0.9)
 accepted = None
 for round_no in range(1, 8):
     rewriter = CoarseRewriter(
-        graph, preference_model=model, max_evaluations=300
+        context=context, preference_model=model, max_evaluations=300
     )
     proposal = rewriter.rewrite(failed, k=1).best
     if proposal is None:

@@ -7,8 +7,7 @@ how to fix it.
 Run:  python examples/quickstart.py
 """
 
-from repro import GraphQuery, PropertyGraph, PatternMatcher, equals
-from repro.why import WhyQueryEngine
+from repro import GraphQuery, PropertyGraph, WhyQueryService, equals, execution_context
 
 # -- 1. build a property graph (Definition 1) -------------------------------
 
@@ -32,13 +31,15 @@ city = query.add_vertex(
 query.add_edge(person, university, types={"workAt"})
 query.add_edge(university, city, types={"locatedIn"})
 
-matcher = PatternMatcher(graph)
-print(f"query cardinality: {matcher.count(query)}")  # 0 -- why?
+# the graph's shared execution context: one matcher + caches, reused by
+# every engine (and service request) bound to this graph
+context = execution_context(graph)
+print(f"query cardinality: {context.count(query)}")  # 0 -- why?
 
-# -- 3. ask the why-query engine ----------------------------------------------
+# -- 3. ask the why-query service ---------------------------------------------
 
-engine = WhyQueryEngine(graph)
-report = engine.debug(query)
+service = WhyQueryService()
+report = service.explain(graph, query)
 print()
 print(report.summary())
 

@@ -18,9 +18,8 @@ Run:  python examples/social_network_debugging.py
 """
 
 from repro.datasets import ldbc
-from repro.matching import PatternMatcher
 from repro.metrics import CardinalityThreshold
-from repro.why import WhyQueryEngine
+from repro.service import WhyQueryService
 
 
 def heading(title: str) -> None:
@@ -32,8 +31,10 @@ def heading(title: str) -> None:
 
 network = ldbc.generate()
 graph = network.graph
-matcher = PatternMatcher(graph)
-engine = WhyQueryEngine(graph)
+# one long-lived service: all three debugging requests below hit the same
+# warm per-graph execution context (shared matcher + caches)
+service = WhyQueryService()
+context = service.context_for(graph)
 
 print(f"social network: {graph}")
 
@@ -42,7 +43,7 @@ print(f"social network: {graph}")
 heading("1. why-empty: female colleagues at a company that does not exist")
 failed = ldbc.empty_variant("LDBC QUERY 1")
 print(failed.describe())
-report = engine.debug(failed)
+report = service.explain(graph, failed)
 print()
 print(report.summary())
 
@@ -50,11 +51,11 @@ print(report.summary())
 
 heading("2. why-so-few: study cohort smaller than expected")
 cohort_query = ldbc.query_2()
-observed = matcher.count(cohort_query)
+observed = context.count(cohort_query)
 expectation = CardinalityThreshold(lower=observed * 2, upper=observed * 4)
 print(cohort_query.describe())
 print(f"observed {observed} matches, expected {expectation}")
-report = engine.debug(cohort_query, expectation)
+report = service.explain(graph, cohort_query, expectation)
 print()
 print(report.summary())
 rewriting = report.rewriting
@@ -65,9 +66,21 @@ if rewriting is not None and rewriting.converged:
 
 heading("3. why-so-many: friend-of-friend search explodes")
 fof_query = ldbc.query_4()
-observed = matcher.count(fof_query)
+observed = context.count(fof_query)
 expectation = CardinalityThreshold(lower=10, upper=observed // 4)
 print(f"observed {observed} matches, expected {expectation}")
-report = engine.debug(fof_query, expectation)
+report = service.explain(graph, fof_query, expectation)
 print()
 print(report.summary())
+
+# -- the service kept everything warm -----------------------------------------
+
+stats = service.stats()
+totals = stats["totals"]
+print()
+print(
+    f"[service: {stats['requests']} requests on {stats['contexts_live']} "
+    f"context(s); result cache {totals['result_hits']} hits / "
+    f"{totals['result_misses']} misses; matcher {totals['matcher_calls']} "
+    f"calls, {totals['matcher_steps']} steps]"
+)

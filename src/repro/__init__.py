@@ -27,6 +27,16 @@ Explanations (Ch. 4-6)
 Holistic engine
     :class:`~repro.why.WhyQueryEngine` dispatches to the right debugger
     from the observed cardinality (Fig. 3.1).
+Execution spine
+    :class:`~repro.exec.ExecutionContext` bundles the per-graph
+    evaluation stack every engine shares;
+    :class:`~repro.exec.CandidateEvaluator` evaluates candidate batches
+    through :class:`~repro.exec.SerialExecutor` /
+    :class:`~repro.exec.ParallelExecutor`.
+Service
+    :class:`~repro.service.WhyQueryService` keeps a bounded pool of warm
+    per-graph contexts and serves concurrent ``explain()`` /
+    ``open_session()`` requests.
 """
 
 from repro.core import (
@@ -45,6 +55,14 @@ from repro.core import (
     equals,
     one_of,
 )
+from repro.exec import (
+    CandidateEvaluator,
+    EvaluationBudget,
+    ExecutionContext,
+    ParallelExecutor,
+    SerialExecutor,
+    execution_context,
+)
 from repro.matching import PatternMatcher
 from repro.metrics import (
     CardinalityProblem,
@@ -54,27 +72,36 @@ from repro.metrics import (
     syntactic_distance,
 )
 
-__version__ = "1.0.0"
+from repro.service import WhyQueryService
+
+__version__ = "1.1.0"
 
 __all__ = [
     "BOTH_DIRECTIONS",
+    "CandidateEvaluator",
     "CardinalityProblem",
     "CardinalityThreshold",
     "Direction",
+    "EvaluationBudget",
+    "ExecutionContext",
     "GraphQuery",
     "Interval",
+    "ParallelExecutor",
     "PatternMatcher",
     "Predicate",
     "PropertyGraph",
     "ResultGraph",
     "ResultSet",
+    "SerialExecutor",
     "ValueSet",
+    "WhyQueryService",
     "__version__",
     "at_least",
     "at_most",
     "between",
     "cardinality_distance",
     "equals",
+    "execution_context",
     "one_of",
     "result_set_distance",
     "syntactic_distance",

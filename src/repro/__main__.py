@@ -4,7 +4,10 @@ Commands
 --------
 
 ``demo``
-    Run the quickstart debugging story on a generated social network.
+    Run the quickstart debugging story on a generated social network
+    through a :class:`~repro.service.WhyQueryService` (the long-lived
+    serving entry point), and print the service's cache/throughput
+    counters afterwards.
 ``experiments [--dataset ldbc|dbpedia] [ids...]``
     Regenerate evaluation tables (default: the fast ones).  Available
     ids: tabA, fig4, fig5, fig5-user, fig6, fig6-topo, appB.
@@ -21,16 +24,28 @@ from typing import List, Optional
 
 def _cmd_demo(_: argparse.Namespace) -> int:
     from repro.datasets import ldbc
-    from repro.why import WhyQueryEngine
+    from repro.service import WhyQueryService
 
     network = ldbc.generate()
     print(f"generated social network: {network.graph}")
     failed = ldbc.empty_variant("LDBC QUERY 2")
     print("\nfailed query:")
     print(failed.describe())
-    report = WhyQueryEngine(network.graph).debug(failed)
+    service = WhyQueryService()
+    report = service.explain(network.graph, failed)
     print()
     print(report.summary())
+    # a second request over the same graph runs against the warm context
+    service.explain(network.graph, failed, explain=False)
+    stats = service.stats()
+    totals = stats["totals"]
+    print()
+    print(
+        f"[service: {stats['requests']} requests, "
+        f"{stats['contexts_live']} warm context(s), "
+        f"result cache {totals['result_hits']} hits / "
+        f"{totals['result_misses']} misses]"
+    )
     return 0
 
 

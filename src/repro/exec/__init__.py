@@ -1,0 +1,32 @@
+"""Shared execution spine: per-graph contexts and batched evaluation.
+
+``repro.exec`` is the layer between the matching substrate and the
+debugging engines: :class:`ExecutionContext` bundles the per-graph
+evaluation stack (matcher, result cache, statistics, candidate cache,
+attribute domain, preference models) so every engine constructs itself
+*from* a context instead of wiring its own, and
+:class:`CandidateEvaluator` evaluates batches of independent query
+variants through a pluggable executor under a shared
+:class:`EvaluationBudget`.
+"""
+
+from repro.exec.context import ExecutionContext, execution_context
+from repro.exec.evaluator import (
+    BatchExecutor,
+    CandidateEvaluator,
+    EvaluatedCandidate,
+    EvaluationBudget,
+    ParallelExecutor,
+    SerialExecutor,
+)
+
+__all__ = [
+    "BatchExecutor",
+    "CandidateEvaluator",
+    "EvaluatedCandidate",
+    "EvaluationBudget",
+    "ExecutionContext",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "execution_context",
+]

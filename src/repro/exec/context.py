@@ -1,0 +1,176 @@
+"""The shared evaluation spine: one :class:`ExecutionContext` per graph.
+
+The holistic engine (Sec. 3.1.3) assumes all debuggers operate on one
+evaluation substrate, so the work one debugger performs is reusable by
+the next.  Historically every entry point (the why-query engine, debug
+sessions, the rewriters, the harness drivers) hand-wired its own
+``PatternMatcher`` + ``QueryResultCache`` + ``GraphStatistics`` stack,
+which silently *defeated* that sharing whenever two entry points met the
+same graph.
+
+An :class:`ExecutionContext` is the explicit, reusable wiring:
+
+======================  =====================================================
+``matcher``             the graph's :class:`~repro.matching.matcher.PatternMatcher`
+``cache``               bounded-count memoisation (:class:`~repro.rewrite.cache.QueryResultCache`)
+``statistics``          cardinality estimation (:class:`~repro.rewrite.statistics.GraphStatistics`)
+``evalcache``           per-graph candidate-set cache (:mod:`repro.matching.evalcache`)
+``domain``              data-driven value proposals (:class:`~repro.rewrite.operations.AttributeDomain`)
+``preference_model``    rewrite preference model shared by interactive flows
+``preferences``         traversal preferences shared by the explanation engines
+======================  =====================================================
+
+:meth:`ExecutionContext.for_graph` hands out **one context per graph**
+from a process-wide weak registry, so independently constructed engines
+bound to the same graph transparently share every layer; construct
+``ExecutionContext(graph)`` directly when isolation is wanted (the
+harness does, to measure per-run cache effectiveness).
+
+All layers self-invalidate from :attr:`PropertyGraph.version`, so a
+long-lived context survives graph mutation without serving stale counts.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Dict, Optional
+
+from repro.core.graph import PropertyGraph
+from repro.core.query import GraphQuery
+from repro.explain.preferences import UserPreferences
+from repro.matching.evalcache import EvaluationCache, shared_evaluation_cache
+from repro.matching.matcher import PatternMatcher
+from repro.rewrite.cache import QueryResultCache
+from repro.rewrite.operations import AttributeDomain
+from repro.rewrite.preference_model import RewritePreferenceModel
+from repro.rewrite.statistics import GraphStatistics
+
+__all__ = ["ExecutionContext", "execution_context"]
+
+
+class ExecutionContext:
+    """Everything needed to evaluate and debug queries over one graph."""
+
+    #: default bound on the per-context query-result cache: contexts are
+    #: long-lived (process registry / service pool), so the result cache
+    #: must not grow with every distinct query variant ever debugged
+    DEFAULT_RESULT_CACHE_ENTRIES = 100_000
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        injective: bool = True,
+        typed_adjacency: bool = True,
+        matcher: Optional[PatternMatcher] = None,
+        cache: Optional[QueryResultCache] = None,
+        result_cache_entries: Optional[int] = DEFAULT_RESULT_CACHE_ENTRIES,
+        statistics: Optional[GraphStatistics] = None,
+        domain: Optional[AttributeDomain] = None,
+        preference_model: Optional[RewritePreferenceModel] = None,
+        preferences: Optional[UserPreferences] = None,
+    ) -> None:
+        self.graph = graph
+        self.matcher = (
+            matcher
+            if matcher is not None
+            else PatternMatcher(
+                graph, injective=injective, typed_adjacency=typed_adjacency
+            )
+        )
+        if self.matcher.graph is not graph:
+            raise ValueError("matcher is bound to a different graph")
+        self.cache = (
+            cache
+            if cache is not None
+            else QueryResultCache(self.matcher, max_entries=result_cache_entries)
+        )
+        self.statistics = (
+            statistics
+            if statistics is not None
+            else GraphStatistics(graph, evalcache=self.matcher.evalcache)
+        )
+        self.domain = domain if domain is not None else AttributeDomain(graph)
+        self.preference_model = (
+            preference_model
+            if preference_model is not None
+            else RewritePreferenceModel()
+        )
+        self.preferences = (
+            preferences if preferences is not None else UserPreferences()
+        )
+        #: serialises *structural* swaps (e.g. domain refresh); the
+        #: evaluation layers themselves are safe for concurrent reads
+        self._lock = threading.RLock()
+        self._domain_version = graph.version
+
+    # -- registry -------------------------------------------------------------
+
+    @classmethod
+    def for_graph(cls, graph: PropertyGraph) -> "ExecutionContext":
+        """The process-wide shared context of ``graph`` (created on demand)."""
+        with _REGISTRY_LOCK:
+            context = _SHARED_CONTEXTS.get(graph)
+            if context is None:
+                context = cls(graph)
+                _SHARED_CONTEXTS[graph] = context
+            return context
+
+    # -- evaluation façade ----------------------------------------------------
+
+    @property
+    def evalcache(self) -> EvaluationCache:
+        """The per-graph candidate-set cache all layers share."""
+        return self.matcher.evalcache
+
+    def count(self, query: GraphQuery, limit: Optional[int] = None) -> int:
+        """Cached bounded cardinality of ``query`` (the hot entry point)."""
+        return self.cache.count(query, limit=limit)
+
+    def attribute_domain(self) -> AttributeDomain:
+        """The value-proposal domain, refreshed if the graph was mutated.
+
+        ``AttributeDomain`` caches whole-graph histograms without version
+        tracking of its own, so a long-lived context swaps in a fresh one
+        when the graph version moved.
+        """
+        with self._lock:
+            if self.graph.version != self._domain_version:
+                self.domain = AttributeDomain(self.graph)
+                self._domain_version = self.graph.version
+            return self.domain
+
+    # -- reporting ------------------------------------------------------------
+
+    def cache_report(self) -> Dict[str, Dict[str, float]]:
+        """Hit/miss counters of every cache layer plus matcher effort.
+
+        ``results`` is the query-result cache (App. B.2); ``plan`` and
+        ``vertex_candidates`` are the per-graph shared evaluation caches,
+        reported next to the matcher's ``calls``/``steps`` counters.
+        """
+        report = dict(self.matcher.cache_info())
+        report["results"] = self.cache.stats.as_dict()
+        report["matcher"] = {
+            "calls": self.matcher.calls,
+            "steps": self.matcher.steps,
+        }
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExecutionContext(graph={self.graph!r}, "
+            f"version={self.graph.version})"
+        )
+
+
+#: graph -> its process-wide shared execution context
+_SHARED_CONTEXTS: "weakref.WeakKeyDictionary[PropertyGraph, ExecutionContext]" = (
+    weakref.WeakKeyDictionary()
+)
+_REGISTRY_LOCK = threading.Lock()
+
+
+def execution_context(graph: PropertyGraph) -> ExecutionContext:
+    """Module-level alias of :meth:`ExecutionContext.for_graph`."""
+    return ExecutionContext.for_graph(graph)

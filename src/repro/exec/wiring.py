@@ -1,0 +1,55 @@
+"""Component resolution shared by the engines' constructors.
+
+Every engine accepts the same three-way wiring choice: explicit
+components win, then the :class:`~repro.exec.context.ExecutionContext`'s
+spine, then fresh per-engine wiring.  :func:`resolve_spine` implements
+that precedence once so the engines cannot drift apart.
+
+The ``context`` argument is duck-typed (anything exposing ``graph``,
+``matcher``, ``cache``, ``statistics``) rather than imported, which keeps
+this module a leaf: it can be imported from ``repro.rewrite`` /
+``repro.finegrained`` without creating an import cycle with
+:mod:`repro.exec.context`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.graph import PropertyGraph
+from repro.matching.matcher import PatternMatcher
+from repro.rewrite.cache import QueryResultCache
+from repro.rewrite.statistics import GraphStatistics
+
+__all__ = ["resolve_spine"]
+
+
+def resolve_spine(
+    graph: Optional[PropertyGraph],
+    context,
+    matcher: Optional[PatternMatcher] = None,
+    cache: Optional[QueryResultCache] = None,
+    statistics: Optional[GraphStatistics] = None,
+) -> Tuple[PropertyGraph, PatternMatcher, QueryResultCache, GraphStatistics]:
+    """Resolve ``(graph, matcher, cache, statistics)`` for one engine.
+
+    Raises :class:`ValueError` when neither ``graph`` nor ``context`` is
+    given, or when both are given but disagree.
+    """
+    if graph is None and context is None:
+        raise ValueError("either graph or context is required")
+    if context is not None:
+        if graph is not None and graph is not context.graph:
+            raise ValueError("graph and context.graph differ")
+        graph = context.graph
+    if matcher is None:
+        matcher = context.matcher if context is not None else PatternMatcher(graph)
+    if cache is None:
+        cache = context.cache if context is not None else QueryResultCache(matcher)
+    if statistics is None:
+        statistics = (
+            context.statistics
+            if context is not None
+            else GraphStatistics(graph, evalcache=matcher.evalcache)
+        )
+    return graph, matcher, cache, statistics

@@ -25,11 +25,18 @@ import heapq
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import MalformedQueryError, RewritingError
 from repro.core.graph import PropertyGraph
 from repro.core.query import GraphQuery
+from repro.exec.evaluator import (
+    BatchExecutor,
+    CandidateEvaluator,
+    EvaluationBudget,
+    SerialExecutor,
+)
+from repro.exec.wiring import resolve_spine
 from repro.matching.matcher import PatternMatcher
 from repro.metrics.cardinality import CardinalityThreshold
 from repro.metrics.syntactic import syntactic_distance
@@ -42,6 +49,9 @@ from repro.rewrite.operations import (
 )
 from repro.rewrite.statistics import GraphStatistics
 from repro.finegrained.modification_tree import ModificationNode, ModificationTree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.exec.context import ExecutionContext
 
 
 @dataclass
@@ -76,8 +86,8 @@ class TraverseSearchTree:
 
     def __init__(
         self,
-        graph: PropertyGraph,
-        threshold: CardinalityThreshold,
+        graph: Optional[PropertyGraph] = None,
+        threshold: Optional[CardinalityThreshold] = None,
         matcher: Optional[PatternMatcher] = None,
         cache: Optional[QueryResultCache] = None,
         domain: Optional[AttributeDomain] = None,
@@ -86,23 +96,40 @@ class TraverseSearchTree:
         max_evaluations: int = 300,
         max_depth: int = 8,
         statistics: Optional[GraphStatistics] = None,
+        context: Optional["ExecutionContext"] = None,
+        executor: Optional[BatchExecutor] = None,
+        batch_size: Optional[int] = None,
     ) -> None:
-        self.graph = graph
+        if threshold is None:
+            raise ValueError("a cardinality threshold is required")
         self.threshold = threshold
-        self.matcher = matcher if matcher is not None else PatternMatcher(graph)
-        self.cache = cache if cache is not None else QueryResultCache(self.matcher)
-        self.domain = domain if domain is not None else AttributeDomain(graph)
-        self.statistics = (
-            statistics
-            if statistics is not None
-            else GraphStatistics(graph, evalcache=self.matcher.evalcache)
+        # explicit components win, then the context's spine, then fresh wiring
+        self.graph, self.matcher, self.cache, self.statistics = resolve_spine(
+            graph, context, matcher=matcher, cache=cache, statistics=statistics
         )
+        if domain is None:
+            domain = (
+                context.attribute_domain()
+                if context is not None
+                else AttributeDomain(self.graph)
+            )
+        self.domain = domain
         self.include_topology = include_topology
         self.constrainable_attrs = (
             tuple(constrainable_attrs) if constrainable_attrs else None
         )
         self.max_evaluations = max_evaluations
         self.max_depth = max_depth
+        self.executor: BatchExecutor = (
+            executor if executor is not None else SerialExecutor()
+        )
+        if batch_size is None:
+            batch_size = getattr(self.executor, "preferred_batch", 1)
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        #: sibling modifications evaluated per batch; defaults to the
+        #: executor's preferred batch (1 serial, worker count parallel)
+        self.batch_size = batch_size
 
     # -- candidate generation (Sec. 6.2.2) ------------------------------------
 
@@ -170,50 +197,73 @@ class TraverseSearchTree:
         tree = ModificationTree(query, root_card, root_distance)
         root = tree.node(tree.root)
 
+        budget = EvaluationBudget(self.max_evaluations)
+        evaluator = CandidateEvaluator(
+            self.cache, executor=self.executor, budget=budget, count_limit=limit
+        )
         counter = itertools.count()
         heap: List[Tuple[Tuple[int, float, int], int]] = []
         heapq.heappush(heap, ((root_distance, 0.0, next(counter)), root.node_id))
         seen = {query.signature()}
-        evaluated = 0
         generated = 0
         budget_exhausted = False
         best = root
 
-        while heap and best.distance > 0 and evaluated < self.max_evaluations:
+        while heap and best.distance > 0 and not budget.exhausted:
             _, node_id = heapq.heappop(heap)
             node = tree.node(node_id)
             if node.pruned or node.depth >= self.max_depth:
                 continue
+            # Unseen sibling modifications are evaluated in batches of
+            # `batch_size` (truncated to the remaining budget) so a
+            # parallel executor can overlap their evaluation.  Results are
+            # folded back in the re-arranged branch order and the search
+            # stops between batches once a variant converged, keeping the
+            # serial (batch 1) trajectory identical to the sequential
+            # formulation and the parallel one deterministic.
+            siblings: List[Tuple[Modification, GraphQuery]] = []
+            batch_sigs = set()
             for op, child_query in self._ordered_expansions(
                 node.query, node.cardinality
             ):
-                if evaluated >= self.max_evaluations:
-                    budget_exhausted = True
-                    break
                 sig = child_query.signature()
-                if sig in seen:
+                if sig in seen or sig in batch_sigs:
                     continue
-                seen.add(sig)
-                generated += 1
-                evaluated += 1
-                card = self.cache.count(child_query, limit=limit)
-                distance = self.threshold.distance(card)
-                syntactic = syntactic_distance(query, child_query)
-                child = tree.add_child(
-                    node, child_query, op, card, distance, syntactic
-                )
-                if child is None:
-                    continue
-                if child.objective < best.objective:
-                    best = child
-                if child.distance == 0:
-                    best = child
+                batch_sigs.add(sig)
+                siblings.append((op, child_query))
+            pos = 0
+            while pos < len(siblings) and best.distance > 0:
+                chunk = siblings[pos : pos + self.batch_size]
+                results = evaluator.evaluate([q for _, q in chunk])
+                if len(results) < len(chunk):
+                    budget_exhausted = True
+                for (op, child_query), result in zip(chunk, results):
+                    seen.add(child_query.signature())
+                    generated += 1
+                    card = result.cardinality
+                    distance = self.threshold.distance(card)
+                    syntactic = syntactic_distance(query, child_query)
+                    child = tree.add_child(
+                        node, child_query, op, card, distance, syntactic
+                    )
+                    if child is None:
+                        continue
+                    if child.objective < best.objective:
+                        best = child
+                    if child.distance == 0:
+                        best = child
+                        break
+                    heapq.heappush(
+                        heap,
+                        (
+                            (child.distance, child.syntactic, next(counter)),
+                            child.node_id,
+                        ),
+                    )
+                if budget_exhausted:
                     break
-                heapq.heappush(
-                    heap,
-                    ((child.distance, child.syntactic, next(counter)), child.node_id),
-                )
-            if best.distance == 0:
+                pos += len(results)
+            if best.distance == 0 or budget_exhausted:
                 break
 
         return FineRewriteResult(
@@ -223,7 +273,7 @@ class TraverseSearchTree:
             best_syntactic=best.syntactic,
             modifications=tuple(tree.modifications_to(best)),
             cardinality_trace=tree.cardinality_trace(best),
-            evaluated=evaluated,
+            evaluated=budget.spent,
             generated=generated,
             tree_size=len(tree),
             non_contributing=tree.non_contributing,

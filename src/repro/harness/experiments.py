@@ -19,17 +19,15 @@ from repro.core.graph import PropertyGraph
 from repro.core.query import GraphQuery
 from repro.datasets import dbpedia, ldbc
 from repro.datasets.workload import ExplanationSample, generate_explanations
+from repro.exec.context import ExecutionContext
 from repro.explain.bounded_mcs import bounded_mcs
 from repro.explain.discover_mcs import discover_mcs
 from repro.finegrained.baselines import GreedyCoarseSearch, RandomModificationSearch
 from repro.finegrained.traverse_search_tree import TraverseSearchTree
 from repro.matching.evalcache import shared_evaluation_cache
-from repro.matching.matcher import PatternMatcher
 from repro.matching.plan import plan_cache_stats
 from repro.metrics.cardinality import CardinalityProblem, CardinalityThreshold
-from repro.rewrite.cache import QueryResultCache
 from repro.rewrite.coarse import CoarseRewriter
-from repro.rewrite.operations import AttributeDomain
 from repro.rewrite.preference_model import RewritePreferenceModel
 from repro.rewrite.priority import PRIORITY_FUNCTIONS
 
@@ -155,10 +153,10 @@ def fig4_boundedmcs(
     relative to it.
     """
     bundle, queries, _ = load_dataset(dataset)
-    matcher = PatternMatcher(bundle.graph)
+    context = ExecutionContext.for_graph(bundle.graph)
     rows: List[McsRow] = []
     for name, query in queries.items():
-        original = matcher.count(query)
+        original = context.count(query)
         for factor in factors:
             upper = max(1, round(original * factor))
             threshold = CardinalityThreshold.at_most(upper)
@@ -228,8 +226,12 @@ def fig5_priorities(
         for priority in priorities:
             plan_before = plan_stats.hits
             candidates_before = candidate_stats.hits
+            # a fresh private context per run: the row-level deltas show
+            # how much of each run the per-graph *shared* caches absorbed
             rewriter = CoarseRewriter(
-                bundle.graph, priority=priority, max_evaluations=max_evaluations
+                context=ExecutionContext(bundle.graph),
+                priority=priority,
+                max_evaluations=max_evaluations,
             )
             result = rewriter.rewrite(failed, k=1)
             best = result.best
@@ -263,7 +265,9 @@ def fig5_convergence(
     traces = {}
     for priority in priorities:
         rewriter = CoarseRewriter(
-            bundle.graph, priority=priority, max_evaluations=max_evaluations
+            context=ExecutionContext(bundle.graph),
+            priority=priority,
+            max_evaluations=max_evaluations,
         )
         result = rewriter.rewrite(failed, k=k)
         traces[priority] = result.convergence
@@ -309,7 +313,9 @@ def fig5_user_integration(
       for suffix, variant_fn in variant_families:
         failed = variant_fn(name)
         plain = CoarseRewriter(
-            bundle.graph, priority="hybrid", max_evaluations=300
+            context=ExecutionContext(bundle.graph),
+            priority="hybrid",
+            max_evaluations=300,
         ).rewrite(failed, k=max_rounds)
         if not plain.discovered:
             continue
@@ -323,7 +329,7 @@ def fig5_user_integration(
         # is pinned to the protected element and no preference handling
         # can help -- the scenario is skipped.
         oracle = CoarseRewriter(
-            bundle.graph,
+            context=ExecutionContext(bundle.graph),
             priority="hybrid",
             max_evaluations=300,
             op_filter=lambda op: op.target not in protected,
@@ -346,7 +352,7 @@ def fig5_user_integration(
         accepted_with = False
         for round_no in range(1, max_rounds + 1):
             rewriter = CoarseRewriter(
-                bundle.graph,
+                context=ExecutionContext(bundle.graph),
                 priority="hybrid",
                 preference_model=model,
                 max_evaluations=300,
@@ -403,11 +409,11 @@ def appB_resources(dataset: str = "ldbc", k: int = 3) -> List[ResourceRow]:
     rows: List[ResourceRow] = []
     for name in queries:
         failed = empty_variant(name)
-        matcher = PatternMatcher(bundle.graph)
-        cache = QueryResultCache(matcher)
-        rewriter = CoarseRewriter(
-            bundle.graph, matcher=matcher, cache=cache, max_evaluations=200
-        )
+        # private context per run -> per-run result-cache effectiveness
+        context = ExecutionContext(bundle.graph)
+        matcher = context.matcher
+        cache = context.cache
+        rewriter = CoarseRewriter(context=context, max_evaluations=200)
         plan_before = plan_stats.hits
         candidates_before = candidate_stats.snapshot()
         result = rewriter.rewrite(failed, k=k)
@@ -455,10 +461,10 @@ class BaselineRow:
 def fig6_scenarios(dataset: str = "ldbc") -> List[Tuple[str, GraphQuery, CardinalityThreshold]]:
     """The why-so-few / why-so-many scenarios of the Ch. 6 evaluation."""
     bundle, queries, _ = load_dataset(dataset)
-    matcher = PatternMatcher(bundle.graph)
+    context = ExecutionContext.for_graph(bundle.graph)
     scenarios: List[Tuple[str, GraphQuery, CardinalityThreshold]] = []
     for name, query in queries.items():
-        original = matcher.count(query)
+        original = context.count(query)
         few_target = max(2, round(original * 2.0))
         many_target = max(1, round(original * 0.3))
         scenarios.append(
@@ -489,7 +495,8 @@ def fig6_baselines(
     predicates on the data's common attributes for the too-many direction.
     """
     bundle, _, _ = load_dataset(dataset)
-    domain = AttributeDomain(bundle.graph)
+    context = ExecutionContext.for_graph(bundle.graph)
+    domain = context.attribute_domain()
     attrs = domain.common_vertex_attrs()
     rows: List[BaselineRow] = []
     for scenario, query, threshold in fig6_scenarios(dataset):
@@ -497,9 +504,8 @@ def fig6_baselines(
             (
                 "traverse-search-tree",
                 TraverseSearchTree(
-                    bundle.graph,
-                    threshold,
-                    domain=domain,
+                    context=context,
+                    threshold=threshold,
                     constrainable_attrs=attrs,
                     max_evaluations=max_evaluations,
                 ),
@@ -553,16 +559,16 @@ def fig6_topology(
     are only reachable when whole edges may be dropped.
     """
     bundle, queries, empty_variant = load_dataset(dataset)
-    matcher = PatternMatcher(bundle.graph)
+    context = ExecutionContext.for_graph(bundle.graph)
     rows: List[BaselineRow] = []
     for name, query in queries.items():
-        original = matcher.count(query)
+        original = context.count(query)
         target = max(2, original * 4)
         threshold = CardinalityThreshold.at_least(target)
         for topo in (False, True):
             engine = TraverseSearchTree(
-                bundle.graph,
-                threshold,
+                context=context,
+                threshold=threshold,
                 include_topology=topo,
                 max_evaluations=max_evaluations,
             )
@@ -605,7 +611,7 @@ def tabA_datasets() -> List[DatasetRow]:
     rows: List[DatasetRow] = []
     for dataset in ("ldbc", "dbpedia"):
         bundle, queries, _ = load_dataset(dataset)
-        matcher = PatternMatcher(bundle.graph)
+        context = ExecutionContext.for_graph(bundle.graph)
         for name, query in queries.items():
             rows.append(
                 DatasetRow(
@@ -615,7 +621,7 @@ def tabA_datasets() -> List[DatasetRow]:
                     edges=bundle.graph.num_edges,
                     query_vertices=query.num_vertices,
                     query_edges=query.num_edges,
-                    cardinality=matcher.count(query),
+                    cardinality=context.count(query),
                 )
             )
     return rows

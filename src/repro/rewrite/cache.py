@@ -29,10 +29,20 @@ class QueryResultCache:
     The wrapped matcher's plan and candidate caches are shared per graph,
     so even a cache *miss* here reuses the evaluation-layer derivations of
     every other engine bound to the same graph.
+
+    ``max_entries`` bounds the cache for long-lived owners (the execution
+    contexts a :class:`~repro.service.WhyQueryService` keeps warm): when
+    the bound is hit, the oldest entries are evicted first.  ``None``
+    keeps the historical unbounded behaviour for short-lived engines.
     """
 
-    def __init__(self, matcher: PatternMatcher) -> None:
+    def __init__(
+        self, matcher: PatternMatcher, max_entries: Optional[int] = None
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 or None")
         self.matcher = matcher
+        self.max_entries = max_entries
         self._version = matcher.graph.version
         self._entries: Dict[Hashable, tuple] = {}
         self.stats = CacheStats()
@@ -70,6 +80,10 @@ class QueryResultCache:
         self.stats.misses += 1
         count = self.matcher.count(query, limit=limit)
         self._entries[key] = (count, limit)
+        if self.max_entries is not None:
+            # dicts iterate in insertion order: evict oldest-first
+            while len(self._entries) > self.max_entries:
+                del self._entries[next(iter(self._entries))]
         self.stats.size = len(self._entries)
         return count
 

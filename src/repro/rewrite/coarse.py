@@ -9,6 +9,14 @@ cache (App. B.2) first; the first non-empty candidates are returned as
 modification-based explanations.  A user-preference model (Sec. 5.4) can
 re-weight priorities between calls.
 
+The evaluator drains the queue in *budgeted batches* through the shared
+:class:`~repro.exec.evaluator.CandidateEvaluator`: with the default
+:class:`~repro.exec.evaluator.SerialExecutor` the batch size is 1 (the
+thesis' sequential formulation, no speculative budget spend); with a
+:class:`~repro.exec.evaluator.ParallelExecutor` the top `batch_size`
+candidates are evaluated concurrently and folded back in priority
+order, which keeps the search deterministic for a fixed batch size.
+
 The engine purposely ignores a cardinality threshold: "this approach does
 not consider the cardinality threshold and therefore is more appropriate
 for solving why-empty queries" (Contribution 4).  Threshold-driven
@@ -21,11 +29,18 @@ import heapq
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Set, Tuple, Union
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.errors import MalformedQueryError, RewritingError
 from repro.core.graph import PropertyGraph
 from repro.core.query import GraphQuery
+from repro.exec.evaluator import (
+    BatchExecutor,
+    CandidateEvaluator,
+    EvaluationBudget,
+    SerialExecutor,
+)
+from repro.exec.wiring import resolve_spine
 from repro.matching.matcher import PatternMatcher
 from repro.metrics.syntactic import syntactic_distance
 from repro.rewrite.cache import QueryResultCache
@@ -37,6 +52,9 @@ from repro.rewrite.priority import (
     get_priority_function,
 )
 from repro.rewrite.statistics import GraphStatistics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.exec.context import ExecutionContext
 
 
 @dataclass(frozen=True)
@@ -106,7 +124,7 @@ class CoarseRewriter:
 
     def __init__(
         self,
-        graph: PropertyGraph,
+        graph: Optional[PropertyGraph] = None,
         priority: Union[str, PriorityFunction] = "hybrid",
         matcher: Optional[PatternMatcher] = None,
         cache: Optional[QueryResultCache] = None,
@@ -116,14 +134,13 @@ class CoarseRewriter:
         max_depth: Optional[int] = None,
         count_limit: int = 1000,
         op_filter: Optional[Callable[[Modification], bool]] = None,
+        context: Optional["ExecutionContext"] = None,
+        executor: Optional[BatchExecutor] = None,
+        batch_size: Optional[int] = None,
     ) -> None:
-        self.graph = graph
-        self.matcher = matcher if matcher is not None else PatternMatcher(graph)
-        self.cache = cache if cache is not None else QueryResultCache(self.matcher)
-        self.statistics = (
-            statistics
-            if statistics is not None
-            else GraphStatistics(graph, evalcache=self.matcher.evalcache)
+        # explicit components win, then the context's spine, then fresh wiring
+        self.graph, self.matcher, self.cache, self.statistics = resolve_spine(
+            graph, context, matcher=matcher, cache=cache, statistics=statistics
         )
         self.preference_model = preference_model
         self.priority_fn = (
@@ -136,6 +153,16 @@ class CoarseRewriter:
         #: user's immutable elements); rejected operations are never
         #: generated, unlike the soft preference-model re-weighting
         self.op_filter = op_filter
+        self.executor: BatchExecutor = (
+            executor if executor is not None else SerialExecutor()
+        )
+        if batch_size is None:
+            batch_size = getattr(self.executor, "preferred_batch", 1)
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        #: queue entries drained and evaluated per round; defaults to the
+        #: executor's preferred batch (1 serial, worker count parallel)
+        self.batch_size = batch_size
 
     # -- public API ----------------------------------------------------------
 
@@ -152,11 +179,17 @@ class CoarseRewriter:
         start = time.perf_counter()
         counter = itertools.count()
         original_estimate = self.statistics.estimate_query_cardinality(query)
+        budget = EvaluationBudget(self.max_evaluations)
+        evaluator = CandidateEvaluator(
+            self.cache,
+            executor=self.executor,
+            budget=budget,
+            count_limit=self.count_limit,
+        )
 
         heap: List[_QueueEntry] = []
         seen: Set = {query.signature()}
         generated = 0
-        evaluated = 0
         queue_peak = 0
         budget_exhausted = False
         found: List[RewrittenQuery] = []
@@ -208,35 +241,52 @@ class CoarseRewriter:
         def record_point() -> None:
             convergence.append(
                 ConvergencePoint(
-                    evaluations=evaluated,
+                    evaluations=budget.spent,
                     elapsed=time.perf_counter() - start,
                     found=len(found),
                     best_syntactic=min((f.syntactic for f in found), default=None),
                 )
             )
 
+        # Budgeted batch drain: pop the `batch_size` most promising open
+        # candidates, evaluate them as one batch through the shared
+        # evaluator, then fold the results back in priority order.  The
+        # batch is truncated to the remaining budget, so the budget is a
+        # hard bound exactly as in the sequential formulation.
         while heap and len(found) < k:
-            if evaluated >= self.max_evaluations:
+            if budget.exhausted:
                 budget_exhausted = True
                 break
             queue_peak = max(queue_peak, len(heap))
-            entry = heapq.heappop(heap)
-            evaluated += 1
-            cardinality = self.cache.count(entry.query, limit=self.count_limit)
-            if cardinality > 0:
-                found.append(
-                    RewrittenQuery(
-                        query=entry.query,
-                        cardinality=cardinality,
-                        syntactic=syntactic_distance(query, entry.query),
-                        modifications=entry.modifications,
-                        estimate=entry.estimate,
-                    )
-                )
-                record_point()
-                continue
-            push_children(entry.query, entry.modifications, entry.estimate)
-            if evaluated % 10 == 0:
+            entries: List[_QueueEntry] = []
+            while heap and len(entries) < self.batch_size:
+                entries.append(heapq.heappop(heap))
+            results = evaluator.evaluate([e.query for e in entries])
+            if len(results) < len(entries):
+                # candidates past the budget: return them to the queue so
+                # the reported queue state stays meaningful
+                for entry in entries[len(results):]:
+                    heapq.heappush(heap, entry)
+                budget_exhausted = True
+            for entry, result in zip(entries, results):
+                if result.cardinality > 0:
+                    if len(found) < k:
+                        found.append(
+                            RewrittenQuery(
+                                query=entry.query,
+                                cardinality=result.cardinality,
+                                syntactic=syntactic_distance(query, entry.query),
+                                modifications=entry.modifications,
+                                estimate=entry.estimate,
+                            )
+                        )
+                        record_point()
+                    continue
+                push_children(entry.query, entry.modifications, entry.estimate)
+            if budget_exhausted:
+                break
+            # sample the convergence curve roughly every 10 evaluations
+            if budget.spent % 10 < len(results):
                 record_point()
 
         discovered = list(found)
@@ -244,7 +294,7 @@ class CoarseRewriter:
         record_point()
         return CoarseRewriteResult(
             explanations=found,
-            evaluated=evaluated,
+            evaluated=budget.spent,
             generated=generated,
             queue_peak=queue_peak,
             elapsed=time.perf_counter() - start,

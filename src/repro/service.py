@@ -1,0 +1,237 @@
+"""Long-lived why-query service: shared contexts across requests.
+
+The ROADMAP's north star is a process that debugs queries for *many*
+users over a handful of hot graphs.  One-shot engine construction per
+request throws the shared evaluation state away between requests; the
+:class:`WhyQueryService` keeps it:
+
+* a bounded pool of per-graph :class:`~repro.exec.context.ExecutionContext`
+  instances (least-recently-used graph evicted first), so every
+  ``explain()``/``open_session()`` call over the same graph reuses the
+  matcher, the query-result cache, the statistics and the candidate-set
+  cache warmed by earlier requests;
+* thread-safe request handling -- the pool is lock-protected, and the
+  evaluation stack underneath keeps all per-call state on the stack, so
+  concurrent ``explain()`` calls over the same graph are safe (CPython
+  dict/counter mutation is atomic under the GIL);
+* optional batched candidate evaluation: give the service a
+  :class:`~repro.exec.evaluator.ParallelExecutor` and every rewriting
+  search it runs drains its candidates in worker-sized batches;
+* aggregated cache/throughput counters over all live contexts
+  (:meth:`WhyQueryService.stats`), the service-level equivalent of
+  :meth:`ExecutionContext.cache_report`.
+
+>>> service = WhyQueryService(max_contexts=4)
+>>> report = service.explain(graph, failed_query)       # request 1
+>>> session = service.open_session(graph, failed_query) # request 2, warm
+>>> service.stats()["explain_calls"]
+1
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.core.graph import PropertyGraph
+from repro.core.query import GraphQuery
+from repro.exec.context import ExecutionContext
+from repro.exec.evaluator import BatchExecutor
+from repro.metrics.cardinality import CardinalityThreshold
+from repro.why.engine import WhyQueryEngine, WhyQueryReport
+from repro.why.session import DebugSession
+
+__all__ = ["WhyQueryService"]
+
+
+class _PoolEntry:
+    """One pooled context plus the bookkeeping the LRU needs."""
+
+    __slots__ = ("context", "version", "requests")
+
+    def __init__(self, context: ExecutionContext) -> None:
+        self.context = context
+        self.version = context.graph.version
+        self.requests = 0
+
+
+class WhyQueryService:
+    """Serves why-query debugging over a bounded pool of warm contexts.
+
+    ``max_contexts`` bounds the number of graphs whose evaluation state is
+    kept warm; the least-recently-used graph's context is dropped when the
+    pool overflows (its memory goes with it -- contexts created by the
+    service are private to the service, not the process-wide registry).
+    Engine tuning knobs (``mcs_strategy``, budgets, ``rewrite_k``, ...)
+    are fixed per service and applied to every request.
+    """
+
+    #: engine kwargs the service itself wires per request; passing them as
+    #: engine_options would silently collide at explain() time
+    _RESERVED_ENGINE_OPTIONS = frozenset(
+        {"graph", "context", "matcher", "executor", "preference_model", "preferences"}
+    )
+
+    def __init__(
+        self,
+        max_contexts: int = 8,
+        executor: Optional[BatchExecutor] = None,
+        **engine_options,
+    ) -> None:
+        if max_contexts < 1:
+            raise ValueError("max_contexts must be >= 1")
+        reserved = self._RESERVED_ENGINE_OPTIONS & engine_options.keys()
+        if reserved:
+            raise TypeError(
+                f"engine option(s) {sorted(reserved)} are wired per request "
+                "by the service (preference models live on the per-graph "
+                "context; pass executor= directly)"
+            )
+        self.max_contexts = max_contexts
+        self.executor = executor
+        self.engine_options = engine_options
+        self._pool: "OrderedDict[int, _PoolEntry]" = OrderedDict()
+        self._lock = threading.RLock()
+        # throughput counters (monotonic over the service lifetime)
+        self._explain_calls = 0
+        self._session_calls = 0
+        self._contexts_created = 0
+        self._evictions = 0
+        self._busy_seconds = 0.0
+        self._started = time.perf_counter()
+
+    # -- context pool ---------------------------------------------------------
+
+    def context_for(self, graph: PropertyGraph) -> ExecutionContext:
+        """The service's warm context of ``graph`` (LRU, created on demand).
+
+        Graphs are identified by object identity; a pooled context pins
+        its graph (warm caches for a dead graph are useless), so dropping
+        the graph's slot -- LRU eviction -- is also what releases the
+        graph's memory.  A version bump on the graph keeps the same
+        context: every layer self-invalidates from
+        :attr:`PropertyGraph.version`, so eviction is purely a memory
+        decision, not a correctness one.
+        """
+        key = id(graph)
+        with self._lock:
+            entry = self._pool.get(key)
+            if entry is not None and entry.context.graph is graph:
+                self._pool.move_to_end(key)
+            else:
+                entry = _PoolEntry(ExecutionContext(graph))
+                self._pool[key] = entry
+                self._contexts_created += 1
+                while len(self._pool) > self.max_contexts:
+                    self._pool.popitem(last=False)
+                    self._evictions += 1
+            entry.requests += 1
+            entry.version = graph.version
+            return entry.context
+
+    def __len__(self) -> int:
+        """Number of live pooled contexts."""
+        with self._lock:
+            return len(self._pool)
+
+    # -- request entry points -------------------------------------------------
+
+    def explain(
+        self,
+        graph: PropertyGraph,
+        query: GraphQuery,
+        threshold: Optional[CardinalityThreshold] = None,
+        explain: bool = True,
+        rewrite: bool = True,
+    ) -> WhyQueryReport:
+        """One-shot debugging request (classify, explain, rewrite)."""
+        context = self.context_for(graph)
+        engine = WhyQueryEngine(
+            context=context,
+            executor=self.executor,
+            preference_model=context.preference_model,
+            preferences=context.preferences,
+            **self.engine_options,
+        )
+        start = time.perf_counter()
+        try:
+            return engine.debug(query, threshold, explain=explain, rewrite=rewrite)
+        finally:
+            with self._lock:
+                self._explain_calls += 1
+                self._busy_seconds += time.perf_counter() - start
+
+    def open_session(
+        self,
+        graph: PropertyGraph,
+        query: GraphQuery,
+        threshold: Optional[CardinalityThreshold] = None,
+        **session_options,
+    ) -> DebugSession:
+        """Start an interactive propose-rate-accept session.
+
+        The session shares the graph's pooled context, so it starts warm
+        from every previous ``explain()`` over the same graph, and its
+        ratings feed the context's preference models, steering later
+        requests over that graph.  When per-user isolation is wanted
+        instead, pass fresh models explicitly, e.g.
+        ``open_session(graph, query, model=RewritePreferenceModel(),
+        preferences=UserPreferences())``.
+        """
+        context = self.context_for(graph)
+        if threshold is not None:
+            session_options.setdefault("threshold", threshold)
+        session = DebugSession(query=query, context=context, **session_options)
+        with self._lock:
+            self._session_calls += 1
+        return session
+
+    # -- reporting ------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregated cache and throughput counters over the live pool."""
+        with self._lock:
+            per_graph: List[Dict[str, object]] = []
+            totals = {
+                "result_hits": 0,
+                "result_misses": 0,
+                "candidate_hits": 0,
+                "candidate_misses": 0,
+                "matcher_calls": 0,
+                "matcher_steps": 0,
+            }
+            for entry in self._pool.values():
+                report = entry.context.cache_report()
+                totals["result_hits"] += int(report["results"]["hits"])
+                totals["result_misses"] += int(report["results"]["misses"])
+                totals["candidate_hits"] += int(report["vertex_candidates"]["hits"])
+                totals["candidate_misses"] += int(
+                    report["vertex_candidates"]["misses"]
+                )
+                totals["matcher_calls"] += int(report["matcher"]["calls"])
+                totals["matcher_steps"] += int(report["matcher"]["steps"])
+                per_graph.append(
+                    {
+                        "graph": repr(entry.context.graph),
+                        "version": entry.version,
+                        "requests": entry.requests,
+                        "cache_report": report,
+                    }
+                )
+            requests = self._explain_calls + self._session_calls
+            uptime = time.perf_counter() - self._started
+            return {
+                "requests": requests,
+                "explain_calls": self._explain_calls,
+                "session_calls": self._session_calls,
+                "contexts_live": len(self._pool),
+                "contexts_created": self._contexts_created,
+                "evictions": self._evictions,
+                "busy_seconds": self._busy_seconds,
+                "uptime_seconds": uptime,
+                "requests_per_second": requests / uptime if uptime > 0 else 0.0,
+                "totals": totals,
+                "per_graph": per_graph,
+            }

@@ -13,14 +13,15 @@ why-so-few   BOUNDEDMCS (Ch. 4)          TRAVERSESEARCHTREE (Ch. 6)
 why-so-many  BOUNDEDMCS (Ch. 4)          TRAVERSESEARCHTREE (Ch. 6)
 ===========  ==========================  ================================
 
-All engines share one matcher and one query-result cache, so the work one
-debugger performs (e.g. the bounded counts of BOUNDEDMCS) is reused by
-the next (the rewriting search), and the cardinality can oscillate around
-the threshold without re-paying for previously evaluated variants.
-Below the result cache, all engines bound to the same graph additionally
-share the per-graph plan and candidate caches
-(:mod:`repro.matching.evalcache`), so the overlapping query variants the
-debuggers enumerate touch each graph index at most once;
+All engines evaluate through one shared
+:class:`~repro.exec.context.ExecutionContext` (matcher + query-result
+cache + statistics + candidate caches), so the work one debugger performs
+(e.g. the bounded counts of BOUNDEDMCS) is reused by the next (the
+rewriting search), and the cardinality can oscillate around the threshold
+without re-paying for previously evaluated variants.  By default the
+engine binds to the graph's process-wide shared context
+(:meth:`ExecutionContext.for_graph`), so independently constructed
+engines over the same graph reuse each other's evaluation work too;
 :meth:`WhyQueryEngine.cache_report` exposes every layer's counters.
 """
 
@@ -32,6 +33,8 @@ from typing import Optional, Sequence, Union
 
 from repro.core.graph import PropertyGraph
 from repro.core.query import GraphQuery
+from repro.exec.context import ExecutionContext
+from repro.exec.evaluator import BatchExecutor
 from repro.explain.bounded_mcs import bounded_mcs
 from repro.explain.discover_mcs import McsResult, discover_mcs
 from repro.explain.preferences import UserPreferences
@@ -41,9 +44,7 @@ from repro.finegrained.traverse_search_tree import (
 )
 from repro.matching.matcher import PatternMatcher
 from repro.metrics.cardinality import CardinalityProblem, CardinalityThreshold
-from repro.rewrite.cache import QueryResultCache
 from repro.rewrite.coarse import CoarseRewriteResult, CoarseRewriter
-from repro.rewrite.operations import AttributeDomain
 from repro.rewrite.preference_model import RewritePreferenceModel
 
 RewritingOutcome = Union[CoarseRewriteResult, FineRewriteResult, None]
@@ -94,7 +95,7 @@ class WhyQueryEngine:
 
     def __init__(
         self,
-        graph: PropertyGraph,
+        graph: Optional[PropertyGraph] = None,
         matcher: Optional[PatternMatcher] = None,
         preferences: Optional[UserPreferences] = None,
         preference_model: Optional[RewritePreferenceModel] = None,
@@ -103,11 +104,31 @@ class WhyQueryEngine:
         max_rewrite_evaluations: int = 300,
         rewrite_k: int = 3,
         include_topology: bool = False,
+        context: Optional[ExecutionContext] = None,
+        executor: Optional[BatchExecutor] = None,
     ) -> None:
-        self.graph = graph
-        self.matcher = matcher if matcher is not None else PatternMatcher(graph)
-        self.cache = QueryResultCache(self.matcher)
-        self.domain = AttributeDomain(graph)
+        if graph is None and context is None:
+            raise ValueError("either graph or context is required")
+        if context is None:
+            # one shared spine per graph: engines constructed independently
+            # over the same graph reuse each other's evaluation work unless
+            # the caller wires an explicit matcher (isolation escape hatch)
+            if matcher is not None:
+                context = ExecutionContext(graph, matcher=matcher)
+            else:
+                context = ExecutionContext.for_graph(graph)
+        else:
+            if graph is not None and graph is not context.graph:
+                raise ValueError("graph and context.graph differ")
+            if matcher is not None and matcher is not context.matcher:
+                raise ValueError(
+                    "matcher and context are mutually exclusive; wrap the "
+                    "matcher in its own ExecutionContext instead"
+                )
+        self.context = context
+        self.graph = context.graph
+        self.matcher = context.matcher
+        self.cache = context.cache
         self.preferences = preferences
         self.preference_model = preference_model
         self.mcs_strategy = mcs_strategy
@@ -115,21 +136,20 @@ class WhyQueryEngine:
         self.max_rewrite_evaluations = max_rewrite_evaluations
         self.rewrite_k = rewrite_k
         self.include_topology = include_topology
+        self.executor = executor
+
+    @property
+    def domain(self):
+        """The context's (version-refreshed) attribute domain."""
+        return self.context.attribute_domain()
 
     def cache_report(self) -> dict:
         """Hit/miss counters of every cache layer this engine touches.
 
-        ``results`` is the query-result cache (App. B.2); ``plan`` and
-        ``vertex_candidates`` are the per-graph shared evaluation caches,
-        reported next to the matcher's ``calls``/``steps`` counters.
+        Folded into the shared :class:`ExecutionContext`; engines bound to
+        the same graph report (and contribute to) the same counters.
         """
-        report = dict(self.matcher.cache_info())
-        report["results"] = self.cache.stats.as_dict()
-        report["matcher"] = {
-            "calls": self.matcher.calls,
-            "steps": self.matcher.steps,
-        }
-        return report
+        return self.context.cache_report()
 
     def classify(
         self, query: GraphQuery, threshold: Optional[CardinalityThreshold] = None
@@ -175,11 +195,10 @@ class WhyQueryEngine:
                 )
             if rewrite:
                 rewriter = CoarseRewriter(
-                    self.graph,
-                    matcher=self.matcher,
-                    cache=self.cache,
+                    context=self.context,
                     preference_model=self.preference_model,
                     max_evaluations=self.max_rewrite_evaluations,
+                    executor=self.executor,
                 )
                 rewriting = rewriter.rewrite(query, k=self.rewrite_k)
         elif problem in (CardinalityProblem.TOO_FEW, CardinalityProblem.TOO_MANY):
@@ -196,14 +215,12 @@ class WhyQueryEngine:
                 )
             if rewrite:
                 engine = TraverseSearchTree(
-                    self.graph,
-                    thr,
-                    matcher=self.matcher,
-                    cache=self.cache,
-                    domain=self.domain,
+                    context=self.context,
+                    threshold=thr,
                     include_topology=self.include_topology,
                     constrainable_attrs=self.domain.common_vertex_attrs(),
                     max_evaluations=self.max_rewrite_evaluations,
+                    executor=self.executor,
                 )
                 rewriting = engine.search(query)
 

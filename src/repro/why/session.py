@@ -25,11 +25,10 @@ from typing import List, Optional
 from repro.core.errors import ExplanationError
 from repro.core.graph import PropertyGraph
 from repro.core.query import GraphQuery
+from repro.exec.context import ExecutionContext
 from repro.explain.discover_mcs import McsResult, discover_mcs
 from repro.explain.preferences import UserPreferences
-from repro.matching.matcher import PatternMatcher
 from repro.metrics.cardinality import CardinalityProblem, CardinalityThreshold
-from repro.rewrite.cache import QueryResultCache
 from repro.rewrite.coarse import CoarseRewriter, RewrittenQuery
 from repro.rewrite.preference_model import RewritePreferenceModel
 from repro.finegrained.traverse_search_tree import TraverseSearchTree
@@ -48,25 +47,53 @@ class SessionEvent:
 
 @dataclass
 class DebugSession:
-    """Stateful propose-rate-accept loop over one failed query."""
+    """Stateful propose-rate-accept loop over one failed query.
 
-    graph: PropertyGraph
-    query: GraphQuery
+    The session evaluates through the graph's shared
+    :class:`~repro.exec.context.ExecutionContext` (pass ``context`` to
+    supply one explicitly, e.g. the per-graph context of a
+    :class:`~repro.service.WhyQueryService`), so the counting work of a
+    preceding ``explain()`` call -- and of other sessions over the same
+    graph -- is reused instead of re-derived.  Unless given explicitly,
+    the preference models also come from the context, so ratings keep
+    steering later sessions over the same graph.
+    """
+
+    graph: Optional[PropertyGraph] = None
+    query: Optional[GraphQuery] = None
     threshold: CardinalityThreshold = field(
         default_factory=lambda: CardinalityThreshold.at_least(1)
     )
     max_evaluations: int = 300
-    _matcher: PatternMatcher = field(init=False)
-    _cache: QueryResultCache = field(init=False)
-    model: RewritePreferenceModel = field(default_factory=RewritePreferenceModel)
-    preferences: UserPreferences = field(default_factory=UserPreferences)
+    model: Optional[RewritePreferenceModel] = None
+    preferences: Optional[UserPreferences] = None
     transcript: List[SessionEvent] = field(default_factory=list)
     accepted: Optional[RewrittenQuery] = None
+    context: Optional[ExecutionContext] = None
 
     def __post_init__(self) -> None:
-        self._matcher = PatternMatcher(self.graph)
-        self._cache = QueryResultCache(self._matcher)
+        if self.query is None:
+            raise ValueError("a query is required")
+        if self.context is None:
+            if self.graph is None:
+                raise ValueError("either graph or context is required")
+            self.context = ExecutionContext.for_graph(self.graph)
+        elif self.graph is not None and self.graph is not self.context.graph:
+            raise ValueError("graph and context.graph differ")
+        self.graph = self.context.graph
+        if self.model is None:
+            self.model = self.context.preference_model
+        if self.preferences is None:
+            self.preferences = self.context.preferences
         self._explanation: Optional[McsResult] = None
+
+    @property
+    def _matcher(self):
+        return self.context.matcher
+
+    @property
+    def _cache(self):
+        return self.context.cache
 
     # -- "why did it fail?" panel ------------------------------------------------
 
@@ -128,9 +155,7 @@ class DebugSession:
             raise ExplanationError("query meets its expectation; nothing to propose")
         if problem == CardinalityProblem.EMPTY:
             rewriter = CoarseRewriter(
-                self.graph,
-                matcher=self._matcher,
-                cache=self._cache,
+                context=self.context,
                 preference_model=self.model,
                 max_evaluations=self.max_evaluations,
             )
@@ -142,10 +167,8 @@ class DebugSession:
                     return candidate
             return None
         engine = TraverseSearchTree(
-            self.graph,
-            self.threshold,
-            matcher=self._matcher,
-            cache=self._cache,
+            context=self.context,
+            threshold=self.threshold,
             max_evaluations=self.max_evaluations,
         )
         outcome = engine.search(self.query)
