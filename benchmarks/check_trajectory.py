@@ -1,0 +1,180 @@
+"""CI perf-trajectory gate over ``BENCH_micro_core.json``.
+
+The committed ``BENCH_micro_core.json`` is the machine-readable record
+of the hot-path performance trajectory; every PR regenerates it.  This
+script diffs a freshly generated file against the committed baseline and
+fails (exit code 1) when the trajectory regressed:
+
+* **structural drift**: the recursive key structure of the two files
+  must match exactly -- a section that appears or disappears without the
+  committed baseline being regenerated in the same PR is a gate failure,
+  not a silent pass;
+* **typed-expansion throughput**: the typed-vs-legacy expansion speedup
+  must not drop by more than ``--max-regression`` (default 25%), and the
+  typed matcher must not take more evaluation steps than the baseline
+  recorded (steps are deterministic, so any increase is an algorithmic
+  regression, bounded by the same tolerance);
+* **candidate-batch throughput**: the batch-32 overlap speedup of the
+  parallel evaluator must not drop by more than ``--max-regression``.
+
+Speedups are *ratios of two measurements taken on the same machine in
+the same process*, so they are comparable across the baseline's machine
+and the CI runner; absolute wall-clock numbers are not, and are
+deliberately not gated.
+
+Usage::
+
+    python benchmarks/check_trajectory.py BASELINE FRESH [--max-regression 0.25]
+
+CI copies the committed file aside, reruns the benchmarks, and feeds
+both files to this script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Iterable, List, Set, Tuple
+
+
+def key_paths(obj: object, prefix: str = "") -> Set[str]:
+    """Every dict key path in ``obj``, e.g. ``typed_expansion.typed.best_s``."""
+    paths: Set[str] = set()
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            paths.add(path)
+            paths.update(key_paths(value, path))
+    return paths
+
+
+def structural_diff(baseline: dict, fresh: dict) -> Tuple[Set[str], Set[str]]:
+    """(missing-from-fresh, unexpected-in-fresh) key paths."""
+    base_keys = key_paths(baseline)
+    fresh_keys = key_paths(fresh)
+    return base_keys - fresh_keys, fresh_keys - base_keys
+
+
+def dig(obj: dict, path: str) -> float:
+    value = obj
+    for part in path.split("."):
+        value = value[part]
+    return float(value)
+
+
+class Gate:
+    """Collects pass/fail lines for the final report."""
+
+    def __init__(self) -> None:
+        self.failures: List[str] = []
+        self.lines: List[str] = []
+
+    def ok(self, message: str) -> None:
+        self.lines.append(f"  ok   {message}")
+
+    def fail(self, message: str) -> None:
+        self.lines.append(f"  FAIL {message}")
+        self.failures.append(message)
+
+    def check_not_below(
+        self, name: str, baseline: float, fresh: float, tolerance: float
+    ) -> None:
+        floor = baseline * (1.0 - tolerance)
+        message = (
+            f"{name}: baseline {baseline:.3f}, fresh {fresh:.3f} "
+            f"(floor {floor:.3f})"
+        )
+        if fresh >= floor:
+            self.ok(message)
+        else:
+            self.fail(message)
+
+    def check_not_above(
+        self, name: str, baseline: float, fresh: float, tolerance: float
+    ) -> None:
+        ceiling = baseline * (1.0 + tolerance)
+        message = (
+            f"{name}: baseline {baseline:.0f}, fresh {fresh:.0f} "
+            f"(ceiling {ceiling:.0f})"
+        )
+        if fresh <= ceiling:
+            self.ok(message)
+        else:
+            self.fail(message)
+
+
+def check_trajectory(
+    baseline: dict, fresh: dict, max_regression: float = 0.25
+) -> Gate:
+    gate = Gate()
+
+    missing, unexpected = structural_diff(baseline, fresh)
+    if missing or unexpected:
+        for path in sorted(missing):
+            gate.fail(f"structure: key {path!r} missing from fresh results")
+        for path in sorted(unexpected):
+            gate.fail(
+                f"structure: key {path!r} not in baseline "
+                "(regenerate and commit BENCH_micro_core.json)"
+            )
+        # a gated metric may be among the missing keys; report the
+        # structural drift instead of crashing on the lookup
+        return gate
+    gate.ok(f"structure: {len(key_paths(baseline))} key paths match exactly")
+
+    gate.check_not_below(
+        "typed-expansion speedup",
+        dig(baseline, "typed_expansion.speedup"),
+        dig(fresh, "typed_expansion.speedup"),
+        max_regression,
+    )
+    gate.check_not_above(
+        "typed-expansion steps per count",
+        dig(baseline, "typed_expansion.typed.steps_per_count"),
+        dig(fresh, "typed_expansion.typed.steps_per_count"),
+        max_regression,
+    )
+    gate.check_not_below(
+        "candidate-batch speedup @32",
+        dig(baseline, "candidate_batch.speedup_32"),
+        dig(fresh, "candidate_batch.speedup_32"),
+        max_regression,
+    )
+    return gate
+
+
+def main(argv: Iterable[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail on hot-path performance-trajectory regressions."
+    )
+    parser.add_argument("baseline", type=pathlib.Path, help="committed JSON")
+    parser.add_argument("fresh", type=pathlib.Path, help="freshly generated JSON")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="tolerated fractional regression (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    gate = check_trajectory(baseline, fresh, args.max_regression)
+
+    print(
+        f"perf-trajectory gate: {args.fresh} vs baseline {args.baseline} "
+        f"(tolerance {args.max_regression:.0%})"
+    )
+    for line in gate.lines:
+        print(line)
+    if gate.failures:
+        print(f"trajectory gate FAILED ({len(gate.failures)} regression(s))")
+        return 1
+    print("trajectory gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,11 +32,14 @@ Execution spine
     evaluation stack every engine shares;
     :class:`~repro.exec.CandidateEvaluator` evaluates candidate batches
     through :class:`~repro.exec.SerialExecutor` /
-    :class:`~repro.exec.ParallelExecutor`.
+    :class:`~repro.exec.ParallelExecutor` /
+    :class:`~repro.exec.AsyncExecutor`.
 Service
     :class:`~repro.service.WhyQueryService` keeps a bounded pool of warm
     per-graph contexts and serves concurrent ``explain()`` /
-    ``open_session()`` requests.
+    ``open_session()`` requests -- synchronously or through the async
+    front door (``explain_async``), with service-level admission control
+    via :class:`~repro.service.BudgetPool`.
 """
 
 from repro.core import (
@@ -56,6 +59,7 @@ from repro.core import (
     one_of,
 )
 from repro.exec import (
+    AsyncExecutor,
     CandidateEvaluator,
     EvaluationBudget,
     ExecutionContext,
@@ -72,12 +76,15 @@ from repro.metrics import (
     syntactic_distance,
 )
 
-from repro.service import WhyQueryService
+from repro.service import AdmissionRejected, BudgetPool, WhyQueryService
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "AdmissionRejected",
+    "AsyncExecutor",
     "BOTH_DIRECTIONS",
+    "BudgetPool",
     "CandidateEvaluator",
     "CardinalityProblem",
     "CardinalityThreshold",

@@ -24,11 +24,9 @@ methods, never by mutating a query another component still holds.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import (
-    Any,
     Dict,
     FrozenSet,
     Hashable,

@@ -16,7 +16,7 @@ Numeric predicate bounds serialise infinities as the strings ``"inf"`` /
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Mapping
+from typing import Any, Dict, Mapping
 
 from repro.core.errors import MalformedQueryError
 from repro.core.graph import PropertyGraph

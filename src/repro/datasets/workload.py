@@ -24,7 +24,6 @@ from typing import List, Optional, Sequence
 from repro.core.errors import MalformedQueryError, RewritingError
 from repro.core.graph import PropertyGraph
 from repro.core.query import GraphQuery
-from repro.core.result import ResultSet
 from repro.matching.matcher import PatternMatcher
 from repro.metrics.result_distance import result_set_distance
 from repro.metrics.syntactic import syntactic_distance

@@ -7,9 +7,13 @@ attribute domain, preference models) so every engine constructs itself
 *from* a context instead of wiring its own, and
 :class:`CandidateEvaluator` evaluates batches of independent query
 variants through a pluggable executor under a shared
-:class:`EvaluationBudget`.
+:class:`EvaluationBudget`.  Executors: :class:`SerialExecutor` (one
+task after another), :class:`ParallelExecutor` (thread pool) and
+:class:`AsyncExecutor` (asyncio event loop with an in-flight cap, the
+serving-scale strategy).
 """
 
+from repro.exec.async_executor import AsyncExecutor
 from repro.exec.context import ExecutionContext, execution_context
 from repro.exec.evaluator import (
     BatchExecutor,
@@ -21,6 +25,7 @@ from repro.exec.evaluator import (
 )
 
 __all__ = [
+    "AsyncExecutor",
     "BatchExecutor",
     "CandidateEvaluator",
     "EvaluatedCandidate",

@@ -1,0 +1,240 @@
+"""Asyncio-backed batch execution: overlap counts without thread-per-count.
+
+The thread-backed :class:`~repro.exec.evaluator.ParallelExecutor` buys
+overlap of blocking evaluation time at the price of one OS thread per
+concurrent count.  A service deployment that keeps *thousands* of counts
+in flight over a network storage backend cannot afford that trade; it
+wants the counts parked on an event loop and only a small, bounded pool
+of threads for the parts of the stack that are genuinely synchronous.
+
+:class:`AsyncExecutor` is that strategy behind the same
+:class:`~repro.exec.evaluator.BatchExecutor` protocol, so
+:class:`~repro.exec.evaluator.CandidateEvaluator` -- and through it
+:class:`~repro.rewrite.coarse.CoarseRewriter`,
+:class:`~repro.finegrained.traverse_search_tree.TraverseSearchTree` and
+:class:`~repro.service.WhyQueryService` -- work unchanged:
+
+* one private event loop runs on a daemon thread, shared by every batch
+  this executor serves;
+* each batch member is driven as a loop task under a configurable
+  **in-flight cap** (an :class:`asyncio.Semaphore`), so a burst of huge
+  batches degrades to queueing instead of unbounded task creation;
+* **async-native counters** (anything whose task is a coroutine
+  function, e.g. a ``count_async`` storage backend) are awaited directly
+  on the loop -- no thread is consumed while they wait;
+* plain synchronous thunks are offloaded to a bounded worker pool, so
+  the executor is a drop-in replacement even for the purely in-memory
+  evaluation stack.
+
+``run()`` keeps the :class:`BatchExecutor` contract (results in
+submission order, callable from any non-loop thread); ``run_async()`` is
+the awaitable variant for callers that already live on an event loop.
+Determinism: ordering is positional, never completion-order, so at equal
+batch size the search trajectory of every engine is identical to the
+serial executor's (asserted in ``tests/test_async_exec.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["AsyncExecutor"]
+
+
+class AsyncExecutor:
+    """Drive candidate batches through a private asyncio event loop.
+
+    ``max_in_flight`` caps the number of batch members concurrently
+    admitted to the loop (across *all* batches served by this executor);
+    ``offload_workers`` bounds the thread pool used for synchronous
+    tasks (async-native tasks never touch it).  The loop thread and the
+    pool are created lazily and released by :meth:`close` (or by using
+    the executor as a context manager).
+    """
+
+    name = "async"
+    #: :class:`CandidateEvaluator` checks this flag before handing the
+    #: executor coroutine-function tasks instead of plain thunks
+    supports_async = True
+
+    def __init__(
+        self,
+        max_in_flight: int = 64,
+        offload_workers: Optional[int] = None,
+    ) -> None:
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if offload_workers is not None and offload_workers < 1:
+            raise ValueError("offload_workers must be >= 1 or None")
+        self.max_in_flight = max_in_flight
+        #: engines default their drain batch to the in-flight cap: one
+        #: batch can saturate the loop without overshooting the budget
+        #: further than necessary
+        self.preferred_batch = max_in_flight
+        self.offload_workers = (
+            offload_workers if offload_workers is not None else min(max_in_flight, 32)
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._offload: Optional[ThreadPoolExecutor] = None
+        self._semaphore = asyncio.Semaphore(max_in_flight)
+        self._lock = threading.Lock()
+        # counters (mutated on the loop thread only)
+        self.tasks_started = 0
+        self.peak_in_flight = 0
+        self._in_flight = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        with self._lock:
+            if self._loop is None:
+                loop = asyncio.new_event_loop()
+                thread = threading.Thread(
+                    target=loop.run_forever,
+                    name="async-executor-loop",
+                    daemon=True,
+                )
+                thread.start()
+                self._loop = loop
+                self._loop_thread = thread
+                # the semaphore binds to the loop on first await: give a
+                # fresh loop a fresh semaphore so a closed executor can
+                # be reused transparently
+                self._semaphore = asyncio.Semaphore(self.max_in_flight)
+            return self._loop
+
+    def _offload_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._offload is None:
+                self._offload = ThreadPoolExecutor(
+                    max_workers=self.offload_workers,
+                    thread_name_prefix="async-executor-offload",
+                )
+            return self._offload
+
+    def close(self) -> None:
+        """Stop the loop thread and release the offload workers.
+
+        In-flight batches are cancelled and drained first, so a thread
+        blocked in :meth:`run` unblocks with ``CancelledError`` instead
+        of waiting forever on a stopped loop.
+        """
+        with self._lock:
+            loop, self._loop = self._loop, None
+            thread, self._loop_thread = self._loop_thread, None
+            pool, self._offload = self._offload, None
+        if loop is not None:
+
+            def _shutdown() -> None:
+                pending = [
+                    task
+                    for task in asyncio.all_tasks(loop)
+                    if not task.done()
+                ]
+                for task in pending:
+                    task.cancel()
+
+                async def _drain() -> None:
+                    await asyncio.gather(*pending, return_exceptions=True)
+                    loop.stop()
+
+                asyncio.ensure_future(_drain(), loop=loop)
+
+            loop.call_soon_threadsafe(_shutdown)
+            if thread is not None:
+                thread.join(timeout=5.0)
+            if thread is None or not thread.is_alive():
+                loop.close()
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "AsyncExecutor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- batch execution ------------------------------------------------------
+
+    async def _invoke(self, task: Callable[[], T]) -> T:
+        async with self._semaphore:
+            self._in_flight += 1
+            self.tasks_started += 1
+            if self._in_flight > self.peak_in_flight:
+                self.peak_in_flight = self._in_flight
+            try:
+                if inspect.iscoroutinefunction(task) or getattr(
+                    task, "returns_awaitable", False
+                ):
+                    return await task()
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(self._offload_pool(), task)
+            finally:
+                self._in_flight -= 1
+
+    async def _gather(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
+        return list(await asyncio.gather(*(self._invoke(task) for task in tasks)))
+
+    def run(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
+        """Run a batch to completion; results in submission order.
+
+        Blocks the calling thread until the whole batch finished, which
+        is exactly what the (synchronous) search loops expect.  Must not
+        be called from the executor's own loop thread -- await
+        :meth:`run_async` there instead.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        loop = self._ensure_loop()
+        if threading.current_thread() is self._loop_thread:
+            raise RuntimeError(
+                "AsyncExecutor.run() would deadlock on its own event loop; "
+                "await run_async() instead"
+            )
+        future = asyncio.run_coroutine_threadsafe(self._gather(tasks), loop)
+        return future.result()
+
+    async def run_async(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
+        """Awaitable :meth:`run`, safe to call from any event loop.
+
+        Batches submitted from a foreign loop (e.g. the caller's
+        ``asyncio.run``) are routed onto the executor's own loop, so the
+        in-flight cap keeps governing globally.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        loop = self._ensure_loop()
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is loop:
+            return await self._gather(tasks)
+        future = asyncio.run_coroutine_threadsafe(self._gather(tasks), loop)
+        return await asyncio.wrap_future(future)
+
+    # -- reporting ------------------------------------------------------------
+
+    def info(self) -> Dict[str, int]:
+        """Lifetime counters (folded into ``WhyQueryService.stats()``)."""
+        return {
+            "max_in_flight": self.max_in_flight,
+            "offload_workers": self.offload_workers,
+            "tasks_started": self.tasks_started,
+            "peak_in_flight": self.peak_in_flight,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AsyncExecutor(max_in_flight={self.max_in_flight}, "
+            f"offload_workers={self.offload_workers})"
+        )

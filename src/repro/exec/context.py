@@ -32,6 +32,7 @@ long-lived context survives graph mutation without serving stale counts.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import weakref
 from typing import Dict, Optional
@@ -39,7 +40,7 @@ from typing import Dict, Optional
 from repro.core.graph import PropertyGraph
 from repro.core.query import GraphQuery
 from repro.explain.preferences import UserPreferences
-from repro.matching.evalcache import EvaluationCache, shared_evaluation_cache
+from repro.matching.evalcache import EvaluationCache
 from repro.matching.matcher import PatternMatcher
 from repro.rewrite.cache import QueryResultCache
 from repro.rewrite.operations import AttributeDomain
@@ -126,6 +127,20 @@ class ExecutionContext:
     def count(self, query: GraphQuery, limit: Optional[int] = None) -> int:
         """Cached bounded cardinality of ``query`` (the hot entry point)."""
         return self.cache.count(query, limit=limit)
+
+    async def count_async(self, query: GraphQuery, limit: Optional[int] = None) -> int:
+        """Awaitable :meth:`count` for async serving paths.
+
+        Async-native result caches (e.g. one backed by network storage,
+        exposing ``count_async``) are awaited directly; the stock
+        in-memory :class:`~repro.rewrite.cache.QueryResultCache` is
+        offloaded with :func:`asyncio.to_thread` so the event loop stays
+        responsive while the matcher runs.
+        """
+        cache = self.cache
+        if hasattr(cache, "count_async"):
+            return await cache.count_async(query, limit=limit)
+        return await asyncio.to_thread(cache.count, query, limit)
 
     def attribute_domain(self) -> AttributeDomain:
         """The value-proposal domain, refreshed if the graph was mutated.

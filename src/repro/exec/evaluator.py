@@ -19,7 +19,12 @@ sequential -- one candidate popped, one ``count`` issued, repeat.
   evaluation budget -- the batch is truncated instead;
 * the actual execution strategy is pluggable: :class:`SerialExecutor`
   runs in the calling thread, :class:`ParallelExecutor` fans the batch
-  out over a ``ThreadPoolExecutor``.
+  out over a ``ThreadPoolExecutor``, and the asyncio-backed
+  :class:`~repro.exec.async_executor.AsyncExecutor` parks the batch on
+  an event loop under an in-flight cap (when the counter is
+  async-native -- it exposes ``count_async(query, limit=...)`` -- the
+  evaluator hands such an executor coroutine tasks, so waiting counts
+  consume no threads at all).
 
 Thread-safety: the evaluation stack underneath
 (:class:`~repro.rewrite.cache.QueryResultCache`,
@@ -33,10 +38,11 @@ is computed at most once per batch.
 
 from __future__ import annotations
 
+import functools
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, List, Optional, Protocol, Sequence, TypeVar
+from typing import Callable, Dict, Hashable, List, Optional, Protocol, Sequence, TypeVar
 
 from repro.core.query import GraphQuery
 
@@ -243,10 +249,21 @@ class CandidateEvaluator:
                 first_at[sig] = len(unique_queries)
                 unique_queries.append(query)
         counter = self.counter
-        tasks = [
-            (lambda q=query: counter.count(q, limit=limit))
-            for query in unique_queries
-        ]
+        if getattr(self.executor, "supports_async", False) and hasattr(
+            counter, "count_async"
+        ):
+            # async-native counter + async-capable executor: hand over
+            # coroutine-function tasks so waits park on the event loop
+            # instead of occupying a worker thread per count
+            tasks: List[Callable[[], int]] = [
+                functools.partial(counter.count_async, query, limit=limit)
+                for query in unique_queries
+            ]
+        else:
+            tasks = [
+                (lambda q=query: counter.count(q, limit=limit))
+                for query in unique_queries
+            ]
         counts = self.executor.run(tasks)
         self.evaluated += len(batch)
         self.batches += 1

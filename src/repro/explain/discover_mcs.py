@@ -29,7 +29,7 @@ as separate seeds (Sec. 4.3.3) because every edge seeds the frontier.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.graph import PropertyGraph

@@ -11,7 +11,7 @@ collected during a session adapt the weights online.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.graph import PropertyGraph
 from repro.core.query import GraphQuery

@@ -28,7 +28,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core.graph import PropertyGraph
 from repro.core.query import GraphQuery
-from repro.matching.plan import ExpandStep, PlanStep, SeedStep, build_plan
+from repro.matching.plan import PlanStep, SeedStep, build_plan
 from repro.rewrite.cache import QueryResultCache
 from repro.rewrite.operations import ElementRef
 

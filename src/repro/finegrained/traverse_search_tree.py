@@ -24,8 +24,8 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.core.errors import MalformedQueryError, RewritingError
 from repro.core.graph import PropertyGraph
@@ -48,7 +48,7 @@ from repro.rewrite.operations import (
     fine_relaxations,
 )
 from repro.rewrite.statistics import GraphStatistics
-from repro.finegrained.modification_tree import ModificationNode, ModificationTree
+from repro.finegrained.modification_tree import ModificationTree
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.exec.context import ExecutionContext
@@ -99,6 +99,7 @@ class TraverseSearchTree:
         context: Optional["ExecutionContext"] = None,
         executor: Optional[BatchExecutor] = None,
         batch_size: Optional[int] = None,
+        budget: Optional[EvaluationBudget] = None,
     ) -> None:
         if threshold is None:
             raise ValueError("a cardinality threshold is required")
@@ -130,6 +131,10 @@ class TraverseSearchTree:
         #: sibling modifications evaluated per batch; defaults to the
         #: executor's preferred batch (1 serial, worker count parallel)
         self.batch_size = batch_size
+        #: externally managed evaluation allowance (e.g. a per-request
+        #: lease carved from a service-level budget pool); when given it
+        #: is the hard bound instead of ``max_evaluations``
+        self.budget = budget
 
     # -- candidate generation (Sec. 6.2.2) ------------------------------------
 
@@ -197,7 +202,11 @@ class TraverseSearchTree:
         tree = ModificationTree(query, root_card, root_distance)
         root = tree.node(tree.root)
 
-        budget = EvaluationBudget(self.max_evaluations)
+        budget = (
+            self.budget
+            if self.budget is not None
+            else EvaluationBudget(self.max_evaluations)
+        )
         evaluator = CandidateEvaluator(
             self.cache, executor=self.executor, budget=budget, count_limit=limit
         )

@@ -12,10 +12,9 @@ All drivers are deterministic given their ``seed`` arguments.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.graph import PropertyGraph
 from repro.core.query import GraphQuery
 from repro.datasets import dbpedia, ldbc
 from repro.datasets.workload import ExplanationSample, generate_explanations

@@ -17,8 +17,8 @@ Sec. 3.2.1) that motivates the set-based distance of Sec. 3.2.2.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict
 
 from repro.core.query import GraphQuery
 

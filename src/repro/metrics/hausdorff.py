@@ -20,7 +20,7 @@ to keep the measure monotone and bounded in [0, 1]):
 
 from __future__ import annotations
 
-from typing import AbstractSet, Any, Callable, Hashable, Iterable
+from typing import AbstractSet, Any, Callable, Hashable
 
 PointDistance = Callable[[Any, Any], float]
 

@@ -10,6 +10,7 @@ Appendix B.2 resource-consumption experiment.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Hashable, Optional
 
 from repro.core.query import GraphQuery
@@ -31,9 +32,18 @@ class QueryResultCache:
     every other engine bound to the same graph.
 
     ``max_entries`` bounds the cache for long-lived owners (the execution
-    contexts a :class:`~repro.service.WhyQueryService` keeps warm): when
-    the bound is hit, the oldest entries are evicted first.  ``None``
-    keeps the historical unbounded behaviour for short-lived engines.
+    contexts a :class:`~repro.service.WhyQueryService` keeps warm):
+    entries are promoted on every hit and the least-recently-*used* entry
+    is evicted when the bound is hit, so a warm service context keeps its
+    hot queries no matter how long ago they were first evaluated.
+    ``None`` keeps the historical unbounded behaviour for short-lived
+    engines.
+
+    Thread-safety: concurrent service requests share one cache, and LRU
+    promotion/eviction are multi-step dict mutations, so all bookkeeping
+    runs under a lock; the matcher execution itself happens outside it
+    (two threads missing the same key may both execute -- benign, the
+    second result simply overwrites the first).
     """
 
     def __init__(
@@ -45,6 +55,7 @@ class QueryResultCache:
         self.max_entries = max_entries
         self._version = matcher.graph.version
         self._entries: Dict[Hashable, tuple] = {}
+        self._lock = threading.Lock()
         self.stats = CacheStats()
 
     @property
@@ -52,7 +63,7 @@ class QueryResultCache:
         """The evaluation cache shared with the wrapped matcher."""
         return self.matcher.evalcache
 
-    def _validate(self) -> None:
+    def _validate_locked(self) -> None:
         """Self-invalidate when the data graph has been mutated."""
         if self.matcher.graph.version != self._version:
             self._entries.clear()
@@ -61,36 +72,47 @@ class QueryResultCache:
 
     def count(self, query: GraphQuery, limit: Optional[int] = None) -> int:
         """Cardinality of ``query`` (bounded by ``limit``), cached."""
-        self._validate()
         key = query.signature()
-        entry = self._entries.get(key)
-        if entry is not None:
-            cached_count, cached_limit = entry
-            reusable = (
-                cached_limit is None
-                or (limit is not None and cached_limit >= limit)
-                # a count strictly below its own limit is exact
-                or cached_count < cached_limit
-            )
-            if reusable:
-                self.stats.hits += 1
-                if limit is not None and cached_count > limit:
-                    return limit
-                return cached_count
-        self.stats.misses += 1
+        with self._lock:
+            self._validate_locked()
+            entry = self._entries.get(key)
+            if entry is not None:
+                cached_count, cached_limit = entry
+                reusable = (
+                    cached_limit is None
+                    or (limit is not None and cached_limit >= limit)
+                    # a count strictly below its own limit is exact
+                    or cached_count < cached_limit
+                )
+                if reusable:
+                    self.stats.hits += 1
+                    if self.max_entries is not None:
+                        # LRU promotion: move the hit to the back of the
+                        # (insertion-ordered) dict so eviction drops the
+                        # least-recently-used entry, not the oldest-inserted
+                        self._entries[key] = self._entries.pop(key)
+                    if limit is not None and cached_count > limit:
+                        return limit
+                    return cached_count
+            self.stats.misses += 1
         count = self.matcher.count(query, limit=limit)
-        self._entries[key] = (count, limit)
-        if self.max_entries is not None:
-            # dicts iterate in insertion order: evict oldest-first
-            while len(self._entries) > self.max_entries:
-                del self._entries[next(iter(self._entries))]
-        self.stats.size = len(self._entries)
+        with self._lock:
+            # pop-then-set so a re-computed entry (stale bounded count)
+            # also lands in the most-recently-used position
+            self._entries.pop(key, None)
+            self._entries[key] = (count, limit)
+            if self.max_entries is not None:
+                # dicts iterate in insertion/promotion order: evict LRU-first
+                while len(self._entries) > self.max_entries:
+                    del self._entries[next(iter(self._entries))]
+            self.stats.size = len(self._entries)
         return count
 
     def invalidate(self) -> None:
         """Drop all entries (used when the data graph changes)."""
-        self._entries.clear()
-        self.stats.size = 0
+        with self._lock:
+            self._entries.clear()
+            self.stats.size = 0
 
     def __len__(self) -> int:
         return len(self._entries)

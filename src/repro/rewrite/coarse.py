@@ -29,7 +29,7 @@ import heapq
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Set, Tuple, Union
+from typing import TYPE_CHECKING, Callable, List, Optional, Set, Tuple, Union
 
 from repro.core.errors import MalformedQueryError, RewritingError
 from repro.core.graph import PropertyGraph
@@ -137,6 +137,7 @@ class CoarseRewriter:
         context: Optional["ExecutionContext"] = None,
         executor: Optional[BatchExecutor] = None,
         batch_size: Optional[int] = None,
+        budget: Optional[EvaluationBudget] = None,
     ) -> None:
         # explicit components win, then the context's spine, then fresh wiring
         self.graph, self.matcher, self.cache, self.statistics = resolve_spine(
@@ -163,6 +164,11 @@ class CoarseRewriter:
         #: queue entries drained and evaluated per round; defaults to the
         #: executor's preferred batch (1 serial, worker count parallel)
         self.batch_size = batch_size
+        #: externally managed evaluation allowance (e.g. a per-request
+        #: lease carved from a service-level budget pool); when given it
+        #: is the hard bound instead of ``max_evaluations``, and spend is
+        #: shared with every other engine holding the same budget
+        self.budget = budget
 
     # -- public API ----------------------------------------------------------
 
@@ -179,7 +185,11 @@ class CoarseRewriter:
         start = time.perf_counter()
         counter = itertools.count()
         original_estimate = self.statistics.estimate_query_cardinality(query)
-        budget = EvaluationBudget(self.max_evaluations)
+        budget = (
+            self.budget
+            if self.budget is not None
+            else EvaluationBudget(self.max_evaluations)
+        )
         evaluator = CandidateEvaluator(
             self.cache,
             executor=self.executor,

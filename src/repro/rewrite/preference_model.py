@@ -14,7 +14,7 @@ steers the search without ever picking relaxation steps by hand
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.rewrite.operations import ElementRef, Modification
 

@@ -23,10 +23,10 @@ provider and the matcher never derive the same candidate set twice.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional
 
 from repro.core.graph import PropertyGraph
-from repro.core.query import BOTH_DIRECTIONS, Direction, GraphQuery, QueryEdge, QueryVertex
+from repro.core.query import Direction, GraphQuery, QueryEdge, QueryVertex
 from repro.matching.candidates import attributes_match
 from repro.matching.evalcache import EvaluationCache, shared_evaluation_cache
 

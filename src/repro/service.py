@@ -15,13 +15,27 @@ request throws the shared evaluation state away between requests; the
   concurrent ``explain()`` calls over the same graph are safe (CPython
   dict/counter mutation is atomic under the GIL);
 * optional batched candidate evaluation: give the service a
-  :class:`~repro.exec.evaluator.ParallelExecutor` and every rewriting
-  search it runs drains its candidates in worker-sized batches;
-* aggregated cache/throughput counters over all live contexts
+  :class:`~repro.exec.evaluator.ParallelExecutor` (thread overlap) or an
+  :class:`~repro.exec.async_executor.AsyncExecutor` (event-loop overlap
+  under an in-flight cap) and every rewriting search it runs drains its
+  candidates in executor-sized batches;
+* a **native async front door** -- :meth:`WhyQueryService.explain_async`
+  / :meth:`WhyQueryService.open_session_async` -- so an asyncio
+  deployment can keep thousands of why-queries in flight: requests
+  occupy one slot of a bounded request pool while their *candidate
+  counts* overlap on the executor's event loop without one thread per
+  count;
+* **service-level admission control**: a :class:`BudgetPool` carves a
+  per-request :class:`~repro.exec.evaluator.EvaluationBudget` out of a
+  bounded global evaluation pool (fair-share split across the requests
+  currently active, returned on completion), so total work stays bounded
+  under heavy traffic -- overload degrades to smaller per-request search
+  budgets, queued admissions, and finally :class:`AdmissionRejected`;
+* aggregated cache/throughput/admission counters over all live contexts
   (:meth:`WhyQueryService.stats`), the service-level equivalent of
   :meth:`ExecutionContext.cache_report`.
 
->>> service = WhyQueryService(max_contexts=4)
+>>> service = WhyQueryService(max_contexts=4, budget_pool=BudgetPool(2000))
 >>> report = service.explain(graph, failed_query)       # request 1
 >>> session = service.open_session(graph, failed_query) # request 2, warm
 >>> service.stats()["explain_calls"]
@@ -30,20 +44,240 @@ request throws the shared evaluation state away between requests; the
 
 from __future__ import annotations
 
+import asyncio
+import functools
 import threading
 import time
 from collections import OrderedDict
-from typing import Dict, List, Optional
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional
 
 from repro.core.graph import PropertyGraph
 from repro.core.query import GraphQuery
 from repro.exec.context import ExecutionContext
-from repro.exec.evaluator import BatchExecutor
+from repro.exec.evaluator import BatchExecutor, EvaluationBudget
 from repro.metrics.cardinality import CardinalityThreshold
 from repro.why.engine import WhyQueryEngine, WhyQueryReport
 from repro.why.session import DebugSession
 
-__all__ = ["WhyQueryService"]
+__all__ = [
+    "AdmissionRejected",
+    "BudgetLease",
+    "BudgetPool",
+    "WhyQueryService",
+]
+
+
+class AdmissionRejected(RuntimeError):
+    """The budget pool could not admit the request (overload shedding).
+
+    Raised by :meth:`BudgetPool.acquire` -- and propagated out of
+    :meth:`WhyQueryService.explain` / :meth:`WhyQueryService.explain_async`
+    -- when the pool is exhausted and the queue policy does not allow
+    (further) waiting.  A deployment maps this to its transport-level
+    overload response (HTTP 429 / gRPC RESOURCE_EXHAUSTED).
+    """
+
+
+class BudgetLease:
+    """One request's slice of a :class:`BudgetPool`.
+
+    ``budget`` is the :class:`~repro.exec.evaluator.EvaluationBudget` the
+    request's engines spend against; ``granted`` is its size.  The lease
+    returns its capacity with :meth:`release` (the service does this in a
+    ``finally``); it also works as a context manager.
+    """
+
+    __slots__ = ("granted", "budget", "_pool", "_released")
+
+    def __init__(self, pool: "BudgetPool", granted: int) -> None:
+        self.granted = granted
+        self.budget = EvaluationBudget(granted)
+        self._pool = pool
+        self._released = False
+
+    def release(self) -> None:
+        """Return the granted capacity to the pool (idempotent-checked)."""
+        if self._released:
+            raise RuntimeError("budget lease released twice")
+        self._released = True
+        self._pool._release(self)
+
+    def __enter__(self) -> "BudgetLease":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if not self._released:
+            self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BudgetLease(granted={self.granted}, "
+            f"spent={self.budget.spent}, released={self._released})"
+        )
+
+
+class BudgetPool:
+    """Bounded global pool of evaluation capacity shared by all requests.
+
+    ``total`` is the number of candidate evaluations that may be
+    *reserved* concurrently across active requests.  Each admission
+    carves out a fair share: a request asking for ``requested``
+    evaluations is granted ``min(requested, available,
+    max(min_grant, total // (active + 1)))`` -- under light load a
+    request gets everything it asked for, under heavy load the pool
+    splits evenly across the requests currently holding leases.  A grant
+    below ``min(requested, min_grant)`` is not worth admitting (the
+    search could barely move); such requests wait or are rejected:
+
+    * ``max_waiting = 0`` (default) -- **reject policy**: raise
+      :class:`AdmissionRejected` immediately;
+    * ``max_waiting > 0`` -- **queue policy**: up to that many requests
+      block for capacity (``wait_timeout`` seconds each, ``None`` =
+      indefinitely); waiters past the cap, and waiters whose timeout
+      expires, are rejected.
+
+    Thread-safe; all counters are surfaced via :meth:`stats` and folded
+    into :meth:`WhyQueryService.stats` under ``"admission"``.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        min_grant: int = 8,
+        max_waiting: int = 0,
+        wait_timeout: Optional[float] = None,
+    ) -> None:
+        if total < 1:
+            raise ValueError("total must be >= 1")
+        if min_grant < 1:
+            raise ValueError("min_grant must be >= 1")
+        if min_grant > total:
+            raise ValueError("min_grant cannot exceed total")
+        if max_waiting < 0:
+            raise ValueError("max_waiting must be >= 0")
+        if wait_timeout is not None and wait_timeout < 0:
+            raise ValueError("wait_timeout must be >= 0 or None")
+        self.total = total
+        self.min_grant = min_grant
+        self.max_waiting = max_waiting
+        self.wait_timeout = wait_timeout
+        self._available = total
+        self._active = 0
+        self._waiting = 0
+        self._cond = threading.Condition()
+        # lifetime counters
+        self._admitted = 0
+        self._rejected = 0
+        self._timeouts = 0
+        self._queued = 0
+        self._peak_in_use = 0
+        self._peak_active = 0
+        self._granted_total = 0
+        self._spent_total = 0
+
+    # -- admission ------------------------------------------------------------
+
+    def _try_grant(self, requested: int) -> Optional[int]:
+        """Grant size if the request is admissible right now, else None."""
+        share = max(self.min_grant, self.total // (self._active + 1))
+        grant = min(requested, share, self._available)
+        if grant < min(requested, self.min_grant):
+            return None
+        return grant
+
+    def acquire(self, requested: int) -> BudgetLease:
+        """Admit a request and lease it a fair share of the pool.
+
+        Raises :class:`AdmissionRejected` per the queue/reject policy.
+        """
+        if requested < 1:
+            raise ValueError("requested must be >= 1")
+        deadline = (
+            None
+            if self.wait_timeout is None
+            else time.monotonic() + self.wait_timeout
+        )
+        with self._cond:
+            waited = False
+            while True:
+                grant = self._try_grant(requested)
+                if grant is not None:
+                    if waited:
+                        self._waiting -= 1
+                    self._active += 1
+                    self._available -= grant
+                    self._admitted += 1
+                    self._granted_total += grant
+                    in_use = self.total - self._available
+                    self._peak_in_use = max(self._peak_in_use, in_use)
+                    self._peak_active = max(self._peak_active, self._active)
+                    return BudgetLease(self, grant)
+                if not waited:
+                    if self._waiting >= self.max_waiting:
+                        self._rejected += 1
+                        raise AdmissionRejected(
+                            f"budget pool exhausted ({self._active} active, "
+                            f"{self._available}/{self.total} available)"
+                        )
+                    waited = True
+                    self._waiting += 1
+                    self._queued += 1
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        self._waiting -= 1
+                        self._timeouts += 1
+                        self._rejected += 1
+                        raise AdmissionRejected(
+                            "timed out waiting for budget-pool capacity"
+                        )
+
+    def _release(self, lease: BudgetLease) -> None:
+        with self._cond:
+            self._available += lease.granted
+            self._active -= 1
+            self._spent_total += lease.budget.spent
+            self._cond.notify_all()
+
+    # -- reporting ------------------------------------------------------------
+
+    @property
+    def available(self) -> int:
+        with self._cond:
+            return self._available
+
+    @property
+    def active(self) -> int:
+        with self._cond:
+            return self._active
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of capacity and lifetime admission counters."""
+        with self._cond:
+            return {
+                "total": self.total,
+                "available": self._available,
+                "in_use": self.total - self._available,
+                "active_requests": self._active,
+                "waiting_requests": self._waiting,
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+                "timeouts": self._timeouts,
+                "queued_waits": self._queued,
+                "peak_in_use": self._peak_in_use,
+                "peak_active": self._peak_active,
+                "evaluations_granted": self._granted_total,
+                "evaluations_spent": self._spent_total,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BudgetPool(total={self.total}, available={self.available}, "
+            f"active={self.active})"
+        )
 
 
 class _PoolEntry:
@@ -66,37 +300,75 @@ class WhyQueryService:
     service are private to the service, not the process-wide registry).
     Engine tuning knobs (``mcs_strategy``, budgets, ``rewrite_k``, ...)
     are fixed per service and applied to every request.
+
+    ``budget_pool`` switches on admission control: every ``explain()``
+    (sync or async) leases its rewriting budget from the pool and
+    returns it when done.  ``max_async_requests`` bounds the thread pool
+    behind the async front door -- the number of requests concurrently
+    *executing*; overlap of the candidate counts inside each request is
+    the executor's job.  ``context_factory`` customises how per-graph
+    contexts are built (benchmarks use it to model a storage-backed
+    evaluation stack; a deployment could use it to restore persisted
+    caches).
     """
 
     #: engine kwargs the service itself wires per request; passing them as
     #: engine_options would silently collide at explain() time
     _RESERVED_ENGINE_OPTIONS = frozenset(
-        {"graph", "context", "matcher", "executor", "preference_model", "preferences"}
+        {
+            "graph",
+            "context",
+            "matcher",
+            "executor",
+            "preference_model",
+            "preferences",
+            "evaluation_budget",
+        }
     )
+
+    #: evaluations requested from the budget pool per request when the
+    #: service's engine options don't override ``max_rewrite_evaluations``
+    #: (mirrors the WhyQueryEngine default)
+    DEFAULT_REQUEST_EVALUATIONS = 300
 
     def __init__(
         self,
         max_contexts: int = 8,
         executor: Optional[BatchExecutor] = None,
+        budget_pool: Optional[BudgetPool] = None,
+        max_async_requests: int = 32,
+        context_factory: Optional[
+            Callable[[PropertyGraph], ExecutionContext]
+        ] = None,
         **engine_options,
     ) -> None:
         if max_contexts < 1:
             raise ValueError("max_contexts must be >= 1")
+        if max_async_requests < 1:
+            raise ValueError("max_async_requests must be >= 1")
         reserved = self._RESERVED_ENGINE_OPTIONS & engine_options.keys()
         if reserved:
             raise TypeError(
                 f"engine option(s) {sorted(reserved)} are wired per request "
                 "by the service (preference models live on the per-graph "
-                "context; pass executor= directly)"
+                "context; pass executor=/budget_pool= directly)"
             )
         self.max_contexts = max_contexts
         self.executor = executor
+        self.budget_pool = budget_pool
+        self.max_async_requests = max_async_requests
         self.engine_options = engine_options
+        self._context_factory = (
+            context_factory if context_factory is not None else ExecutionContext
+        )
         self._pool: "OrderedDict[int, _PoolEntry]" = OrderedDict()
         self._lock = threading.RLock()
+        self._request_pool: Optional[ThreadPoolExecutor] = None
         # throughput counters (monotonic over the service lifetime)
         self._explain_calls = 0
         self._session_calls = 0
+        self._async_calls = 0
+        self._rejected_calls = 0
         self._contexts_created = 0
         self._evictions = 0
         self._busy_seconds = 0.0
@@ -121,7 +393,12 @@ class WhyQueryService:
             if entry is not None and entry.context.graph is graph:
                 self._pool.move_to_end(key)
             else:
-                entry = _PoolEntry(ExecutionContext(graph))
+                context = self._context_factory(graph)
+                if context.graph is not graph:
+                    raise ValueError(
+                        "context_factory returned a context for a different graph"
+                    )
+                entry = _PoolEntry(context)
                 self._pool[key] = entry
                 self._contexts_created += 1
                 while len(self._pool) > self.max_contexts:
@@ -136,6 +413,24 @@ class WhyQueryService:
         with self._lock:
             return len(self._pool)
 
+    # -- admission ------------------------------------------------------------
+
+    def _admit(self) -> Optional[BudgetLease]:
+        """Lease this request's evaluation budget from the pool (if any)."""
+        if self.budget_pool is None:
+            return None
+        requested = int(
+            self.engine_options.get(
+                "max_rewrite_evaluations", self.DEFAULT_REQUEST_EVALUATIONS
+            )
+        )
+        try:
+            return self.budget_pool.acquire(requested)
+        except AdmissionRejected:
+            with self._lock:
+                self._rejected_calls += 1
+            raise
+
     # -- request entry points -------------------------------------------------
 
     def explain(
@@ -146,22 +441,37 @@ class WhyQueryService:
         explain: bool = True,
         rewrite: bool = True,
     ) -> WhyQueryReport:
-        """One-shot debugging request (classify, explain, rewrite)."""
-        context = self.context_for(graph)
-        engine = WhyQueryEngine(
-            context=context,
-            executor=self.executor,
-            preference_model=context.preference_model,
-            preferences=context.preferences,
-            **self.engine_options,
-        )
-        start = time.perf_counter()
+        """One-shot debugging request (classify, explain, rewrite).
+
+        With a ``budget_pool`` configured, the request first leases its
+        rewriting budget (queueing or raising :class:`AdmissionRejected`
+        per the pool's policy) and returns the lease when done -- under
+        load a request may be granted a smaller search budget than the
+        engine's ``max_rewrite_evaluations``.
+        """
+        lease = self._admit()
         try:
-            return engine.debug(query, threshold, explain=explain, rewrite=rewrite)
+            context = self.context_for(graph)
+            engine = WhyQueryEngine(
+                context=context,
+                executor=self.executor,
+                preference_model=context.preference_model,
+                preferences=context.preferences,
+                evaluation_budget=None if lease is None else lease.budget,
+                **self.engine_options,
+            )
+            start = time.perf_counter()
+            try:
+                return engine.debug(
+                    query, threshold, explain=explain, rewrite=rewrite
+                )
+            finally:
+                with self._lock:
+                    self._explain_calls += 1
+                    self._busy_seconds += time.perf_counter() - start
         finally:
-            with self._lock:
-                self._explain_calls += 1
-                self._busy_seconds += time.perf_counter() - start
+            if lease is not None:
+                lease.release()
 
     def open_session(
         self,
@@ -179,6 +489,11 @@ class WhyQueryService:
         instead, pass fresh models explicitly, e.g.
         ``open_session(graph, query, model=RewritePreferenceModel(),
         preferences=UserPreferences())``.
+
+        Sessions are long-lived and interactive, so they are *not*
+        admission-controlled: the budget pool governs the bursty
+        ``explain()`` traffic, a session's searches run under its own
+        ``max_evaluations``.
         """
         context = self.context_for(graph)
         if threshold is not None:
@@ -188,10 +503,89 @@ class WhyQueryService:
             self._session_calls += 1
         return session
 
+    # -- async front door -----------------------------------------------------
+
+    def _ensure_request_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._request_pool is None:
+                self._request_pool = ThreadPoolExecutor(
+                    max_workers=self.max_async_requests,
+                    thread_name_prefix="whyquery-request",
+                )
+            return self._request_pool
+
+    async def explain_async(
+        self,
+        graph: PropertyGraph,
+        query: GraphQuery,
+        threshold: Optional[CardinalityThreshold] = None,
+        explain: bool = True,
+        rewrite: bool = True,
+    ) -> WhyQueryReport:
+        """Awaitable :meth:`explain` for asyncio deployments.
+
+        The request executes on the service's bounded request pool
+        (``max_async_requests`` slots), so thousands of concurrent
+        ``explain_async`` calls degrade to queueing instead of thousands
+        of threads; with an :class:`~repro.exec.async_executor.AsyncExecutor`
+        wired in, the candidate counts *inside* each slot overlap on the
+        executor's event loop without one thread per count.  Admission
+        control applies exactly as in :meth:`explain` --
+        :class:`AdmissionRejected` propagates through the awaitable.
+        """
+        loop = asyncio.get_running_loop()
+        with self._lock:
+            self._async_calls += 1
+        call = functools.partial(
+            self.explain, graph, query, threshold, explain=explain, rewrite=rewrite
+        )
+        return await loop.run_in_executor(self._ensure_request_pool(), call)
+
+    async def open_session_async(
+        self,
+        graph: PropertyGraph,
+        query: GraphQuery,
+        threshold: Optional[CardinalityThreshold] = None,
+        **session_options,
+    ) -> DebugSession:
+        """Awaitable :meth:`open_session` (context warm-up off the loop).
+
+        Opening a session builds/warms the graph's pooled context, which
+        can be expensive on first touch -- this variant keeps that work
+        off the event loop.
+        """
+        loop = asyncio.get_running_loop()
+        with self._lock:
+            self._async_calls += 1
+        call = functools.partial(
+            self.open_session, graph, query, threshold, **session_options
+        )
+        return await loop.run_in_executor(self._ensure_request_pool(), call)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the async request pool (idempotent)."""
+        with self._lock:
+            pool, self._request_pool = self._request_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "WhyQueryService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
     # -- reporting ------------------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
-        """Aggregated cache and throughput counters over the live pool."""
+        """Aggregated cache, throughput and admission counters."""
+        admission = self.budget_pool.stats() if self.budget_pool else None
+        executor_info = None
+        info = getattr(self.executor, "info", None)
+        if callable(info):
+            executor_info = info()
         with self._lock:
             per_graph: List[Dict[str, object]] = []
             totals = {
@@ -226,12 +620,16 @@ class WhyQueryService:
                 "requests": requests,
                 "explain_calls": self._explain_calls,
                 "session_calls": self._session_calls,
+                "async_calls": self._async_calls,
+                "rejected_calls": self._rejected_calls,
                 "contexts_live": len(self._pool),
                 "contexts_created": self._contexts_created,
                 "evictions": self._evictions,
                 "busy_seconds": self._busy_seconds,
                 "uptime_seconds": uptime,
                 "requests_per_second": requests / uptime if uptime > 0 else 0.0,
+                "admission": admission,
+                "executor": executor_info,
                 "totals": totals,
                 "per_graph": per_graph,
             }

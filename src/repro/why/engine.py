@@ -29,12 +29,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Optional, Union
 
 from repro.core.graph import PropertyGraph
 from repro.core.query import GraphQuery
 from repro.exec.context import ExecutionContext
-from repro.exec.evaluator import BatchExecutor
+from repro.exec.evaluator import BatchExecutor, EvaluationBudget
 from repro.explain.bounded_mcs import bounded_mcs
 from repro.explain.discover_mcs import McsResult, discover_mcs
 from repro.explain.preferences import UserPreferences
@@ -106,6 +106,7 @@ class WhyQueryEngine:
         include_topology: bool = False,
         context: Optional[ExecutionContext] = None,
         executor: Optional[BatchExecutor] = None,
+        evaluation_budget: Optional[EvaluationBudget] = None,
     ) -> None:
         if graph is None and context is None:
             raise ValueError("either graph or context is required")
@@ -137,6 +138,10 @@ class WhyQueryEngine:
         self.rewrite_k = rewrite_k
         self.include_topology = include_topology
         self.executor = executor
+        #: shared allowance for the rewriting search (e.g. a per-request
+        #: lease from a service-level BudgetPool); when set it bounds the
+        #: rewriting evaluations instead of ``max_rewrite_evaluations``
+        self.evaluation_budget = evaluation_budget
 
     @property
     def domain(self):
@@ -199,6 +204,7 @@ class WhyQueryEngine:
                     preference_model=self.preference_model,
                     max_evaluations=self.max_rewrite_evaluations,
                     executor=self.executor,
+                    budget=self.evaluation_budget,
                 )
                 rewriting = rewriter.rewrite(query, k=self.rewrite_k)
         elif problem in (CardinalityProblem.TOO_FEW, CardinalityProblem.TOO_MANY):
@@ -221,6 +227,7 @@ class WhyQueryEngine:
                     constrainable_attrs=self.domain.common_vertex_attrs(),
                     max_evaluations=self.max_rewrite_evaluations,
                     executor=self.executor,
+                    budget=self.evaluation_budget,
                 )
                 rewriting = engine.search(query)
 

@@ -7,10 +7,8 @@ from __future__ import annotations
 import pytest
 
 from repro.core import (
-    BOTH_DIRECTIONS,
     GraphQuery,
     PropertyGraph,
-    between,
     equals,
     one_of,
 )

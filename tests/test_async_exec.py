@@ -1,0 +1,328 @@
+"""AsyncExecutor: protocol behavior, trajectory identity, async serving."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.core import GraphQuery, PropertyGraph, equals
+from repro.exec import (
+    AsyncExecutor,
+    CandidateEvaluator,
+    ExecutionContext,
+    SerialExecutor,
+)
+from repro.finegrained import TraverseSearchTree
+from repro.metrics import CardinalityProblem, CardinalityThreshold
+from repro.rewrite import CoarseRewriter
+from repro.service import BudgetPool, WhyQueryService
+
+
+def typed_query(vertex_type: str, edge_type: str) -> GraphQuery:
+    q = GraphQuery()
+    a = q.add_vertex(predicates={"type": equals(vertex_type)})
+    b = q.add_vertex()
+    q.add_edge(a, b, types={edge_type})
+    return q
+
+
+def small_graph(tag: int) -> PropertyGraph:
+    g = PropertyGraph()
+    p = g.add_vertex(type="person", name=f"p{tag}")
+    u = g.add_vertex(type="university", name=f"u{tag}")
+    g.add_edge(p, u, "workAt")
+    g.add_edge(p, u, "studyAt")
+    return g
+
+
+@pytest.fixture
+def async_executor():
+    with AsyncExecutor(max_in_flight=4) as executor:
+        yield executor
+
+
+class TestAsyncExecutorProtocol:
+    def test_results_in_submission_order(self, async_executor):
+        # later tasks finish first; ordering must stay positional
+        def make(i):
+            def task():
+                time.sleep(0.02 * (3 - i))
+                return i
+
+            return task
+
+        assert async_executor.run([make(i) for i in range(4)]) == [0, 1, 2, 3]
+
+    def test_empty_batch(self, async_executor):
+        assert async_executor.run([]) == []
+
+    def test_in_flight_cap_is_respected(self):
+        lock = threading.Lock()
+        state = {"now": 0, "peak": 0}
+
+        def task():
+            with lock:
+                state["now"] += 1
+                state["peak"] = max(state["peak"], state["now"])
+            time.sleep(0.01)
+            with lock:
+                state["now"] -= 1
+            return True
+
+        with AsyncExecutor(max_in_flight=2, offload_workers=8) as executor:
+            assert executor.run([task] * 10) == [True] * 10
+            assert state["peak"] <= 2
+            assert executor.peak_in_flight <= 2
+            assert executor.tasks_started == 10
+
+    def test_async_native_tasks_run_on_the_loop(self, tiny_graph, async_executor):
+        """A counter exposing count_async is awaited on the event loop --
+        no offload thread is consumed while it waits."""
+        context = ExecutionContext(tiny_graph)
+        threads = set()
+
+        class AsyncCounter:
+            def count(self, query, limit=None):  # pragma: no cover - unused
+                raise AssertionError("sync path must not be used")
+
+            async def count_async(self, query, limit=None):
+                threads.add(threading.current_thread().name)
+                await asyncio.sleep(0.001)
+                return context.cache.count(query, limit=limit)
+
+        evaluator = CandidateEvaluator(AsyncCounter(), executor=async_executor)
+        results = evaluator.evaluate(
+            [typed_query("person", "workAt"), typed_query("person", "studyAt")]
+        )
+        assert [r.cardinality for r in results] == [3, 1]
+        assert threads == {"async-executor-loop"}
+
+    def test_context_count_async_facade(self, tiny_graph):
+        context = ExecutionContext(tiny_graph)
+        count = asyncio.run(context.count_async(typed_query("person", "workAt")))
+        assert count == 3
+        assert context.cache.stats.misses == 1
+
+    def test_run_async_from_foreign_loop(self, async_executor):
+        async def main():
+            return await async_executor.run_async([lambda: 7, lambda: 8])
+
+        assert asyncio.run(main()) == [7, 8]
+
+    def test_preferred_batch_follows_cap(self):
+        with AsyncExecutor(max_in_flight=9) as executor:
+            assert executor.preferred_batch == 9
+            assert executor.supports_async
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AsyncExecutor(max_in_flight=0)
+        with pytest.raises(ValueError):
+            AsyncExecutor(offload_workers=0)
+
+    def test_close_is_idempotent_and_executor_reusable(self):
+        executor = AsyncExecutor(max_in_flight=2)
+        assert executor.run([lambda: 1]) == [1]
+        executor.close()
+        executor.close()
+        # a closed executor transparently restarts its loop
+        assert executor.run([lambda: 2]) == [2]
+        executor.close()
+
+
+def coarse_trajectory(result):
+    """Everything the coarse search decided, minus wall-clock times."""
+    return {
+        "evaluated": result.evaluated,
+        "generated": result.generated,
+        "queue_peak": result.queue_peak,
+        "budget_exhausted": result.budget_exhausted,
+        "discovered": [
+            (
+                repr(r.query.signature()),
+                r.cardinality,
+                r.syntactic,
+                tuple(op.describe() for op in r.modifications),
+            )
+            for r in result.discovered
+        ],
+        "explanations": [
+            (repr(r.query.signature()), r.cardinality) for r in result.explanations
+        ],
+        "convergence": [
+            (p.evaluations, p.found, p.best_syntactic) for p in result.convergence
+        ],
+    }
+
+
+def fine_trajectory(result):
+    return {
+        "best": repr(result.best_query.signature()),
+        "cardinality": result.best_cardinality,
+        "distance": result.best_distance,
+        "syntactic": result.best_syntactic,
+        "modifications": tuple(op.describe() for op in result.modifications),
+        "trace": result.cardinality_trace,
+        "evaluated": result.evaluated,
+        "generated": result.generated,
+        "tree_size": result.tree_size,
+        "converged": result.converged,
+    }
+
+
+class TestTrajectoryIdentity:
+    """Acceptance: AsyncExecutor at batch size 1 reproduces the serial
+    search trajectory bit-identically; at equal batch sizes the batched
+    trajectories are executor-independent."""
+
+    def test_coarse_batch1_bit_identical(self, tiny_graph, async_executor):
+        failed = typed_query("person", "missingEdgeType")
+        serial = CoarseRewriter(
+            context=ExecutionContext(tiny_graph),
+            executor=SerialExecutor(),
+            max_evaluations=120,
+        ).rewrite(failed, k=3)
+        # batch_size=1 pins the drain to the sequential formulation even
+        # though the executor could overlap a larger batch
+        asynchronous = CoarseRewriter(
+            context=ExecutionContext(tiny_graph),
+            executor=async_executor,
+            batch_size=1,
+            max_evaluations=120,
+        ).rewrite(failed, k=3)
+        assert coarse_trajectory(serial) == coarse_trajectory(asynchronous)
+
+    def test_coarse_equal_batch_size_identical(self, tiny_graph, async_executor):
+        failed = typed_query("person", "missingEdgeType")
+        serial = CoarseRewriter(
+            context=ExecutionContext(tiny_graph),
+            batch_size=4,
+            max_evaluations=120,
+        ).rewrite(failed, k=3)
+        asynchronous = CoarseRewriter(
+            context=ExecutionContext(tiny_graph),
+            executor=async_executor,
+            batch_size=4,
+            max_evaluations=120,
+        ).rewrite(failed, k=3)
+        assert coarse_trajectory(serial) == coarse_trajectory(asynchronous)
+
+    def test_traverse_search_tree_batch1_bit_identical(
+        self, tiny_graph, async_executor
+    ):
+        query = typed_query("person", "workAt")
+        threshold = CardinalityThreshold.at_least(4)
+        serial = TraverseSearchTree(
+            context=ExecutionContext(tiny_graph),
+            threshold=threshold,
+            max_evaluations=100,
+        ).search(query)
+        asynchronous = TraverseSearchTree(
+            context=ExecutionContext(tiny_graph),
+            threshold=threshold,
+            executor=async_executor,
+            batch_size=1,
+            max_evaluations=100,
+        ).search(query)
+        assert fine_trajectory(serial) == fine_trajectory(asynchronous)
+
+
+def failing_query() -> GraphQuery:
+    q = GraphQuery()
+    a = q.add_vertex(predicates={"type": equals("person")})
+    b = q.add_vertex(predicates={"type": equals("university")})
+    q.add_edge(a, b, types={"missingEdgeType"})
+    return q
+
+
+def explanation_key(report):
+    return sorted(
+        (repr(r.query.signature()), r.cardinality)
+        for r in report.rewriting.explanations
+    )
+
+
+class TestServiceAsyncConcurrency:
+    """Satellite: N concurrent explain_async() calls over 2 graphs produce
+    the same reports as serial execution and never exceed the budget pool."""
+
+    def test_concurrent_explain_async_matches_serial(self):
+        graphs = [small_graph(0), small_graph(1)]
+        query = failing_query()
+        n = 12
+
+        serial_service = WhyQueryService()
+        reference = {
+            id(g): explanation_key(serial_service.explain(g, query)) for g in graphs
+        }
+
+        # max_in_flight=1 -> preferred batch 1 -> every request walks the
+        # serial trajectory; the concurrency is all at the request level.
+        # The pool is sized so the fair share never clips a request's
+        # budget (grant == requested even with n requests active).
+        pool = BudgetPool(total=300 * (n + 1), min_grant=8, max_waiting=n)
+        with AsyncExecutor(max_in_flight=1) as executor:
+            with WhyQueryService(
+                executor=executor, budget_pool=pool, max_async_requests=8
+            ) as service:
+
+                async def main():
+                    return await asyncio.gather(
+                        *(
+                            service.explain_async(graphs[i % 2], query)
+                            for i in range(n)
+                        )
+                    )
+
+                reports = asyncio.run(main())
+                stats = service.stats()
+
+        for i, report in enumerate(reports):
+            assert report.problem == CardinalityProblem.EMPTY
+            assert explanation_key(report) == reference[id(graphs[i % 2])]
+
+        admission = stats["admission"]
+        assert admission["admitted"] == n
+        assert admission["rejected"] == 0
+        # the pool is never overdrawn, and every lease was returned
+        assert admission["peak_in_use"] <= pool.total
+        assert admission["in_use"] == 0
+        assert admission["active_requests"] == 0
+        assert admission["evaluations_spent"] <= admission["evaluations_granted"]
+        assert stats["explain_calls"] == n
+        assert stats["async_calls"] == n
+        assert stats["contexts_live"] == 2
+
+    def test_async_batched_service_is_deterministic(self):
+        """With a real in-flight window (batched drain) the async service
+        is deterministic request-over-request, even though its batched
+        trajectory may legitimately differ from the serial one."""
+        graph = small_graph(7)
+        query = failing_query()
+        with AsyncExecutor(max_in_flight=8) as executor:
+            with WhyQueryService(executor=executor) as service:
+
+                async def main():
+                    return await asyncio.gather(
+                        *(service.explain_async(graph, query) for _ in range(4))
+                    )
+
+                reports = asyncio.run(main())
+        keys = [explanation_key(r) for r in reports]
+        assert all(k == keys[0] for k in keys)
+        assert all(r.rewriting.explanations for r in reports)
+
+    def test_open_session_async_shares_warm_context(self, tiny_graph):
+        with WhyQueryService() as service:
+            service.explain(tiny_graph, failing_query())
+
+            async def main():
+                return await service.open_session_async(tiny_graph, failing_query())
+
+            session = asyncio.run(main())
+            assert session.context is service.context_for(tiny_graph)
+            assert session.propose() is not None
+            assert service.stats()["async_calls"] == 1

@@ -1,7 +1,5 @@
 """Tests for the Chapter 6 baseline searchers (Sec. 6.4.1)."""
 
-import pytest
-
 from repro.core import GraphQuery, between, equals
 from repro.finegrained import (
     GreedyCoarseSearch,

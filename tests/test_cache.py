@@ -85,3 +85,53 @@ class TestCaching:
         for _ in range(5):
             cache.count(q)
         assert matcher.calls == 1
+
+
+def typed_vertex_query(vertex_type: str) -> GraphQuery:
+    q = GraphQuery()
+    q.add_vertex(predicates={"type": equals(vertex_type)})
+    return q
+
+
+class TestLruEviction:
+    def test_hit_promotes_entry(self, tiny_graph):
+        """Regression: eviction used to be oldest-insertion, so a warm
+        service context would drop its hottest query just because it was
+        cached first.  Hits must promote, making eviction LRU."""
+        cache = QueryResultCache(PatternMatcher(tiny_graph), max_entries=2)
+        person, city, university = (
+            typed_vertex_query("person"),
+            typed_vertex_query("city"),
+            typed_vertex_query("university"),
+        )
+        cache.count(person)  # miss
+        cache.count(city)  # miss
+        cache.count(person)  # hit -> person is now most-recently-used
+        cache.count(university)  # miss -> evicts city, NOT person
+        assert cache.count(person) == 4  # still cached: a hit
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 3
+        cache.count(city)  # evicted earlier: a miss again
+        assert cache.stats.misses == 4
+        assert len(cache) == 2
+
+    def test_recomputed_entry_is_promoted(self, tiny_graph):
+        """A bounded entry re-executed with a larger limit is as freshly
+        used as a new insertion: it must move to the back of the line."""
+        cache = QueryResultCache(PatternMatcher(tiny_graph), max_entries=2)
+        person, city = typed_vertex_query("person"), typed_vertex_query("city")
+        cache.count(person, limit=1)  # miss, bounded entry
+        cache.count(city)  # miss
+        cache.count(person, limit=3)  # miss (limit too small) -> recompute
+        cache.count(typed_vertex_query("university"))  # miss -> evicts city
+        assert cache.count(person, limit=2) == 2  # hit against the (3,3) entry
+        assert cache.stats.hits == 1
+        assert len(cache) == 2
+
+    def test_unbounded_cache_unaffected(self, tiny_graph):
+        cache = QueryResultCache(PatternMatcher(tiny_graph))
+        q = person_query()
+        for _ in range(3):
+            cache.count(q)
+        assert len(cache) == 1
+        assert cache.stats.hits == 2

@@ -3,7 +3,7 @@ synthetic data sets."""
 
 import pytest
 
-from repro.core import GraphQuery, between, equals
+from repro.core import GraphQuery, equals
 from repro.datasets import ldbc
 from repro.explain import FailureReason, UserPreferences, discover_mcs
 

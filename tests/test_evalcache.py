@@ -3,8 +3,6 @@ zero-copy accessors, per-type counts, plan memoisation, candidate-set
 memoisation, version-based invalidation, and the newly exercised matcher
 corners (homomorphic matching, self-loops under BOTH, typed expansion)."""
 
-import pytest
-
 from repro.core import (
     BOTH_DIRECTIONS,
     GraphQuery,

@@ -1,8 +1,6 @@
 """Tests for networkx interoperability."""
 
 import networkx as nx
-import pytest
-
 from repro.core import GraphQuery, equals
 from repro.core.interop import from_networkx, to_networkx
 from repro.matching import PatternMatcher

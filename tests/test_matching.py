@@ -1,16 +1,12 @@
 """Tests for the backtracking pattern matcher (isomorphism semantics,
 direction sets, bounded evaluation, disconnected queries)."""
 
-import pytest
-
 from repro.core import (
     BACKWARD_ONLY,
     BOTH_DIRECTIONS,
     GraphQuery,
     PropertyGraph,
-    between,
     equals,
-    one_of,
 )
 from repro.matching import PatternMatcher
 

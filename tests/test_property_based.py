@@ -1,8 +1,6 @@
 """Property-based tests (hypothesis) for the core data structures and
 metric invariants."""
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import BACKWARD_ONLY, BOTH_DIRECTIONS, GraphQuery, between, equals
+from repro.core import BACKWARD_ONLY, BOTH_DIRECTIONS, GraphQuery, equals
 from repro.matching import PatternMatcher
 from repro.rewrite.statistics import GraphStatistics
 

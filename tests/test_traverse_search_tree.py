@@ -1,7 +1,5 @@
 """Tests for TRAVERSESEARCHTREE (Sec. 6.2) on hand-checkable scenarios."""
 
-import pytest
-
 from repro.core import GraphQuery, between, equals
 from repro.finegrained import TraverseSearchTree
 from repro.matching import PatternMatcher

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import GraphQuery, equals
 from repro.datasets.workload import (
-    ExplanationSample,
     generate_explanations,
     modification_pool,
     ordered_series,
