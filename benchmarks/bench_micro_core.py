@@ -10,19 +10,34 @@ timings plus the matcher ``steps`` counters of a type-constrained
 expansion workload, evaluated once with the type-partitioned adjacency
 and once with the pre-optimisation full-scan expansion
 (``typed_adjacency=False``), plus the serial-vs-parallel
-``CandidateEvaluator`` batch workload (``candidate_batch``) and the
+``CandidateEvaluator`` batch workload (``candidate_batch``), the
 async-service request-throughput sweep (``async_service``: concurrency
 1/32/256 through ``WhyQueryService.explain_async`` over a modeled
-storage-stall workload).  The JSON is the machine-readable record of
-the hot-path performance trajectory; CI diffs a fresh run against the
-committed baseline with ``benchmarks/check_trajectory.py`` and fails on
->25% regression in typed-expansion or candidate-batch throughput.
+storage-stall workload), the pure-CPU process-pool batch workload
+(``process_pool``: ``ProcessExecutor`` vs ``SerialExecutor``, the
+workload the GIL-bound thread/async executors cannot touch) and the
+intra-query shard fan-out (``sharded_expansion``: one heavy count split
+across worker-process shard blocks).  The JSON is the machine-readable
+record of the hot-path performance trajectory; CI diffs a fresh run
+against the committed baseline with ``benchmarks/check_trajectory.py``
+and fails on >25% regression in the gated ratios.
+
+Honesty note: the two process sections record ``cpu_cores``; on a
+single-core machine process parallelism cannot beat serial for pure CPU
+work, so the recorded speedups are what the machine can actually do and
+both the in-test assertions and the trajectory gate only enforce the
+multi-core speedup target when ``cpu_cores >= 2`` (the same policy as
+the ``cpu_only`` record of the candidate-batch section).
+
+``REPRO_BENCH_PROCESS_WORKERS`` caps the worker processes (default 2,
+which matches the smallest CI runners).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 import pathlib
 import random
 import time
@@ -44,8 +59,20 @@ from repro.metrics.syntactic import syntactic_distance
 from repro.rewrite.cache import QueryResultCache
 from repro.rewrite.statistics import GraphStatistics
 from repro.service import BudgetPool, WhyQueryService
+from repro.shard import GraphPartitioner, ProcessExecutor, ShardedMatcher
 
 JSON_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_micro_core.json"
+
+#: worker-process cap: CI pins this to 2 so the job is stable on 2-core
+#: runners; a beefier machine can raise it to see further scaling
+PROCESS_WORKERS = max(1, int(os.environ.get("REPRO_BENCH_PROCESS_WORKERS", "2")))
+
+
+def _cpu_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def test_micro_generate_ldbc(benchmark):
@@ -393,6 +420,178 @@ def _async_service_section(
     }
 
 
+# ---------------------------------------------------------------------------
+# process-pool workload: pure-CPU candidate batches across worker processes
+# ---------------------------------------------------------------------------
+
+
+def _process_workload(hubs: int = 300, fanout: int = 80, names: int = 72):
+    """One hub layer fanning out to name-labelled leaves.
+
+    Every variant is the same expansion with a different leaf-name
+    filter, so each count walks the full ``hubs * fanout`` adjacency --
+    pure backtracking CPU with zero blocking, the exact shape the GIL
+    serialises for threads.  Distinct names give every variant a
+    distinct signature (no memoisation can shortcut a timing round) at
+    identical per-count cost.
+
+    Each hub is created *before its own leaves*, so hub vertex ids are
+    spread evenly across the id space -- a vertex-range partition then
+    splits the seed pool (the hubs) evenly across shards, which is what
+    makes this graph double as the sharded-expansion workload.
+    """
+    g = PropertyGraph()
+    n = 0
+    for _ in range(hubs):
+        hub = g.add_vertex(type="hub")
+        for _ in range(fanout):
+            leaf = g.add_vertex(type="leaf", name=f"n{n % names}")
+            g.add_edge(hub, leaf, "rel")
+            n += 1
+
+    def variant(index: int) -> GraphQuery:
+        q = GraphQuery()
+        h = q.add_vertex(predicates={"type": equals("hub")})
+        leaf_v = q.add_vertex(
+            predicates={"type": equals("leaf"), "name": equals(f"n{index % names}")}
+        )
+        q.add_edge(h, leaf_v, types={"rel"})
+        return q
+
+    return g, variant, hubs * fanout // names
+
+
+def _process_pool_section(batch: int = 8, rounds: int = 3) -> dict:
+    graph, variant, matches = _process_workload()
+    cores = _cpu_cores()
+    worker_counts = sorted({1, min(2, PROCESS_WORKERS), PROCESS_WORKERS})
+
+    # disjoint variant slices per timed round and per executor: every
+    # measured count is a first-touch evaluation on both sides, so no
+    # cache (coordinator- or worker-side) can flatter either executor
+    slices = iter(range(10_000))
+
+    def fresh_batch() -> list:
+        return [variant(next(slices)) for _ in range(batch)]
+
+    matcher = PatternMatcher(graph)
+    matcher.count(variant(next(slices)))  # build the lazy name index once
+
+    serial_s = min(
+        _timed(lambda qs=fresh_batch(): [matcher.count(q) for q in qs])
+        for _ in range(rounds)
+    )
+
+    workers: dict = {}
+    for count in worker_counts:
+        with ProcessExecutor(graph, max_workers=count) as executor:
+            executor.warm_up()
+            # untimed first batch: the workers build their lazy indexes
+            baseline = executor.run_queries(fresh_batch())
+            assert baseline == [matches] * batch
+            process_s = min(
+                _timed(lambda qs=fresh_batch(): executor.run_queries(qs))
+                for _ in range(rounds)
+            )
+        workers[str(count)] = {
+            "process_s": process_s,
+            "speedup": serial_s / process_s if process_s > 0 else float("inf"),
+        }
+    # single-worker overhead: how much the IPC + wire-form round trip
+    # costs relative to staying in-process (recorded, never gated)
+    workers["1"]["overhead_vs_serial"] = (
+        workers["1"]["process_s"] / serial_s if serial_s > 0 else float("inf")
+    )
+
+    two_key = str(min(2, PROCESS_WORKERS))
+    return {
+        "workload": {
+            "hubs": 300,
+            "fanout": 80,
+            "edges": graph.num_edges,
+            "distinct_names": 72,
+            "matches_per_variant": matches,
+        },
+        "cpu_cores": cores,
+        # the gate skips machines where the cap (not the hardware) makes
+        # a 2-worker speedup unobservable
+        "workers_cap": PROCESS_WORKERS,
+        "batch": batch,
+        "serial_s": serial_s,
+        "workers": workers,
+        "speedup_2w": workers[two_key]["speedup"],
+    }
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# sharded-expansion workload: one heavy count fanned out per shard
+# ---------------------------------------------------------------------------
+
+
+def _sharded_expansion_section(shard_counts=(2, 4), rounds: int = 3) -> dict:
+    graph, variant, _ = _process_workload()
+    cores = _cpu_cores()
+    workers = min(2, PROCESS_WORKERS) if PROCESS_WORKERS else 2
+
+    # the unfiltered expansion: every hub, every leaf -- one count that
+    # walks the whole adjacency, the query a single process cannot split
+    # without the shard decomposition
+    heavy = GraphQuery()
+    h = heavy.add_vertex(predicates={"type": equals("hub")})
+    leaf_v = heavy.add_vertex(predicates={"type": equals("leaf")})
+    heavy.add_edge(h, leaf_v, types={"rel"})
+
+    matcher = PatternMatcher(graph)
+    expected = matcher.count(heavy)  # warm-up + ground truth
+    serial_s = min(_timed(lambda: matcher.count(heavy)) for _ in range(rounds))
+
+    # in-process sharded merge first: the decomposition itself must be
+    # exact (per-shard counts partition the total) before timing it
+    in_process = ShardedMatcher(GraphPartitioner(max(shard_counts)).partition(graph))
+    per_shard_counts = [
+        in_process.count_shard(i, heavy) for i in range(max(shard_counts))
+    ]
+    assert sum(per_shard_counts) == expected
+
+    shards: dict = {}
+    for num_shards in shard_counts:
+        with ProcessExecutor(
+            graph, max_workers=workers, shards=num_shards
+        ) as executor:
+            executor.warm_up()
+            assert executor.count_sharded(heavy) == expected  # untimed first
+            sharded_s = min(
+                _timed(lambda: executor.count_sharded(heavy))
+                for _ in range(rounds)
+            )
+        shards[str(num_shards)] = {
+            "sharded_s": sharded_s,
+            "speedup": serial_s / sharded_s if sharded_s > 0 else float("inf"),
+        }
+
+    return {
+        "workload": {
+            "hubs": 300,
+            "fanout": 80,
+            "edges": graph.num_edges,
+            "query_matches": expected,
+            "per_shard_matches": per_shard_counts,
+        },
+        "cpu_cores": cores,
+        "workers": workers,
+        "workers_cap": PROCESS_WORKERS,
+        "serial_count_s": serial_s,
+        "shards": shards,
+        "speedup_2s": shards[str(shard_counts[0])]["speedup"],
+    }
+
+
 def test_micro_emit_machine_readable(ldbc_bundle):
     """Write BENCH_micro_core.json: per-op timings + expansion steps."""
     graph, query, expected = _expansion_workload()
@@ -441,10 +640,12 @@ def test_micro_emit_machine_readable(ldbc_bundle):
 
     candidate_batch = _candidate_batch_section()
     async_service = _async_service_section()
+    process_pool = _process_pool_section()
+    sharded_expansion = _sharded_expansion_section()
 
     payload = {
         "benchmark": "bench_micro_core",
-        "schema_version": 3,
+        "schema_version": 4,
         "typed_expansion": {
             "workload": {
                 "hubs": 48,
@@ -458,6 +659,8 @@ def test_micro_emit_machine_readable(ldbc_bundle):
         },
         "candidate_batch": candidate_batch,
         "async_service": async_service,
+        "process_pool": process_pool,
+        "sharded_expansion": sharded_expansion,
         "ops": ops,
         "cache_counters": {
             "plan": plan_cache_stats(ldbc_bundle.graph).as_dict(),
@@ -470,7 +673,10 @@ def test_micro_emit_machine_readable(ldbc_bundle):
     print(
         f"\nwrote {JSON_PATH} (typed-expansion speedup {speedup:.1f}x, "
         f"batch-32 speedup {candidate_batch['speedup_32']:.1f}x, "
-        f"async-service speedup@32 {async_service['speedup_32']:.1f}x)"
+        f"async-service speedup@32 {async_service['speedup_32']:.1f}x, "
+        f"process-pool speedup@2w {process_pool['speedup_2w']:.2f}x, "
+        f"sharded speedup@2s {sharded_expansion['speedup_2s']:.2f}x "
+        f"on {process_pool['cpu_cores']} core(s))"
     )
 
     # acceptance: typed adjacency visits strictly fewer edges (exact,
@@ -486,3 +692,13 @@ def test_micro_emit_machine_readable(ldbc_bundle):
     # serial at concurrency 32 on an idle machine (recorded in the JSON);
     # the assertion bound is looser so contended CI runners cannot flake
     assert async_service["speedup_32"] >= 2.0, async_service["speedup_32"]
+    # acceptance: with >=2 real cores the process pool beats serial on the
+    # pure-CPU batch by >=1.5x at 2 workers, and the shard fan-out speeds
+    # up a single heavy count.  A single-core machine physically cannot
+    # overlap CPU work across processes; the JSON records what the
+    # machine did (cpu_cores says which regime it was).
+    if process_pool["cpu_cores"] >= 2 and PROCESS_WORKERS >= 2:
+        assert process_pool["speedup_2w"] >= 1.5, process_pool["speedup_2w"]
+        assert sharded_expansion["speedup_2s"] >= 1.1, sharded_expansion[
+            "speedup_2s"
+        ]

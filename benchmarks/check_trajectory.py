@@ -8,14 +8,23 @@ fails (exit code 1) when the trajectory regressed:
 * **structural drift**: the recursive key structure of the two files
   must match exactly -- a section that appears or disappears without the
   committed baseline being regenerated in the same PR is a gate failure,
-  not a silent pass;
+  not a silent pass.  Drift is reported per offending *section* (the
+  shortest diverging key path, not every leaf under it), and the message
+  names which side lost it and what to do about it;
 * **typed-expansion throughput**: the typed-vs-legacy expansion speedup
   must not drop by more than ``--max-regression`` (default 25%), and the
   typed matcher must not take more evaluation steps than the baseline
   recorded (steps are deterministic, so any increase is an algorithmic
   regression, bounded by the same tolerance);
 * **candidate-batch throughput**: the batch-32 overlap speedup of the
-  parallel evaluator must not drop by more than ``--max-regression``.
+  parallel evaluator must not drop by more than ``--max-regression``;
+* **process-pool / sharded-expansion throughput** (core-aware): the
+  pure-CPU multi-process speedups are gated against both the baseline's
+  recorded ratio and the 1.5x (process pool) / 1.1x (shard fan-out)
+  targets -- but only when the fresh run had >= 2 CPU cores (the
+  sections record ``cpu_cores``); a single-core machine physically
+  cannot overlap CPU-bound work across processes, so there the numbers
+  are recorded, reported and skipped.
 
 Speedups are *ratios of two measurements taken on the same machine in
 the same process*, so they are comparable across the baseline's machine
@@ -55,6 +64,22 @@ def structural_diff(baseline: dict, fresh: dict) -> Tuple[Set[str], Set[str]]:
     base_keys = key_paths(baseline)
     fresh_keys = key_paths(fresh)
     return base_keys - fresh_keys, fresh_keys - base_keys
+
+
+def offending_sections(paths: Set[str]) -> List[str]:
+    """Collapse a drift set to its shortest diverging key paths.
+
+    When a whole section is gone, every leaf under it is in the diff;
+    reporting all of them buries the actionable fact.  A path is an
+    *offending section* iff none of its ancestors drifted too.
+    """
+    out = []
+    for path in sorted(paths):
+        parts = path.split(".")
+        ancestors = {".".join(parts[:i]) for i in range(1, len(parts))}
+        if not (ancestors & paths):
+            out.append(path)
+    return out
 
 
 def dig(obj: dict, path: str) -> float:
@@ -112,12 +137,20 @@ def check_trajectory(
 
     missing, unexpected = structural_diff(baseline, fresh)
     if missing or unexpected:
-        for path in sorted(missing):
-            gate.fail(f"structure: key {path!r} missing from fresh results")
-        for path in sorted(unexpected):
+        for path in offending_sections(missing):
             gate.fail(
-                f"structure: key {path!r} not in baseline "
-                "(regenerate and commit BENCH_micro_core.json)"
+                f"structure: section {path!r} is in the committed baseline "
+                "but the FRESH run did not produce it -- the benchmark "
+                "lost this output; fix the benchmark, or (if the removal "
+                "is intentional) regenerate and commit "
+                "BENCH_micro_core.json in this PR"
+            )
+        for path in offending_sections(unexpected):
+            gate.fail(
+                f"structure: section {path!r} was produced by the fresh "
+                "run but the committed BASELINE does not have it -- the "
+                "baseline is stale; regenerate and commit "
+                "BENCH_micro_core.json in this PR"
             )
         # a gated metric may be among the missing keys; report the
         # structural drift instead of crashing on the lookup
@@ -142,7 +175,65 @@ def check_trajectory(
         dig(fresh, "candidate_batch.speedup_32"),
         max_regression,
     )
+    check_multicore_speedup(
+        gate,
+        "process-pool speedup @2 workers",
+        baseline,
+        fresh,
+        "process_pool",
+        "speedup_2w",
+        target=1.5,
+        tolerance=max_regression,
+    )
+    check_multicore_speedup(
+        gate,
+        "sharded-expansion speedup @2 shards",
+        baseline,
+        fresh,
+        "sharded_expansion",
+        "speedup_2s",
+        target=1.1,
+        tolerance=max_regression,
+    )
     return gate
+
+
+def check_multicore_speedup(
+    gate: Gate,
+    name: str,
+    baseline: dict,
+    fresh: dict,
+    section: str,
+    metric: str,
+    target: float,
+    tolerance: float,
+) -> None:
+    """Ratio-gate a process-parallel speedup, honouring the hardware.
+
+    The expectation is the *stronger* of the baseline's recorded ratio
+    and the absolute multi-core target, so a baseline regenerated on a
+    single-core box (ratio ~1.0) cannot water the gate down for
+    multi-core CI runners.  On a fresh run with < 2 cores -- or with
+    ``REPRO_BENCH_PROCESS_WORKERS`` capped below 2 (the section records
+    it as ``workers_cap``) -- the number is physically meaningless as a
+    parallelism signal: recorded + skipped.
+    """
+    fresh_cores = dig(fresh, f"{section}.cpu_cores")
+    fresh_cap = dig(fresh, f"{section}.workers_cap")
+    fresh_speedup = dig(fresh, f"{section}.{metric}")
+    if fresh_cores < 2 or fresh_cap < 2:
+        reason = (
+            f"fresh run had {fresh_cores:.0f} CPU core(s)"
+            if fresh_cores < 2
+            else f"REPRO_BENCH_PROCESS_WORKERS capped workers at {fresh_cap:.0f}"
+        )
+        gate.ok(
+            f"{name}: recorded {fresh_speedup:.3f} but SKIPPED the gate "
+            f"({reason}; process parallelism needs >= 2)"
+        )
+        return
+    expected = max(dig(baseline, f"{section}.{metric}"), target)
+    gate.check_not_below(name, expected, fresh_speedup, tolerance)
 
 
 def main(argv: Iterable[str] = None) -> int:

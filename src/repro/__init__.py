@@ -34,12 +34,21 @@ Execution spine
     through :class:`~repro.exec.SerialExecutor` /
     :class:`~repro.exec.ParallelExecutor` /
     :class:`~repro.exec.AsyncExecutor`.
+Sharding & process parallelism
+    :class:`~repro.shard.GraphPartitioner` splits a graph into
+    vertex-range :class:`~repro.shard.GraphShard` blocks behind the
+    :class:`~repro.shard.ShardedGraph` façade;
+    :class:`~repro.shard.ShardedMatcher` fans candidate enumeration and
+    expansion out per shard; :class:`~repro.shard.ProcessExecutor`
+    evaluates candidate batches on worker processes (outside the GIL)
+    with one warm ``ExecutionContext`` per worker.
 Service
     :class:`~repro.service.WhyQueryService` keeps a bounded pool of warm
     per-graph contexts and serves concurrent ``explain()`` /
     ``open_session()`` requests -- synchronously or through the async
     front door (``explain_async``), with service-level admission control
-    via :class:`~repro.service.BudgetPool`.
+    via :class:`~repro.service.BudgetPool`; ``executor="process"``
+    gives every pooled graph its own warm worker pool.
 """
 
 from repro.core import (
@@ -68,6 +77,13 @@ from repro.exec import (
     execution_context,
 )
 from repro.matching import PatternMatcher
+from repro.shard import (
+    GraphPartitioner,
+    GraphShard,
+    ProcessExecutor,
+    ShardedGraph,
+    ShardedMatcher,
+)
 from repro.metrics import (
     CardinalityProblem,
     CardinalityThreshold,
@@ -91,15 +107,20 @@ __all__ = [
     "Direction",
     "EvaluationBudget",
     "ExecutionContext",
+    "GraphPartitioner",
     "GraphQuery",
+    "GraphShard",
     "Interval",
     "ParallelExecutor",
     "PatternMatcher",
     "Predicate",
+    "ProcessExecutor",
     "PropertyGraph",
     "ResultGraph",
     "ResultSet",
     "SerialExecutor",
+    "ShardedGraph",
+    "ShardedMatcher",
     "ValueSet",
     "WhyQueryService",
     "__version__",

@@ -127,6 +127,20 @@ class PropertyGraph:
         """Mutation counter (monotonically increasing)."""
         return self._version
 
+    def _restore_version(self, version: int) -> None:
+        """Reset the mutation counter after a snapshot rebuild.
+
+        Rebuilding a graph from a serialized snapshot replays every
+        ``add_vertex``/``add_edge``, so the freshly built graph ends at a
+        version unrelated to the snapshot's.  Worker processes key their
+        caches (and the coordinator keys snapshot staleness) off the
+        *original* version, so the deserializer restores it exactly.
+        Internal: only :mod:`repro.core.serialize` should call this.
+        """
+        if version < 0:
+            raise ValueError("version must be >= 0")
+        self._version = version
+
     # -- construction ------------------------------------------------------
 
     def add_vertex(self, vid: Optional[int] = None, **attributes: Any) -> int:

@@ -11,12 +11,37 @@ attribute values are) and back, losslessly:
 
 Numeric predicate bounds serialise infinities as the strings ``"inf"`` /
 ``"-inf"`` so the output stays valid JSON.
+
+Snapshot exactness
+------------------
+
+Graph snapshots round-trip *evaluation-visible* state exactly, which is
+what the :mod:`repro.shard` worker processes rely on when they rebuild a
+long-lived :class:`~repro.exec.context.ExecutionContext` from a shipped
+snapshot:
+
+* elements are emitted in **insertion order** (format 2), so the rebuilt
+  typed-adjacency lists -- and therefore the matcher's deterministic
+  enumeration order and ``steps`` counters -- are identical to the
+  source graph's even when explicit ids were assigned out of order;
+* the mutation :attr:`~repro.core.graph.PropertyGraph.version` is
+  carried in the payload and restored on rebuild, so version-keyed
+  caches and the coordinator's staleness checks agree across processes.
+
+Wire forms
+----------
+
+:func:`query_to_wire` / :func:`query_from_wire` are the compact, *
+hashable* siblings of the dict forms: nested tuples that pickle small
+and double as cache keys.  The :class:`~repro.shard.ProcessExecutor`
+ships every candidate query to its workers as a wire form, and each
+worker memoises deserialisation by that same tuple.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Tuple
 
 from repro.core.errors import MalformedQueryError
 from repro.core.graph import PropertyGraph
@@ -24,7 +49,10 @@ from repro.core.predicates import Interval, Predicate, ValueSet
 from repro.core.query import Direction, GraphQuery
 from repro.core.result import ResultGraph, ResultSet
 
-FORMAT_VERSION = 1
+#: Format 2 emits vertices/edges in insertion order and carries the
+#: graph mutation version; format-1 payloads (sorted by id, no version)
+#: are still readable.
+FORMAT_VERSION = 2
 
 
 # -- predicates -----------------------------------------------------------------
@@ -74,6 +102,99 @@ def _bound_in(value: Any) -> float:
     if value == "-inf":
         return -math.inf
     return value
+
+
+# -- compact wire forms (hashable tuples, for cross-process shipping) -----------
+
+
+def predicate_to_wire(pred: Predicate) -> Tuple:
+    """Compact hashable form of a predicate (pickles small)."""
+    if isinstance(pred, ValueSet):
+        return ("v", tuple(sorted(pred.values, key=repr)))
+    if isinstance(pred, Interval):
+        return ("i", pred.low, pred.high, pred.low_open, pred.high_open, pred.integral)
+    raise TypeError(f"cannot serialise predicate type {type(pred).__name__}")
+
+
+def predicate_from_wire(wire: Tuple) -> Predicate:
+    kind = wire[0]
+    if kind == "v":
+        return ValueSet(wire[1])
+    if kind == "i":
+        return Interval(wire[1], wire[2], wire[3], wire[4], wire[5])
+    raise MalformedQueryError(f"unknown wire predicate kind {kind!r}")
+
+
+def query_to_wire(query: GraphQuery) -> Tuple:
+    """Compact hashable form of a query.
+
+    The tuple is deterministic for a given query signature, so it doubles
+    as the worker-side deserialisation cache key: a rewriting frontier
+    re-evaluating the same variant ships the identical wire form and the
+    worker rebuilds the :class:`~repro.core.query.GraphQuery` only once.
+    """
+    return (
+        "q",
+        FORMAT_VERSION,
+        tuple(
+            (
+                v.vid,
+                tuple(
+                    (attr, predicate_to_wire(p))
+                    for attr, p in sorted(v.predicates.items())
+                ),
+            )
+            for v in sorted(query.vertices(), key=lambda v: v.vid)
+        ),
+        tuple(
+            (
+                e.eid,
+                e.source,
+                e.target,
+                tuple(sorted(e.types)) if e.types is not None else None,
+                tuple(sorted(d.value for d in e.directions)),
+                tuple(
+                    (attr, predicate_to_wire(p))
+                    for attr, p in sorted(e.predicates.items())
+                ),
+            )
+            for e in sorted(query.edges(), key=lambda e: e.eid)
+        ),
+    )
+
+
+def query_from_wire(wire: Tuple) -> GraphQuery:
+    """Inverse of :func:`query_to_wire`."""
+    if not isinstance(wire, tuple) or len(wire) != 4 or wire[0] != "q":
+        raise MalformedQueryError(f"not a wire-form query: {wire!r}")
+    _, wire_format, vertices, edges = wire
+    if not isinstance(wire_format, int) or wire_format > FORMAT_VERSION:
+        # a newer coordinator's wire form must be rejected, never
+        # misparsed with this format's assumptions
+        raise MalformedQueryError(
+            f"unsupported wire format {wire_format!r} (this side speaks "
+            f"<= {FORMAT_VERSION})"
+        )
+    query = GraphQuery()
+    try:
+        for vid, preds in vertices:
+            query.add_vertex(
+                vid=vid,
+                predicates={attr: predicate_from_wire(p) for attr, p in preds},
+            )
+        for eid, source, target, types, directions, preds in edges:
+            query.add_edge(
+                source,
+                target,
+                eid=eid,
+                types=types,
+                directions=frozenset(Direction(d) for d in directions),
+                predicates={attr: predicate_from_wire(p) for attr, p in preds},
+            )
+    except (TypeError, ValueError) as exc:
+        raise MalformedQueryError(f"malformed wire-form query: {exc}") from exc
+    query.validate()
+    return query
 
 
 # -- queries ----------------------------------------------------------------------
@@ -139,12 +260,22 @@ def query_from_dict(data: Mapping[str, Any]) -> GraphQuery:
 
 
 def graph_to_dict(graph: PropertyGraph) -> Dict[str, Any]:
-    """Serialise a property graph (attribute values must be JSON-able)."""
+    """Serialise a property graph (attribute values must be JSON-able).
+
+    Elements are emitted in **insertion order**, not id order: adjacency
+    lists are append-ordered, so replaying the elements in any other
+    order would rebuild a graph whose typed-adjacency enumeration (and
+    therefore the matcher's deterministic ``steps`` trajectory) differs
+    whenever explicit ids were assigned out of order.  The mutation
+    ``version`` rides along so the rebuilt graph is cache-key compatible
+    with the source.
+    """
     return {
         "format": FORMAT_VERSION,
+        "version": graph.version,
         "vertices": [
             {"id": vid, "attributes": dict(graph.vertex_attributes(vid))}
-            for vid in sorted(graph.vertices())
+            for vid in graph.vertices()
         ],
         "edges": [
             {
@@ -154,13 +285,21 @@ def graph_to_dict(graph: PropertyGraph) -> Dict[str, Any]:
                 "type": record.type,
                 "attributes": dict(record.attributes),
             }
-            for record in sorted(graph.edges(), key=lambda r: r.eid)
+            for record in graph.edges()
         ],
     }
 
 
 def graph_from_dict(data: Mapping[str, Any]) -> PropertyGraph:
-    """Inverse of :func:`graph_to_dict`."""
+    """Inverse of :func:`graph_to_dict`.
+
+    Replays elements in payload order and restores the serialized
+    mutation ``version`` (format >= 2), so the round-trip preserves the
+    typed-adjacency-visible state *and* the cache-invalidation identity
+    exactly.  Format-1 payloads rebuild fine; their version is whatever
+    the replay produced (one bump per element), matching the historical
+    behaviour.
+    """
     graph = PropertyGraph()
     for vertex in data.get("vertices", ()):
         graph.add_vertex(vid=vertex["id"], **vertex.get("attributes", {}))
@@ -172,6 +311,8 @@ def graph_from_dict(data: Mapping[str, Any]) -> PropertyGraph:
             eid=edge["id"],
             **edge.get("attributes", {}),
         )
+    if "version" in data:
+        graph._restore_version(int(data["version"]))
     return graph
 
 

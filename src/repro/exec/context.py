@@ -20,11 +20,18 @@ An :class:`ExecutionContext` is the explicit, reusable wiring:
 ``preferences``         traversal preferences shared by the explanation engines
 ======================  =====================================================
 
-:meth:`ExecutionContext.for_graph` hands out **one context per graph**
-from a process-wide weak registry, so independently constructed engines
-bound to the same graph transparently share every layer; construct
-``ExecutionContext(graph)`` directly when isolation is wanted (the
-harness does, to measure per-run cache effectiveness).
+:meth:`ExecutionContext.for_graph` hands out **one context per graph**,
+so independently constructed engines bound to the same graph
+transparently share every layer; construct ``ExecutionContext(graph)``
+directly when isolation is wanted (the harness does, to measure per-run
+cache effectiveness).  The shared context is anchored *on the graph
+object itself*: graph and context form a plain reference cycle, so the
+context lives exactly as long as the graph is reachable and both are
+garbage-collected together afterwards.  (The registry used to be a
+``WeakKeyDictionary`` -- whose values strongly referenced their keys,
+the documented way to make such a mapping immortal: every graph ever
+passed to ``for_graph`` leaked for the process lifetime.  Asserted
+collectable in ``tests/test_exec.py`` now.)
 
 All layers self-invalidate from :attr:`PropertyGraph.version`, so a
 long-lived context survives graph mutation without serving stale counts.
@@ -34,7 +41,6 @@ from __future__ import annotations
 
 import asyncio
 import threading
-import weakref
 from typing import Dict, Optional
 
 from repro.core.graph import PropertyGraph
@@ -107,14 +113,18 @@ class ExecutionContext:
 
     # -- registry -------------------------------------------------------------
 
+    #: attribute anchoring the shared context on its graph (the graph
+    #: and its context form a collectable cycle, not a global root)
+    _ANCHOR = "_repro_shared_context"
+
     @classmethod
     def for_graph(cls, graph: PropertyGraph) -> "ExecutionContext":
         """The process-wide shared context of ``graph`` (created on demand)."""
         with _REGISTRY_LOCK:
-            context = _SHARED_CONTEXTS.get(graph)
-            if context is None:
+            context = getattr(graph, cls._ANCHOR, None)
+            if context is None or context.graph is not graph:
                 context = cls(graph)
-                _SHARED_CONTEXTS[graph] = context
+                setattr(graph, cls._ANCHOR, context)
             return context
 
     # -- evaluation façade ----------------------------------------------------
@@ -179,10 +189,7 @@ class ExecutionContext:
         )
 
 
-#: graph -> its process-wide shared execution context
-_SHARED_CONTEXTS: "weakref.WeakKeyDictionary[PropertyGraph, ExecutionContext]" = (
-    weakref.WeakKeyDictionary()
-)
+#: serialises shared-context creation across threads
 _REGISTRY_LOCK = threading.Lock()
 
 

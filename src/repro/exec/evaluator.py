@@ -19,12 +19,16 @@ sequential -- one candidate popped, one ``count`` issued, repeat.
   evaluation budget -- the batch is truncated instead;
 * the actual execution strategy is pluggable: :class:`SerialExecutor`
   runs in the calling thread, :class:`ParallelExecutor` fans the batch
-  out over a ``ThreadPoolExecutor``, and the asyncio-backed
+  out over a ``ThreadPoolExecutor``, the asyncio-backed
   :class:`~repro.exec.async_executor.AsyncExecutor` parks the batch on
   an event loop under an in-flight cap (when the counter is
   async-native -- it exposes ``count_async(query, limit=...)`` -- the
   evaluator hands such an executor coroutine tasks, so waiting counts
-  consume no threads at all).
+  consume no threads at all), and the process-backed
+  :class:`~repro.shard.ProcessExecutor` escapes the GIL entirely:
+  executors advertising ``supports_queries`` receive the *queries*
+  (closures cannot cross a process boundary) via ``run_queries`` and
+  evaluate them against their own long-lived per-worker contexts.
 
 Thread-safety: the evaluation stack underneath
 (:class:`~repro.rewrite.cache.QueryResultCache`,
@@ -249,22 +253,31 @@ class CandidateEvaluator:
                 first_at[sig] = len(unique_queries)
                 unique_queries.append(query)
         counter = self.counter
-        if getattr(self.executor, "supports_async", False) and hasattr(
-            counter, "count_async"
-        ):
-            # async-native counter + async-capable executor: hand over
-            # coroutine-function tasks so waits park on the event loop
-            # instead of occupying a worker thread per count
-            tasks: List[Callable[[], int]] = [
-                functools.partial(counter.count_async, query, limit=limit)
-                for query in unique_queries
-            ]
+        if getattr(self.executor, "supports_queries", False):
+            # query-shipping executor (e.g. the process-pool executor):
+            # closures cannot cross a process boundary, so the executor
+            # receives the queries themselves and evaluates them against
+            # its own long-lived per-worker contexts; the local counter
+            # is bypassed (results are identical -- the matcher is
+            # deterministic -- only the cache locality differs)
+            counts = self.executor.run_queries(unique_queries, limit=limit)
         else:
-            tasks = [
-                (lambda q=query: counter.count(q, limit=limit))
-                for query in unique_queries
-            ]
-        counts = self.executor.run(tasks)
+            if getattr(self.executor, "supports_async", False) and hasattr(
+                counter, "count_async"
+            ):
+                # async-native counter + async-capable executor: hand over
+                # coroutine-function tasks so waits park on the event loop
+                # instead of occupying a worker thread per count
+                tasks: List[Callable[[], int]] = [
+                    functools.partial(counter.count_async, query, limit=limit)
+                    for query in unique_queries
+                ]
+            else:
+                tasks = [
+                    (lambda q=query: counter.count(q, limit=limit))
+                    for query in unique_queries
+                ]
+            counts = self.executor.run(tasks)
         self.evaluated += len(batch)
         self.batches += 1
         return [

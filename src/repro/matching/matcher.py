@@ -24,7 +24,7 @@ reports the shared plan/candidate cache counters next to them.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Set
+from typing import AbstractSet, Dict, Iterator, List, Optional, Sequence, Set
 
 from repro.core.graph import PropertyGraph
 from repro.core.query import Direction, GraphQuery, QueryEdge
@@ -94,13 +94,22 @@ class PatternMatcher:
         query: GraphQuery,
         limit: Optional[int] = None,
         edge_order: Optional[Sequence[int]] = None,
+        seed_restrict: Optional[AbstractSet[int]] = None,
     ) -> ResultSet:
-        """Enumerate matches (up to ``limit``) as a :class:`ResultSet`."""
+        """Enumerate matches (up to ``limit``) as a :class:`ResultSet`.
+
+        ``seed_restrict`` confines the *first* seed step's candidate pool
+        to the given data vertices.  Every match binds the plan's first
+        seed to exactly one data vertex, so restricting that pool to the
+        blocks of a vertex partition splits the match set into disjoint
+        per-block result sets whose union is the unrestricted result --
+        the decomposition :mod:`repro.shard` fans out per shard.
+        """
         self.calls += 1
         results = ResultSet()
         if limit is not None and limit <= 0:
             return results
-        for binding in self._search(query, edge_order):
+        for binding in self._search(query, edge_order, seed_restrict):
             results.add(binding)
             if limit is not None and results.cardinality >= limit:
                 break
@@ -111,32 +120,40 @@ class PatternMatcher:
         query: GraphQuery,
         limit: Optional[int] = None,
         edge_order: Optional[Sequence[int]] = None,
+        seed_restrict: Optional[AbstractSet[int]] = None,
     ) -> int:
         """Count matches, stopping early once ``limit`` is reached.
 
         Result cardinality (Definition 2) when ``limit`` is ``None``.
+        ``seed_restrict`` confines the first seed step (see :meth:`match`).
         """
         self.calls += 1
         n = 0
-        for _ in self._search(query, edge_order):
+        for _ in self._search(query, edge_order, seed_restrict):
             n += 1
             if limit is not None and n >= limit:
                 break
         return n
 
     def exists(
-        self, query: GraphQuery, edge_order: Optional[Sequence[int]] = None
+        self,
+        query: GraphQuery,
+        edge_order: Optional[Sequence[int]] = None,
+        seed_restrict: Optional[AbstractSet[int]] = None,
     ) -> bool:
         """``True`` when the pattern has at least one match."""
         self.calls += 1
-        for _ in self._search(query, edge_order):
+        for _ in self._search(query, edge_order, seed_restrict):
             return True
         return False
 
     # -- search core -----------------------------------------------------------
 
     def _search(
-        self, query: GraphQuery, edge_order: Optional[Sequence[int]] = None
+        self,
+        query: GraphQuery,
+        edge_order: Optional[Sequence[int]] = None,
+        seed_restrict: Optional[AbstractSet[int]] = None,
     ) -> Iterator[ResultGraph]:
         query.validate()
         if query.num_vertices == 0:
@@ -146,7 +163,9 @@ class PatternMatcher:
         ebind: Dict[int, int] = {}
         used_vertices: Set[int] = set()
         used_edges: Set[int] = set()
-        yield from self._step(query, plan, 0, vbind, ebind, used_vertices, used_edges)
+        yield from self._step(
+            query, plan, 0, vbind, ebind, used_vertices, used_edges, seed_restrict
+        )
 
     def _step(
         self,
@@ -157,14 +176,26 @@ class PatternMatcher:
         ebind: Dict[int, int],
         used_vertices: Set[int],
         used_edges: Set[int],
+        seed_restrict: Optional[AbstractSet[int]] = None,
     ) -> Iterator[ResultGraph]:
         if depth == len(plan):
             yield ResultGraph.from_mappings(vbind, ebind)
             return
         step = plan[depth]
         if isinstance(step, SeedStep):
+            # only the plan's *first* seed is partition-restricted: later
+            # seeds (disconnected components) must stay exhaustive or the
+            # per-shard union would drop cross-shard combinations
             yield from self._seed(
-                query, plan, depth, step, vbind, ebind, used_vertices, used_edges
+                query,
+                plan,
+                depth,
+                step,
+                vbind,
+                ebind,
+                used_vertices,
+                used_edges,
+                seed_restrict if depth == 0 else None,
             )
         else:
             yield from self._expand(
@@ -181,15 +212,26 @@ class PatternMatcher:
         ebind: Dict[int, int],
         used_vertices: Set[int],
         used_edges: Set[int],
+        seed_restrict: Optional[AbstractSet[int]] = None,
     ) -> Iterator[ResultGraph]:
         qvertex = query.vertex(step.vid)
         candidates = self.evalcache.vertex_candidates(qvertex)
-        pool = candidates if candidates is not None else self.graph.vertices()
+        if seed_restrict is not None and candidates is not None:
+            # pre-intersect so the walk below never visits foreign shards
+            candidates = candidates & seed_restrict
+            pool = candidates
+        elif candidates is not None:
+            pool = candidates
+        elif seed_restrict is not None:
+            # unconstrained vertex: the restriction *is* the pool
+            pool = seed_restrict
+        else:
+            pool = self.graph.vertices()
         for data_vid in pool:
             self.steps += 1
             if self.injective and data_vid in used_vertices:
                 continue
-            # candidates are pre-filtered; the full-scan pool is not
+            # candidates are pre-filtered; restricted/full-scan pools are not
             if candidates is None and not vertex_matches(
                 self.graph, data_vid, qvertex
             ):

@@ -19,6 +19,12 @@ request throws the shared evaluation state away between requests; the
   :class:`~repro.exec.async_executor.AsyncExecutor` (event-loop overlap
   under an in-flight cap) and every rewriting search it runs drains its
   candidates in executor-sized batches;
+* **CPU-parallel evaluation** with ``executor="process"``: every pooled
+  graph gets its own :class:`~repro.shard.ProcessExecutor` (a warm
+  worker-process pool built from a snapshot of that graph, optionally
+  sharded via ``shards=N``), created with the graph's pool slot and
+  shut down on eviction -- pure-Python rewriting work finally scales
+  with cores instead of stalling on the coordinator's GIL;
 * a **native async front door** -- :meth:`WhyQueryService.explain_async`
   / :meth:`WhyQueryService.open_session_async` -- so an asyncio
   deployment can keep thousands of why-queries in flight: requests
@@ -50,13 +56,14 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.core.graph import PropertyGraph
 from repro.core.query import GraphQuery
 from repro.exec.context import ExecutionContext
 from repro.exec.evaluator import BatchExecutor, EvaluationBudget
 from repro.metrics.cardinality import CardinalityThreshold
+from repro.shard.process_executor import ProcessExecutor
 from repro.why.engine import WhyQueryEngine, WhyQueryReport
 from repro.why.session import DebugSession
 
@@ -281,14 +288,33 @@ class BudgetPool:
 
 
 class _PoolEntry:
-    """One pooled context plus the bookkeeping the LRU needs."""
+    """One pooled context plus the bookkeeping the LRU needs.
 
-    __slots__ = ("context", "version", "requests")
+    With ``executor="process"`` the entry also owns the graph's warm
+    worker pool (a :class:`~repro.shard.ProcessExecutor` is bound to one
+    graph snapshot, so it shares the context's lifecycle: created with
+    the slot, shut down on eviction).  ``in_flight``/``retired`` make
+    that shutdown safe under concurrency: a request *leases* the entry
+    for its duration, and an evicted (retired) entry's pool is closed by
+    whoever drops the lease count to zero -- never under a request that
+    is still evaluating on it.
+    """
 
-    def __init__(self, context: ExecutionContext) -> None:
+    __slots__ = ("context", "version", "requests", "executor", "in_flight", "retired")
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        executor: Optional[ProcessExecutor] = None,
+    ) -> None:
         self.context = context
         self.version = context.graph.version
         self.requests = 0
+        self.executor = executor
+        #: requests currently executing against this entry
+        self.in_flight = 0
+        #: set when the LRU dropped the entry; resources close at drain
+        self.retired = False
 
 
 class WhyQueryService:
@@ -310,6 +336,16 @@ class WhyQueryService:
     contexts are built (benchmarks use it to model a storage-backed
     evaluation stack; a deployment could use it to restore persisted
     caches).
+
+    ``executor="process"`` switches on **CPU-parallel evaluation**:
+    every pooled graph gets its own
+    :class:`~repro.shard.ProcessExecutor` -- ``process_workers`` worker
+    processes, each holding a long-lived warm context built from a
+    snapshot of that graph -- created with the graph's pool slot and
+    shut down when the slot is evicted.  ``shards`` > 1 additionally
+    partitions each worker's snapshot so single heavy counts can fan
+    out per shard (``count_sharded``).  The per-graph worker/shard
+    counters surface under ``stats()["process_pools"]``.
     """
 
     #: engine kwargs the service itself wires per request; passing them as
@@ -334,18 +370,29 @@ class WhyQueryService:
     def __init__(
         self,
         max_contexts: int = 8,
-        executor: Optional[BatchExecutor] = None,
+        executor: Optional[Union[BatchExecutor, str]] = None,
         budget_pool: Optional[BudgetPool] = None,
         max_async_requests: int = 32,
         context_factory: Optional[
             Callable[[PropertyGraph], ExecutionContext]
         ] = None,
+        shards: int = 1,
+        process_workers: int = 2,
         **engine_options,
     ) -> None:
         if max_contexts < 1:
             raise ValueError("max_contexts must be >= 1")
         if max_async_requests < 1:
             raise ValueError("max_async_requests must be >= 1")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if process_workers < 1:
+            raise ValueError("process_workers must be >= 1")
+        if isinstance(executor, str) and executor != "process":
+            raise ValueError(
+                f"unknown executor mode {executor!r}; pass 'process' or a "
+                "BatchExecutor instance"
+            )
         reserved = self._RESERVED_ENGINE_OPTIONS & engine_options.keys()
         if reserved:
             raise TypeError(
@@ -354,7 +401,13 @@ class WhyQueryService:
                 "context; pass executor=/budget_pool= directly)"
             )
         self.max_contexts = max_contexts
-        self.executor = executor
+        #: a ``BatchExecutor`` shared by all requests, or ``None``; in
+        #: process mode the shared executor stays ``None`` and each pool
+        #: entry owns a per-graph ``ProcessExecutor`` instead
+        self.executor = None if isinstance(executor, str) else executor
+        self.process_mode = executor == "process"
+        self.shards = shards
+        self.process_workers = process_workers
         self.budget_pool = budget_pool
         self.max_async_requests = max_async_requests
         self.engine_options = engine_options
@@ -376,18 +429,16 @@ class WhyQueryService:
 
     # -- context pool ---------------------------------------------------------
 
-    def context_for(self, graph: PropertyGraph) -> ExecutionContext:
-        """The service's warm context of ``graph`` (LRU, created on demand).
+    def _entry_for(self, graph: PropertyGraph, lease: bool = False) -> _PoolEntry:
+        """The graph's pool entry (LRU bookkeeping, created on demand).
 
-        Graphs are identified by object identity; a pooled context pins
-        its graph (warm caches for a dead graph are useless), so dropping
-        the graph's slot -- LRU eviction -- is also what releases the
-        graph's memory.  A version bump on the graph keeps the same
-        context: every layer self-invalidates from
-        :attr:`PropertyGraph.version`, so eviction is purely a memory
-        decision, not a correctness one.
+        With ``lease=True`` the entry's ``in_flight`` count is raised;
+        the caller must pair it with :meth:`_release_entry` (requests do
+        this in a ``finally``), which is what keeps an evicted entry's
+        worker pool alive until its last request finished.
         """
         key = id(graph)
+        evicted: List[_PoolEntry] = []
         with self._lock:
             entry = self._pool.get(key)
             if entry is not None and entry.context.graph is graph:
@@ -398,15 +449,68 @@ class WhyQueryService:
                     raise ValueError(
                         "context_factory returned a context for a different graph"
                     )
-                entry = _PoolEntry(context)
+                executor = None
+                if self.process_mode:
+                    # the workers must evaluate with the semantics of the
+                    # context the factory built, or process-mode counts
+                    # would silently diverge from the serial service's
+                    executor = ProcessExecutor(
+                        graph,
+                        max_workers=self.process_workers,
+                        shards=self.shards,
+                        injective=context.matcher.injective,
+                        typed_adjacency=context.matcher.typed_adjacency,
+                    )
+                entry = _PoolEntry(context, executor)
                 self._pool[key] = entry
                 self._contexts_created += 1
                 while len(self._pool) > self.max_contexts:
-                    self._pool.popitem(last=False)
+                    _, dropped = self._pool.popitem(last=False)
                     self._evictions += 1
+                    dropped.retired = True
+                    if dropped.in_flight == 0:
+                        evicted.append(dropped)
+                    # else: the last in-flight request closes it on release
+            if lease:
+                entry.in_flight += 1
             entry.requests += 1
             entry.version = graph.version
-            return entry.context
+        # worker pools shut down outside the lock: eviction must not
+        # stall every other request behind process teardown
+        for dropped in evicted:
+            if dropped.executor is not None:
+                dropped.executor.close()
+        return entry
+
+    def _release_entry(self, entry: _PoolEntry) -> None:
+        """Drop a request's lease; close a retired entry at drain."""
+        with self._lock:
+            entry.in_flight -= 1
+            close_now = (
+                entry.retired
+                and entry.in_flight == 0
+                and entry.executor is not None
+            )
+        if close_now:
+            entry.executor.close()
+
+    def context_for(self, graph: PropertyGraph) -> ExecutionContext:
+        """The service's warm context of ``graph`` (LRU, created on demand).
+
+        Graphs are identified by object identity; a pooled context pins
+        its graph (warm caches for a dead graph are useless), so dropping
+        the graph's slot -- LRU eviction -- is also what releases the
+        graph's memory.  A version bump on the graph keeps the same
+        context: every layer self-invalidates from
+        :attr:`PropertyGraph.version`, so eviction is purely a memory
+        decision, not a correctness one.  In process mode the slot also
+        owns the graph's worker pool, which eviction shuts down.
+        """
+        return self._entry_for(graph).context
+
+    def _executor_for(self, entry: _PoolEntry) -> Optional[BatchExecutor]:
+        """The executor a request over this entry's graph should use."""
+        return entry.executor if self.process_mode else self.executor
 
     def __len__(self) -> int:
         """Number of live pooled contexts."""
@@ -451,24 +555,28 @@ class WhyQueryService:
         """
         lease = self._admit()
         try:
-            context = self.context_for(graph)
-            engine = WhyQueryEngine(
-                context=context,
-                executor=self.executor,
-                preference_model=context.preference_model,
-                preferences=context.preferences,
-                evaluation_budget=None if lease is None else lease.budget,
-                **self.engine_options,
-            )
-            start = time.perf_counter()
+            entry = self._entry_for(graph, lease=True)
             try:
-                return engine.debug(
-                    query, threshold, explain=explain, rewrite=rewrite
+                context = entry.context
+                engine = WhyQueryEngine(
+                    context=context,
+                    executor=self._executor_for(entry),
+                    preference_model=context.preference_model,
+                    preferences=context.preferences,
+                    evaluation_budget=None if lease is None else lease.budget,
+                    **self.engine_options,
                 )
+                start = time.perf_counter()
+                try:
+                    return engine.debug(
+                        query, threshold, explain=explain, rewrite=rewrite
+                    )
+                finally:
+                    with self._lock:
+                        self._explain_calls += 1
+                        self._busy_seconds += time.perf_counter() - start
             finally:
-                with self._lock:
-                    self._explain_calls += 1
-                    self._busy_seconds += time.perf_counter() - start
+                self._release_entry(entry)
         finally:
             if lease is not None:
                 lease.release()
@@ -565,11 +673,23 @@ class WhyQueryService:
     # -- lifecycle ------------------------------------------------------------
 
     def close(self) -> None:
-        """Release the async request pool (idempotent)."""
+        """Release the async request pool and any worker pools (idempotent).
+
+        Pooled contexts (and their warm caches) survive ``close()`` --
+        only the thread/process pools are torn down; a later request
+        respawns what it needs.
+        """
         with self._lock:
             pool, self._request_pool = self._request_pool, None
+            executors = [
+                entry.executor
+                for entry in self._pool.values()
+                if entry.executor is not None
+            ]
         if pool is not None:
             pool.shutdown(wait=True)
+        for executor in executors:
+            executor.close()
 
     def __enter__(self) -> "WhyQueryService":
         return self
@@ -596,6 +716,17 @@ class WhyQueryService:
                 "matcher_calls": 0,
                 "matcher_steps": 0,
             }
+            process_pools: Optional[Dict[str, int]] = None
+            if self.process_mode:
+                process_pools = {
+                    "pools_live": 0,
+                    "workers": 0,
+                    "shards_per_pool": self.shards,
+                    "batches": 0,
+                    "queries_shipped": 0,
+                    "sharded_counts": 0,
+                    "pool_rebuilds": 0,
+                }
             for entry in self._pool.values():
                 report = entry.context.cache_report()
                 totals["result_hits"] += int(report["results"]["hits"])
@@ -606,14 +737,28 @@ class WhyQueryService:
                 )
                 totals["matcher_calls"] += int(report["matcher"]["calls"])
                 totals["matcher_steps"] += int(report["matcher"]["steps"])
-                per_graph.append(
-                    {
-                        "graph": repr(entry.context.graph),
-                        "version": entry.version,
-                        "requests": entry.requests,
-                        "cache_report": report,
-                    }
-                )
+                graph_stats: Dict[str, object] = {
+                    "graph": repr(entry.context.graph),
+                    "version": entry.version,
+                    "requests": entry.requests,
+                    "cache_report": report,
+                }
+                if entry.executor is not None and process_pools is not None:
+                    pool_info = entry.executor.info()
+                    graph_stats["process_pool"] = pool_info
+                    process_pools["pools_live"] += int(bool(pool_info["pool_live"]))
+                    process_pools["workers"] += int(pool_info["max_workers"])
+                    process_pools["batches"] += int(pool_info["batches"])
+                    process_pools["queries_shipped"] += int(
+                        pool_info["queries_shipped"]
+                    )
+                    process_pools["sharded_counts"] += int(
+                        pool_info["sharded_counts"]
+                    )
+                    process_pools["pool_rebuilds"] += int(
+                        pool_info["pool_rebuilds"]
+                    )
+                per_graph.append(graph_stats)
             requests = self._explain_calls + self._session_calls
             uptime = time.perf_counter() - self._started
             return {
@@ -630,6 +775,7 @@ class WhyQueryService:
                 "requests_per_second": requests / uptime if uptime > 0 else 0.0,
                 "admission": admission,
                 "executor": executor_info,
+                "process_pools": process_pools,
                 "totals": totals,
                 "per_graph": per_graph,
             }

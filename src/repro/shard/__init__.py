@@ -1,0 +1,37 @@
+"""Sharded storage and process-parallel evaluation.
+
+``repro.shard`` is the first layer of the codebase that escapes
+single-core execution: the storage scale axis (partition the graph,
+fan matching out per shard) and the compute scale axis (evaluate
+candidate batches on worker *processes*, outside the coordinator's
+GIL) behind the seams the earlier layers left for them --
+:class:`~repro.core.graph.PropertyGraph`'s read-accessor surface, the
+matcher's ``seed_restrict``, the
+:class:`~repro.exec.evaluator.BatchExecutor` protocol and the
+service's per-graph context pool.
+
+* :class:`GraphPartitioner` / :class:`GraphShard` -- balanced
+  vertex-range shards with per-shard typed adjacency and a
+  boundary-edge index;
+* :class:`ShardedGraph` -- the read-only façade exposing the
+  ``PropertyGraph`` accessor surface over the shards;
+* :class:`ShardedMatcher` -- per-shard candidate enumeration and
+  expansion with deterministic (ascending shard order) merge;
+* :class:`ProcessExecutor` -- ``BatchExecutor`` on a
+  ``ProcessPoolExecutor``: wire-form queries across the boundary, one
+  long-lived warm ``ExecutionContext`` per worker, submission-order
+  results, coordinator-side budget truncation, and sharded intra-query
+  fan-out via ``count_sharded``.
+"""
+
+from repro.shard.matching import ShardedMatcher
+from repro.shard.partition import GraphPartitioner, GraphShard, ShardedGraph
+from repro.shard.process_executor import ProcessExecutor
+
+__all__ = [
+    "GraphPartitioner",
+    "GraphShard",
+    "ProcessExecutor",
+    "ShardedGraph",
+    "ShardedMatcher",
+]

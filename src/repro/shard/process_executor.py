@@ -1,0 +1,339 @@
+"""Process-pool batch execution: CPU-parallel candidate evaluation.
+
+The thread-backed :class:`~repro.exec.evaluator.ParallelExecutor` and
+the asyncio-backed :class:`~repro.exec.async_executor.AsyncExecutor`
+overlap *blocking* evaluation time; pure-Python CPU work stays
+serialised under one GIL, which is exactly what why-query rewriting is
+(the ``cpu_only`` record in ``BENCH_micro_core.json`` documents the
+ceiling).  :class:`ProcessExecutor` escapes it: a pool of worker
+*processes*, each holding one long-lived
+:class:`~repro.exec.context.ExecutionContext` warmed from a serialized
+snapshot of the coordinator's graph.
+
+Why this is not just ``ProcessPoolExecutor.map`` over closures:
+
+* **closures don't pickle** -- the evaluator's per-candidate thunks
+  close over the matcher stack.  The executor therefore advertises
+  ``supports_queries`` and receives the *queries* themselves
+  (:meth:`run_queries`); each candidate crosses the process boundary as
+  the compact hashable wire form of
+  :func:`repro.core.serialize.query_to_wire`, and each worker memoises
+  deserialisation by that same tuple;
+* **per-worker warm-up** -- the pool initializer rebuilds the graph
+  from one shipped :func:`~repro.core.serialize.graph_to_dict` snapshot
+  (insertion-order exact, version-exact) and keeps a process-global
+  ``ExecutionContext`` alive across batches, so workers amortise plan /
+  candidate / result caches exactly like the coordinator does;
+* **determinism** -- results return in submission order
+  (``pool.map``), and budget truncation happens in the coordinator
+  (:class:`~repro.exec.evaluator.CandidateEvaluator` grants *before*
+  submission), so at batch size 1 every engine reproduces the serial
+  search trajectory bit-identically;
+* **staleness** -- the coordinator snapshots the graph's mutation
+  ``version``; if the graph moved since the pool warmed up, the pool is
+  rebuilt from a fresh snapshot before the next batch (correctness over
+  reuse);
+* **sharded fan-out** -- with ``shards=N`` each worker additionally
+  partitions its snapshot into a :class:`~repro.shard.ShardedGraph`,
+  and :meth:`count_sharded` splits a *single* heavy count across the
+  shard blocks (one task per shard, coordinator sums and clamps), the
+  intra-query parallel path the ``sharded_expansion`` benchmark
+  section measures.
+
+Start method: ``forkserver`` where available (fork is unsafe in a
+threaded coordinator, spawn is the slow fallback); override with
+``start_method=`` if the deployment knows better.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from itertools import repeat
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.core.graph import PropertyGraph
+from repro.core.query import GraphQuery
+from repro.core.serialize import (
+    graph_from_dict,
+    graph_to_dict,
+    query_from_wire,
+    query_to_wire,
+)
+
+T = TypeVar("T")
+
+__all__ = ["ProcessExecutor"]
+
+
+# -- worker side -----------------------------------------------------------------
+#
+# One module-global evaluation spine per worker process, built once by the
+# pool initializer and reused for every task the worker serves.  The keys:
+# ``context`` (the warm ExecutionContext), ``sharded`` (the ShardedMatcher
+# when shards > 1) and ``queries`` (wire form -> deserialized GraphQuery).
+
+_WORKER_STATE: Dict[str, object] = {}
+
+#: bound on the per-worker wire->query memo: a long-lived service ships
+#: every distinct rewriting candidate ever searched, and the coordinator
+#: bounds its own caches -- the workers must not grow without limit either
+_WORKER_QUERY_CACHE_ENTRIES = 10_000
+
+
+def _worker_init(
+    payload: dict, shards: int, injective: bool, typed_adjacency: bool
+) -> None:
+    """Pool initializer: rebuild the snapshot, warm one context."""
+    # imported lazily so the coordinator-side import of this module stays
+    # cheap; the worker pays it once per process
+    from repro.exec.context import ExecutionContext
+    from repro.shard.matching import ShardedMatcher
+    from repro.shard.partition import GraphPartitioner
+
+    graph = graph_from_dict(payload)
+    state: Dict[str, object] = {
+        "graph": graph,
+        "context": ExecutionContext(
+            graph, injective=injective, typed_adjacency=typed_adjacency
+        ),
+        "queries": {},
+    }
+    if shards > 1:
+        state["sharded"] = ShardedMatcher(
+            GraphPartitioner(shards).partition(graph), injective=injective
+        )
+    _WORKER_STATE.clear()
+    _WORKER_STATE.update(state)
+
+
+def _worker_query(wire: Tuple) -> GraphQuery:
+    queries: Dict[Tuple, GraphQuery] = _WORKER_STATE["queries"]  # type: ignore[assignment]
+    query = queries.get(wire)
+    if query is None:
+        query = query_from_wire(wire)
+        if len(queries) >= _WORKER_QUERY_CACHE_ENTRIES:
+            # FIFO eviction: oldest wire forms belong to long-finished
+            # searches; re-deserialising one later is cheap
+            queries.pop(next(iter(queries)))
+        queries[wire] = query
+    return query
+
+
+def _worker_count(wire: Tuple, limit: Optional[int]) -> int:
+    context = _WORKER_STATE["context"]
+    return context.count(_worker_query(wire), limit=limit)  # type: ignore[union-attr]
+
+
+def _worker_count_shard(wire: Tuple, shard_index: int, limit: Optional[int]) -> int:
+    sharded = _WORKER_STATE.get("sharded")
+    if sharded is None:
+        raise RuntimeError("worker was warmed without shards; pass shards>1")
+    return sharded.count_shard(shard_index, _worker_query(wire), limit=limit)  # type: ignore[union-attr]
+
+
+def _worker_touch(delay_s: float) -> int:
+    """Warm-up barrier task: hold the worker long enough that the pool
+    must spawn (and initialize) every process, then report its pid."""
+    time.sleep(delay_s)
+    return os.getpid()
+
+
+# -- coordinator side -------------------------------------------------------------
+
+
+class ProcessExecutor:
+    """Evaluate candidate batches on a pool of warm worker processes.
+
+    Satisfies the :class:`~repro.exec.evaluator.BatchExecutor` protocol
+    and additionally advertises ``supports_queries``: the
+    :class:`~repro.exec.evaluator.CandidateEvaluator` routes the query
+    batch through :meth:`run_queries` (wire forms across the boundary)
+    instead of un-picklable thunks.  Bound to one graph -- the workers'
+    warm contexts are snapshots of it; the
+    :class:`~repro.service.WhyQueryService` therefore keeps one process
+    executor per pooled graph.
+
+    ``max_workers`` caps the pool; ``shards`` > 1 additionally
+    partitions each worker's snapshot for :meth:`count_sharded`'s
+    intra-query fan-out.  The pool spins up lazily (or explicitly via
+    :meth:`warm_up`) and is released by :meth:`close` / context-manager
+    exit.
+    """
+
+    name = "process"
+    #: :class:`CandidateEvaluator` ships queries (not thunks) when set
+    supports_queries = True
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        max_workers: int = 2,
+        shards: int = 1,
+        injective: bool = True,
+        typed_adjacency: bool = True,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.graph = graph
+        self.max_workers = max_workers
+        self.shards = shards
+        self.injective = injective
+        self.typed_adjacency = typed_adjacency
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            # fork would duplicate a possibly-threaded coordinator mid-lock;
+            # forkserver forks from a clean helper instead, spawn is the
+            # universally available fallback
+            start_method = "forkserver" if "forkserver" in methods else "spawn"
+        self.start_method = start_method
+        #: engines default their drain batch to the worker count
+        self.preferred_batch = max_workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._snapshot_version: Optional[int] = None
+        #: serialises pool creation/teardown: the service's concurrent
+        #: explain() calls may race on first touch, and two threads
+        #: building pools would leak one pool's workers forever
+        self._lock = threading.Lock()
+        # lifetime counters (coordinator-side, for stats()/info())
+        self.batches = 0
+        self.queries_shipped = 0
+        self.sharded_counts = 0
+        self.pool_rebuilds = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        stale: Optional[ProcessPoolExecutor] = None
+        with self._lock:
+            if (
+                self._pool is not None
+                and self._snapshot_version != self.graph.version
+            ):
+                # the graph mutated since the workers warmed up: their
+                # snapshots are stale, rebuild from a fresh one
+                stale, self._pool = self._pool, None
+                self._snapshot_version = None
+            if self._pool is None:
+                payload = graph_to_dict(self.graph)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    mp_context=multiprocessing.get_context(self.start_method),
+                    initializer=_worker_init,
+                    initargs=(
+                        payload,
+                        self.shards,
+                        self.injective,
+                        self.typed_adjacency,
+                    ),
+                )
+                self._snapshot_version = self.graph.version
+                self.pool_rebuilds += 1
+            pool = self._pool
+        if stale is not None:
+            stale.shutdown(wait=True)
+        return pool
+
+    def warm_up(self, barrier_s: float = 0.05) -> List[int]:
+        """Force-spawn every worker; returns their (distinct) pids.
+
+        ``ProcessPoolExecutor`` spawns workers on demand, so the first
+        measured batch would otherwise pay process start + snapshot
+        rebuild.  Each barrier task holds its worker ``barrier_s``
+        seconds, which forces the pool to start all of them.
+        """
+        pool = self._ensure_pool()
+        return list(pool.map(_worker_touch, repeat(barrier_s, self.max_workers)))
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; pool respawns lazily)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._snapshot_version = None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- BatchExecutor protocol ------------------------------------------------
+
+    def run(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
+        """Protocol fallback for generic thunks: run in the calling thread.
+
+        Arbitrary closures cannot cross the process boundary; callers
+        that want the pool go through :meth:`run_queries` (the
+        :class:`CandidateEvaluator` does so automatically via
+        ``supports_queries``).
+        """
+        return [task() for task in tasks]
+
+    # -- query batches -----------------------------------------------------------
+
+    def run_queries(
+        self, queries: Sequence[GraphQuery], limit: Optional[int] = None
+    ) -> List[int]:
+        """Bounded counts for a candidate batch, in submission order."""
+        queries = list(queries)
+        if not queries:
+            return []
+        pool = self._ensure_pool()
+        wires = [query_to_wire(query) for query in queries]
+        counts = list(pool.map(_worker_count, wires, repeat(limit, len(wires))))
+        self.batches += 1
+        self.queries_shipped += len(wires)
+        return counts
+
+    def count_sharded(self, query: GraphQuery, limit: Optional[int] = None) -> int:
+        """One (heavy) count split across the workers' shard blocks.
+
+        Dispatches one task per shard -- each worker counts the matches
+        whose first seed binds inside that shard's vertex range -- and
+        reconciles at the coordinator: the per-shard counts (each
+        individually clamped at ``limit``) are summed and clamped, which
+        is value-identical to the unsharded bounded count.
+        """
+        if self.shards < 2:
+            return self.run_queries([query], limit=limit)[0]
+        pool = self._ensure_pool()
+        wire = query_to_wire(query)
+        futures = [
+            pool.submit(_worker_count_shard, wire, shard_index, limit)
+            for shard_index in range(self.shards)
+        ]
+        total = sum(future.result() for future in futures)
+        self.sharded_counts += 1
+        if limit is not None:
+            return min(total, limit)
+        return total
+
+    # -- reporting ---------------------------------------------------------------
+
+    def info(self) -> Dict[str, object]:
+        """Lifetime counters (folded into ``WhyQueryService.stats()``)."""
+        return {
+            "max_workers": self.max_workers,
+            "shards": self.shards,
+            "start_method": self.start_method,
+            "pool_live": self._pool is not None,
+            "pool_rebuilds": self.pool_rebuilds,
+            "batches": self.batches,
+            "queries_shipped": self.queries_shipped,
+            "sharded_counts": self.sharded_counts,
+            "snapshot_version": self._snapshot_version,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProcessExecutor(max_workers={self.max_workers}, "
+            f"shards={self.shards}, start_method={self.start_method!r})"
+        )

@@ -111,6 +111,56 @@ class TestExecutionContext:
         assert after.vertex_values("name")["Eve"] == 1
 
 
+class TestWeakContextRegistry:
+    """Satellite (ISSUE 4): the ``for_graph`` registry must not leak --
+    a shared context dies with its graph, and a context alone must keep
+    the graph alive (a pooled service context *pins* its graph)."""
+
+    def test_shared_context_collected_after_graph_release(self):
+        import gc
+        import weakref
+
+        graph = PropertyGraph()
+        graph.add_vertex(type="person")
+        context_ref = weakref.ref(ExecutionContext.for_graph(graph))
+        assert context_ref() is not None
+        del graph
+        gc.collect()
+        assert context_ref() is None
+
+    def test_context_pins_its_graph(self):
+        import gc
+        import weakref
+
+        graph = PropertyGraph()
+        graph.add_vertex(type="person")
+        graph_ref = weakref.ref(graph)
+        context = ExecutionContext.for_graph(graph)
+        del graph
+        gc.collect()
+        # the registry is weak, but a live context holds a strong
+        # reference: the graph survives exactly as long as the context
+        assert graph_ref() is not None
+        assert context.graph is graph_ref()
+        del context
+        gc.collect()
+        assert graph_ref() is None
+
+    def test_registry_entry_is_fresh_after_collection(self):
+        import gc
+
+        graph = PropertyGraph()
+        graph.add_vertex(type="person")
+        first_id = id(ExecutionContext.for_graph(graph))
+        del graph
+        gc.collect()
+        other = PropertyGraph()
+        other.add_vertex(type="person")
+        # a new graph gets a new shared context, never a recycled one
+        assert ExecutionContext.for_graph(other).graph is other
+        del first_id
+
+
 class TestEvaluationBudget:
     def test_unlimited(self):
         budget = EvaluationBudget(None)

@@ -10,6 +10,7 @@ from repro.core import (
     GraphQuery,
     Interval,
     MalformedQueryError,
+    PropertyGraph,
     at_least,
     between,
     equals,
@@ -21,8 +22,12 @@ from repro.core.serialize import (
     graph_to_dict,
     predicate_from_dict,
     predicate_to_dict,
+    predicate_from_wire,
+    predicate_to_wire,
     query_from_dict,
     query_to_dict,
+    query_from_wire,
+    query_to_wire,
     result_set_from_dict,
     result_set_to_dict,
 )
@@ -115,6 +120,161 @@ class TestGraphRoundTrip:
         q.add_vertex(predicates={"type": equals("person")})
         restored = graph_from_dict(graph_to_dict(tiny_graph))
         assert PatternMatcher(restored).count(q) == PatternMatcher(tiny_graph).count(q)
+
+
+def typed_adjacency_state(graph):
+    """Everything the typed-adjacency walk can observe, per vertex."""
+    state = {}
+    for vid in graph.vertices():
+        state[vid] = {
+            "out": list(graph.out_edges(vid)),
+            "in": list(graph.in_edges(vid)),
+            "out_by_type": {
+                t: list(graph.out_edges_of_type(vid, t))
+                for t in graph.edge_types()
+                if graph.out_edges_of_type(vid, t)
+            },
+            "in_by_type": {
+                t: list(graph.in_edges_of_type(vid, t))
+                for t in graph.edge_types()
+                if graph.in_edges_of_type(vid, t)
+            },
+        }
+    return state
+
+
+def build_awkward_graph():
+    """Self-loops, parallel multi-type edges, out-of-order explicit ids.
+
+    The insertion order deliberately disagrees with the id order, so a
+    serializer that replays elements sorted by id would rebuild adjacency
+    lists in a different order than the source graph's.
+    """
+    g = PropertyGraph()
+    g.add_vertex(vid=7, type="node", name="seven")
+    g.add_vertex(vid=2, type="node", name="two")
+    g.add_vertex(vid=5, type="node", name="five")
+    g.add_edge(7, 7, "likes", eid=9)  # self-loop, high id first
+    g.add_edge(7, 2, "likes", eid=1)
+    g.add_edge(7, 2, "follows", eid=4)  # parallel edge, different type
+    g.add_edge(2, 5, "likes", eid=0, weight=3)
+    g.add_edge(5, 5, "follows", eid=2)  # second self-loop
+    return g
+
+
+class TestGraphSnapshotExactness:
+    """Satellite (ISSUE 4): snapshots round-trip the graph mutation
+    version and the typed-adjacency-visible state *exactly* -- worker
+    processes rebuild their evaluation spine from these payloads."""
+
+    def test_version_round_trips_exactly(self, tiny_graph):
+        restored = graph_from_dict(graph_to_dict(tiny_graph))
+        assert restored.version == tiny_graph.version
+        # ... and keeps moving from the restored point on mutation
+        before = restored.version
+        restored.add_vertex(type="person")
+        assert restored.version == before + 1
+
+    def test_typed_adjacency_state_round_trips_exactly(self, tiny_graph):
+        restored = graph_from_dict(graph_to_dict(tiny_graph))
+        assert typed_adjacency_state(restored) == typed_adjacency_state(tiny_graph)
+
+    def test_awkward_graph_round_trips_exactly(self):
+        graph = build_awkward_graph()
+        restored = graph_from_dict(graph_to_dict(graph))
+        assert restored.version == graph.version
+        assert typed_adjacency_state(restored) == typed_adjacency_state(graph)
+        # insertion order survives, not just set equality
+        assert [r.eid for r in restored.edges()] == [r.eid for r in graph.edges()]
+        assert list(restored.vertices()) == list(graph.vertices())
+        assert restored.edge_type_counts() == graph.edge_type_counts()
+
+    def test_awkward_graph_round_trips_through_json(self):
+        graph = build_awkward_graph()
+        restored = graph_from_dict(json.loads(json.dumps(graph_to_dict(graph))))
+        assert typed_adjacency_state(restored) == typed_adjacency_state(graph)
+        assert restored.version == graph.version
+
+    def test_matcher_trajectory_identical_after_round_trip(self):
+        """The deterministic ``steps`` counter -- the searcher's exact
+        walk -- must be indistinguishable on the restored graph."""
+        from repro.core import equals
+        from repro.matching import PatternMatcher
+
+        graph = build_awkward_graph()
+        restored = graph_from_dict(graph_to_dict(graph))
+        q = GraphQuery()
+        a = q.add_vertex(predicates={"type": equals("node")})
+        b = q.add_vertex(predicates={"type": equals("node")})
+        q.add_edge(a, b, types={"likes"}, directions=BOTH_DIRECTIONS)
+        original = PatternMatcher(graph, injective=False)
+        rebuilt = PatternMatcher(restored, injective=False)
+        original_results = original.match(q)
+        rebuilt_results = rebuilt.match(q)
+        assert list(original_results) == list(rebuilt_results)  # same order
+        assert original.steps == rebuilt.steps
+
+    def test_format1_payload_still_readable(self, tiny_graph):
+        data = graph_to_dict(tiny_graph)
+        del data["version"]
+        data["format"] = 1
+        restored = graph_from_dict(data)
+        assert restored.num_vertices == tiny_graph.num_vertices
+        assert restored.num_edges == tiny_graph.num_edges
+
+
+class TestWireForms:
+    """Compact hashable wire forms (the process-executor transport)."""
+
+    @pytest.mark.parametrize(
+        "pred",
+        [
+            equals("Anna"),
+            one_of(1, 2, 3),
+            between(2000, 2005),
+            at_least(10),
+            Interval(-math.inf, 5, True, False, integral=False),
+        ],
+    )
+    def test_predicate_round_trip(self, pred):
+        wire = predicate_to_wire(pred)
+        assert hash(wire) is not None
+        assert predicate_from_wire(wire) == pred
+
+    def test_query_round_trip(self, fig35_original):
+        wire = query_to_wire(fig35_original)
+        assert query_from_wire(wire) == fig35_original
+
+    def test_wire_is_hashable_and_signature_stable(self, fig35_original):
+        wire = query_to_wire(fig35_original)
+        assert wire == query_to_wire(query_from_wire(wire))
+        assert {wire: "cached"}[query_to_wire(fig35_original)] == "cached"
+
+    def test_directions_and_untyped_edges_preserved(self):
+        q = GraphQuery()
+        a, b = q.add_vertex(), q.add_vertex()
+        q.add_edge(a, b, types=None, directions=BOTH_DIRECTIONS)
+        restored = query_from_wire(query_to_wire(q))
+        assert restored.edge(0).types is None
+        assert restored.edge(0).directions == BOTH_DIRECTIONS
+
+    def test_malformed_wire_rejected(self):
+        with pytest.raises(MalformedQueryError):
+            query_from_wire(("not-a-query",))
+        with pytest.raises(MalformedQueryError):
+            query_from_wire(("q", 2))  # wrong arity
+        with pytest.raises(MalformedQueryError):
+            query_from_wire(("q", 2, ((0,),), ()))  # malformed vertex tuple
+        with pytest.raises(MalformedQueryError):
+            predicate_from_wire(("x", 1))
+
+    def test_future_wire_format_rejected(self):
+        q = GraphQuery()
+        q.add_vertex()
+        wire = query_to_wire(q)
+        futuristic = (wire[0], 99, wire[2], wire[3])
+        with pytest.raises(MalformedQueryError):
+            query_from_wire(futuristic)
 
 
 class TestResultSetRoundTrip:

@@ -82,6 +82,42 @@ class TestContextPool:
         gc.collect()
         assert ref() is None
 
+    def test_evicted_context_is_collectable(self):
+        """Satellite (ISSUE 4): eviction must unpin completely -- the
+        dropped context itself becomes garbage, not just its graph."""
+        import weakref
+
+        service = WhyQueryService(max_contexts=1)
+        graph = small_graph(0)
+        context_ref = weakref.ref(service.context_for(graph))
+        assert context_ref() is not None
+        service.context_for(small_graph(1))  # evicts graph 0's slot
+        gc.collect()
+        assert context_ref() is None
+
+    def test_shared_registry_does_not_block_unpin(self):
+        """A pooled (private) context and the process-wide shared
+        ``for_graph`` context may coexist; both are released once the
+        pool evicts and no caller holds the graph."""
+        import weakref
+
+        service = WhyQueryService(max_contexts=1)
+        graph = small_graph(0)
+        graph_ref = weakref.ref(graph)
+        shared_ref = weakref.ref(ExecutionContext.for_graph(graph))
+        pooled_ref = weakref.ref(service.context_for(graph))
+        del graph
+        gc.collect()
+        # the pooled context pins the graph; the weak shared registry
+        # rides along (its entry lives while the graph does)
+        assert graph_ref() is not None
+        assert shared_ref() is not None
+        service.context_for(small_graph(1))
+        gc.collect()
+        assert pooled_ref() is None
+        assert graph_ref() is None
+        assert shared_ref() is None
+
     def test_max_contexts_validated(self):
         with pytest.raises(ValueError):
             WhyQueryService(max_contexts=0)

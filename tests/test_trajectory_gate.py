@@ -1,0 +1,149 @@
+"""CI perf-trajectory gate: structural-drift reporting + core-aware gates.
+
+Satellite (ISSUE 4): a missing section must produce one clear, actionable
+failure naming the offending key *and which side lost it*, instead of a
+wall of leaf paths; the new process sections are ratio-gated only on
+machines that can physically parallelise CPU work.
+"""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import pathlib
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_trajectory",
+    pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "check_trajectory.py",
+)
+check_trajectory_mod = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_trajectory_mod)
+
+check_trajectory = check_trajectory_mod.check_trajectory
+offending_sections = check_trajectory_mod.offending_sections
+
+
+def baseline_payload() -> dict:
+    return {
+        "typed_expansion": {
+            "speedup": 3.0,
+            "typed": {"best_s": 0.001, "steps_per_count": 432},
+            "legacy": {"best_s": 0.003, "steps_per_count": 9264},
+        },
+        "candidate_batch": {"speedup_32": 6.0, "batches": {"32": {"serial_s": 1.0}}},
+        "process_pool": {
+            "cpu_cores": 2,
+            "workers_cap": 2,
+            "speedup_2w": 1.8,
+            "serial_s": 0.2,
+        },
+        "sharded_expansion": {
+            "cpu_cores": 2,
+            "workers_cap": 2,
+            "speedup_2s": 1.4,
+            "shards": {},
+        },
+    }
+
+
+class TestOffendingSections:
+    def test_collapses_to_shortest_paths(self):
+        paths = {
+            "process_pool",
+            "process_pool.workers",
+            "process_pool.workers.2",
+            "process_pool.workers.2.speedup",
+            "candidate_batch.speedup_32",
+        }
+        assert offending_sections(paths) == [
+            "candidate_batch.speedup_32",
+            "process_pool",
+        ]
+
+    def test_independent_paths_all_reported(self):
+        paths = {"a.x", "b.y"}
+        assert offending_sections(paths) == ["a.x", "b.y"]
+
+
+class TestStructuralDrift:
+    def test_section_missing_from_fresh_names_key_and_side(self):
+        baseline = baseline_payload()
+        fresh = copy.deepcopy(baseline)
+        del fresh["process_pool"]
+        gate = check_trajectory(baseline, fresh)
+        assert len(gate.failures) == 1  # one section, one message
+        message = gate.failures[0]
+        assert "'process_pool'" in message
+        assert "FRESH" in message
+        assert "fix the benchmark" in message
+
+    def test_section_missing_from_baseline_names_key_and_side(self):
+        baseline = baseline_payload()
+        fresh = copy.deepcopy(baseline)
+        fresh["brand_new_section"] = {"speedup": 2.0, "nested": {"deep": 1}}
+        gate = check_trajectory(baseline, fresh)
+        assert len(gate.failures) == 1
+        message = gate.failures[0]
+        assert "'brand_new_section'" in message
+        assert "BASELINE" in message
+        assert "regenerate and commit BENCH_micro_core.json" in message
+
+    def test_matching_structure_passes(self):
+        baseline = baseline_payload()
+        gate = check_trajectory(baseline, copy.deepcopy(baseline))
+        assert gate.failures == []
+
+
+class TestCoreAwareSpeedupGate:
+    def test_single_core_fresh_run_is_recorded_not_gated(self):
+        baseline = baseline_payload()
+        fresh = copy.deepcopy(baseline)
+        fresh["process_pool"].update(cpu_cores=1, speedup_2w=0.95)
+        fresh["sharded_expansion"].update(cpu_cores=1, speedup_2s=0.6)
+        gate = check_trajectory(baseline, fresh)
+        assert gate.failures == []
+        skipped = [line for line in gate.lines if "SKIPPED" in line]
+        assert len(skipped) == 2
+
+    def test_worker_cap_below_two_is_recorded_not_gated(self):
+        """REPRO_BENCH_PROCESS_WORKERS=1 on a multi-core box records a
+        1-worker ratio; the gate must not demand a 2-worker speedup the
+        configuration made unobservable."""
+        baseline = baseline_payload()
+        fresh = copy.deepcopy(baseline)
+        fresh["process_pool"].update(cpu_cores=8, workers_cap=1, speedup_2w=0.9)
+        fresh["sharded_expansion"].update(cpu_cores=8, workers_cap=1, speedup_2s=0.8)
+        gate = check_trajectory(baseline, fresh)
+        assert gate.failures == []
+        assert sum("SKIPPED" in line for line in gate.lines) == 2
+
+    def test_multicore_regression_fails(self):
+        baseline = baseline_payload()
+        fresh = copy.deepcopy(baseline)
+        fresh["process_pool"]["speedup_2w"] = 1.0  # below 1.8 * 0.75
+        gate = check_trajectory(baseline, fresh)
+        assert any("process-pool" in f for f in gate.failures)
+
+    def test_single_core_baseline_cannot_water_down_the_target(self):
+        """A baseline regenerated on a 1-core box records ~1.0; a
+        multi-core fresh run must still clear the absolute target."""
+        baseline = baseline_payload()
+        baseline["process_pool"].update(cpu_cores=1, speedup_2w=1.0)
+        fresh = copy.deepcopy(baseline)
+        fresh["process_pool"].update(cpu_cores=4, speedup_2w=1.0)
+        gate = check_trajectory(baseline, fresh)
+        # expected = max(1.0 baseline, 1.5 target) -> floor 1.125 > 1.0
+        assert any("process-pool" in f for f in gate.failures)
+        fresh["process_pool"]["speedup_2w"] = 1.6
+        assert check_trajectory(baseline, fresh).failures == []
+
+    @pytest.mark.parametrize("tolerance", [0.1, 0.25])
+    def test_tolerance_applies_to_gated_ratio(self, tolerance):
+        baseline = baseline_payload()
+        fresh = copy.deepcopy(baseline)
+        fresh["process_pool"]["speedup_2w"] = 1.8 * (1 - tolerance) + 0.01
+        assert check_trajectory(baseline, fresh, tolerance).failures == []
+        fresh["process_pool"]["speedup_2w"] = 1.8 * (1 - tolerance) - 0.01
+        assert check_trajectory(baseline, fresh, tolerance).failures != []
