@@ -15,9 +15,13 @@ async-service request-throughput sweep (``async_service``: concurrency
 1/32/256 through ``WhyQueryService.explain_async`` over a modeled
 storage-stall workload), the pure-CPU process-pool batch workload
 (``process_pool``: ``ProcessExecutor`` vs ``SerialExecutor``, the
-workload the GIL-bound thread/async executors cannot touch) and the
+workload the GIL-bound thread/async executors cannot touch), the
 intra-query shard fan-out (``sharded_expansion``: one heavy count split
-across worker-process shard blocks).  The JSON is the machine-readable
+across worker-process shard blocks) and the shard-affine placement
+record (``affine_placement``: per-worker wire-payload bytes under
+affine placement vs the full snapshot every full-mode worker receives
+-- deterministic, gated at >= 2x smaller at 4 shards -- next to the
+affine heavy-count wall-clock).  The JSON is the machine-readable
 record of the hot-path performance trajectory; CI diffs a fresh run
 against the committed baseline with ``benchmarks/check_trajectory.py``
 and fails on >25% regression in the gated ratios.
@@ -530,6 +534,97 @@ def _timed(fn) -> float:
 
 
 # ---------------------------------------------------------------------------
+# affine-placement workload: per-worker wire payloads vs the full snapshot
+# ---------------------------------------------------------------------------
+
+
+def _affine_placement_section(shard_counts=(2, 4), rounds: int = 3) -> dict:
+    """Memory headline of shard-affine placement, plus its wall-clock.
+
+    The payload numbers are deterministic (bytes of what actually
+    crosses the process boundary per worker, measured with one worker
+    per shard): the affine payload must be >= 2x smaller than the full
+    snapshot at 4 shards.  The wall-clock half re-runs the
+    sharded-expansion heavy count through an affine executor -- same
+    fan-out, but each worker holds only its shards -- and is gated
+    core-aware like the other process sections.
+    """
+    import pickle
+
+    from repro.core.serialize import graph_to_dict, shards_to_wire
+
+    graph, variant, _ = _process_workload()
+    cores = _cpu_cores()
+    workers = min(2, PROCESS_WORKERS) if PROCESS_WORKERS else 2
+
+    full_bytes = len(pickle.dumps(graph_to_dict(graph), pickle.HIGHEST_PROTOCOL))
+    payloads: dict = {}
+    for num_shards in shard_counts:
+        sharded = GraphPartitioner(num_shards).partition(graph)
+        per_worker = [
+            len(pickle.dumps([payload], pickle.HIGHEST_PROTOCOL))
+            for payload in shards_to_wire(sharded)
+        ]
+        payloads[str(num_shards)] = {
+            "workers": num_shards,  # 1:1 placement for the memory headline
+            "per_worker_bytes": per_worker,
+            "max_worker_bytes": max(per_worker),
+            "ratio_vs_full": full_bytes / max(per_worker),
+        }
+
+    # wall-clock: first-touch variant batches, exactly like the
+    # process_pool section -- disjoint variant slices per timed round
+    # and per executor, so neither the coordinator's caches nor the
+    # workers' block memos can flatter either side
+    batch = 8
+    slices = iter(range(10_000))
+
+    def fresh_batch() -> list:
+        return [variant(next(slices)) for _ in range(batch)]
+
+    matcher = PatternMatcher(graph)
+    matcher.count(variant(next(slices)))  # build the lazy name index once
+    serial_s = min(
+        _timed(lambda qs=fresh_batch(): [matcher.count(q) for q in qs])
+        for _ in range(rounds)
+    )
+
+    with ProcessExecutor(
+        graph, max_workers=workers, shards=2, placement="affine"
+    ) as executor:
+        executor.warm_up()
+        executor.run_queries(fresh_batch())  # untimed: workers build indexes
+        affine_s = min(
+            _timed(lambda qs=fresh_batch(): executor.run_queries(qs))
+            for _ in range(rounds)
+        )
+        info = executor.info()
+    # the hub->leaf expansion is one hop: every block must complete on
+    # its owning worker (the shipped halo suffices), never at the
+    # coordinator
+    assert info["affine_fallbacks"] == 0, info["affine_fallbacks"]
+
+    return {
+        "workload": {
+            "hubs": 300,
+            "fanout": 80,
+            "edges": graph.num_edges,
+            "batch": batch,
+        },
+        "cpu_cores": cores,
+        "workers": workers,
+        "workers_cap": PROCESS_WORKERS,
+        "full_snapshot_bytes": full_bytes,
+        "payloads": payloads,
+        "payload_ratio_4s": payloads["4"]["ratio_vs_full"],
+        "serial_batch_s": serial_s,
+        "affine_batch_s": affine_s,
+        "speedup_2s": serial_s / affine_s if affine_s > 0 else float("inf"),
+        "affine_fallbacks": info["affine_fallbacks"],
+    }
+
+
+# ---------------------------------------------------------------------------
 # sharded-expansion workload: one heavy count fanned out per shard
 # ---------------------------------------------------------------------------
 
@@ -642,10 +737,11 @@ def test_micro_emit_machine_readable(ldbc_bundle):
     async_service = _async_service_section()
     process_pool = _process_pool_section()
     sharded_expansion = _sharded_expansion_section()
+    affine_placement = _affine_placement_section()
 
     payload = {
         "benchmark": "bench_micro_core",
-        "schema_version": 4,
+        "schema_version": 5,
         "typed_expansion": {
             "workload": {
                 "hubs": 48,
@@ -661,6 +757,7 @@ def test_micro_emit_machine_readable(ldbc_bundle):
         "async_service": async_service,
         "process_pool": process_pool,
         "sharded_expansion": sharded_expansion,
+        "affine_placement": affine_placement,
         "ops": ops,
         "cache_counters": {
             "plan": plan_cache_stats(ldbc_bundle.graph).as_dict(),
@@ -675,7 +772,8 @@ def test_micro_emit_machine_readable(ldbc_bundle):
         f"batch-32 speedup {candidate_batch['speedup_32']:.1f}x, "
         f"async-service speedup@32 {async_service['speedup_32']:.1f}x, "
         f"process-pool speedup@2w {process_pool['speedup_2w']:.2f}x, "
-        f"sharded speedup@2s {sharded_expansion['speedup_2s']:.2f}x "
+        f"sharded speedup@2s {sharded_expansion['speedup_2s']:.2f}x, "
+        f"affine payload ratio@4s {affine_placement['payload_ratio_4s']:.1f}x "
         f"on {process_pool['cpu_cores']} core(s))"
     )
 
@@ -702,3 +800,11 @@ def test_micro_emit_machine_readable(ldbc_bundle):
         assert sharded_expansion["speedup_2s"] >= 1.1, sharded_expansion[
             "speedup_2s"
         ]
+    # acceptance (ISSUE 5): affine placement ships only per-shard
+    # payloads -- the per-worker wire bytes at 4 shards must be >= 2x
+    # smaller than the full snapshot.  Payload sizes are deterministic,
+    # so this holds on any machine (no core gate).
+    assert affine_placement["payload_ratio_4s"] >= 2.0, affine_placement[
+        "payload_ratio_4s"
+    ]
+    assert affine_placement["affine_fallbacks"] == 0

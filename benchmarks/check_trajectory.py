@@ -18,13 +18,18 @@ fails (exit code 1) when the trajectory regressed:
   regression, bounded by the same tolerance);
 * **candidate-batch throughput**: the batch-32 overlap speedup of the
   parallel evaluator must not drop by more than ``--max-regression``;
-* **process-pool / sharded-expansion throughput** (core-aware): the
-  pure-CPU multi-process speedups are gated against both the baseline's
-  recorded ratio and the 1.5x (process pool) / 1.1x (shard fan-out)
-  targets -- but only when the fresh run had >= 2 CPU cores (the
-  sections record ``cpu_cores``); a single-core machine physically
-  cannot overlap CPU-bound work across processes, so there the numbers
-  are recorded, reported and skipped.
+* **process-pool / sharded-expansion / affine throughput** (core-aware):
+  the pure-CPU multi-process speedups are gated against both the
+  baseline's recorded ratio and the 1.5x (process pool) / 1.1x (shard
+  fan-out, affine fan-out) targets -- but only when the fresh run had
+  >= 2 CPU cores (the sections record ``cpu_cores``); a single-core
+  machine physically cannot overlap CPU-bound work across processes, so
+  there the numbers are recorded, reported and skipped;
+* **affine payload ratio**: the per-worker wire-payload bytes of
+  shard-affine placement vs the full snapshot at 4 shards.  Bytes are
+  deterministic (no timing involved), so this gate is *not* core-aware:
+  the fresh ratio must clear the stronger of the committed baseline and
+  the 2x acceptance target on every machine.
 
 Speedups are *ratios of two measurements taken on the same machine in
 the same process*, so they are comparable across the baseline's machine
@@ -191,6 +196,26 @@ def check_trajectory(
         baseline,
         fresh,
         "sharded_expansion",
+        "speedup_2s",
+        target=1.1,
+        tolerance=max_regression,
+    )
+    # the affine payload ratio is a deterministic byte count, not a
+    # timing: it holds on any machine, so no core-awareness -- the
+    # expectation is the stronger of the committed ratio and the 2x
+    # target the ISSUE acceptance demands
+    gate.check_not_below(
+        "affine-placement payload ratio @4 shards",
+        max(dig(baseline, "affine_placement.payload_ratio_4s"), 2.0),
+        dig(fresh, "affine_placement.payload_ratio_4s"),
+        max_regression,
+    )
+    check_multicore_speedup(
+        gate,
+        "affine-placement speedup @2 shards",
+        baseline,
+        fresh,
+        "affine_placement",
         "speedup_2s",
         target=1.1,
         tolerance=max_regression,

@@ -102,6 +102,28 @@ def main() -> None:
     # identical to the serial service's -- only the CPU it burned was
     # someone else's core.
 
+    # -- 4. shard-affine placement: workers hold only their shards ------------
+    with WhyQueryService(
+        executor="process", process_workers=4, shards=4, placement="affine"
+    ) as service:
+        report = service.explain(graph, failing)
+        assert report.rewriting.best is not None
+        stats = service.stats()
+        pool_info = stats["per_graph"][0]["process_pool"]
+        print("\naffine placement:")
+        print(f"  placement map:         {pool_info['placement_map']}")
+        print(f"  largest worker payload: {pool_info['payload_bytes_max']} bytes "
+              f"(the full snapshot every full-mode worker gets: "
+              f"{pool_info['full_snapshot_bytes']} bytes, "
+              f"{pool_info['payload_ratio']:.1f}x more)")
+        print(f"  coordinator fallbacks: {pool_info['affine_fallbacks']}")
+
+    # Under affine placement each worker process was warmed from only
+    # its shards' wire payloads (vertex range + incident edges + the
+    # boundary halo), so worker memory scales down with the shard count;
+    # blocks a slice cannot finish fall back to the coordinator, counted
+    # above.
+
 
 if __name__ == "__main__":
     main()

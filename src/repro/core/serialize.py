@@ -36,6 +36,14 @@ hashable* siblings of the dict forms: nested tuples that pickle small
 and double as cache keys.  The :class:`~repro.shard.ProcessExecutor`
 ships every candidate query to its workers as a wire form, and each
 worker memoises deserialisation by that same tuple.
+
+:func:`shard_to_wire` / :func:`shard_from_wire` are the **per-shard**
+payloads of shard-affine worker placement: one shard's owned vertex
+range, its insertion-ordered incident edge records, the halo (remote
+endpoints of boundary edges, attributes only) and the projected rows of
+the boundary-edge index -- everything one affine worker holds, and
+nothing else.  See the :mod:`repro.shard` module docstring for the
+format contract.
 """
 
 from __future__ import annotations
@@ -314,6 +322,146 @@ def graph_from_dict(data: Mapping[str, Any]) -> PropertyGraph:
     if "version" in data:
         graph._restore_version(int(data["version"]))
     return graph
+
+
+# -- per-shard wire form (shard-affine worker placement) --------------------------
+
+
+def shard_to_wire(sharded, shard_index: int) -> Dict[str, Any]:
+    """Per-shard wire payload for shard-affine worker placement.
+
+    Everything one worker needs to evaluate the shard's seed-restricted
+    match blocks, and nothing else -- this is what makes worker memory
+    scale *down* with the shard count while the full-snapshot path ships
+    the whole graph to every worker:
+
+    * the shard's owned vertex range with attribute maps;
+    * every edge record **incident** to an owned vertex, in the source
+      graph's global insertion order (the owned adjacency lists rebuilt
+      from the payload therefore equal the source's element for
+      element -- the matcher-trajectory determinism contract);
+    * the **halo**: attribute maps of the remote endpoints of boundary
+      edges, enough to check a one-hop cross-shard expansion target;
+    * the rows of the cross-shard boundary-edge index involving this
+      shard (:meth:`~repro.shard.partition.ShardedGraph.boundary_rows`).
+
+    The payload is a pure composite of dicts/lists/scalars (JSON-safe
+    when the attribute values are, picklable always, no closures); the
+    graph mutation ``version`` rides along so coordinator-side staleness
+    checks agree across processes.  ``sharded`` is a
+    :class:`~repro.shard.partition.ShardedGraph`.
+
+    One assembly exists: this delegates to the single-pass
+    :func:`shards_to_wire` (so the two entry points cannot drift) --
+    callers shipping every shard should use that directly.
+    """
+    return shards_to_wire(sharded)[shard_index]
+
+
+def shards_to_wire(sharded) -> list:
+    """Every shard's wire payload in **one** edge scan.
+
+    Equivalent to ``[shard_to_wire(sharded, i) for i in range(...)]``
+    but O(E) instead of O(shards x E): each edge is bucketed into the
+    one or two shards owning its endpoints as it streams past (the same
+    single-pass shape the partitioner itself uses).  This is what the
+    affine pool warm-up calls -- warm-up happens again after every
+    graph mutation, so it must not scale with the shard count.
+    """
+    num_shards = sharded.num_shards
+    edges: list = [[] for _ in range(num_shards)]
+    halo: list = [[] for _ in range(num_shards)]
+    seen_halo: list = [set() for _ in range(num_shards)]
+
+    def note_halo(shard_index: int, vid: int) -> None:
+        if vid not in seen_halo[shard_index]:
+            seen_halo[shard_index].add(vid)
+            halo[shard_index].append(
+                {"id": vid, "attributes": dict(sharded.vertex_attributes(vid))}
+            )
+
+    for record in sharded.edges():
+        source_shard = sharded.shard_of(record.source).index
+        target_shard = sharded.shard_of(record.target).index
+        payload_edge = {
+            "id": record.eid,
+            "source": record.source,
+            "target": record.target,
+            "type": record.type,
+            "attributes": dict(record.attributes),
+        }
+        edges[source_shard].append(payload_edge)
+        if target_shard != source_shard:
+            edges[target_shard].append(payload_edge)
+            note_halo(source_shard, record.target)
+            note_halo(target_shard, record.source)
+    return [
+        {
+            "format": FORMAT_VERSION,
+            "kind": "shard",
+            "version": sharded.version,
+            "shard": index,
+            "num_shards": num_shards,
+            "vertices": [
+                {"id": vid, "attributes": dict(sharded.vertex_attributes(vid))}
+                for vid in sharded.shards[index].vids
+            ],
+            "edges": edges[index],
+            "halo": halo[index],
+            "boundary": [
+                [source_shard, target_shard, list(eids)]
+                for (source_shard, target_shard), eids in sorted(
+                    sharded.boundary_rows(index).items()
+                )
+            ],
+        }
+        for index in range(num_shards)
+    ]
+
+
+def shard_from_wire(payload: Mapping[str, Any]):
+    """Inverse of :func:`shard_to_wire`; returns a
+    :class:`~repro.shard.affine.ShardSlice` (the worker-side partial
+    graph).  Accepts the payload after a JSON round-trip (tuples may
+    have become lists)."""
+    from repro.core.graph import EdgeRecord
+    from repro.shard.affine import ShardSlice
+
+    if payload.get("kind") != "shard":
+        raise MalformedQueryError(f"not a wire-form shard: {payload!r:.120}")
+    wire_format = payload.get("format")
+    if not isinstance(wire_format, int) or wire_format > FORMAT_VERSION:
+        raise MalformedQueryError(
+            f"unsupported shard wire format {wire_format!r} (this side "
+            f"speaks <= {FORMAT_VERSION})"
+        )
+    return ShardSlice(
+        index=int(payload["shard"]),
+        num_shards=int(payload["num_shards"]),
+        version=int(payload["version"]),
+        vertices=[
+            (vertex["id"], vertex.get("attributes", {}))
+            for vertex in payload.get("vertices", ())
+        ],
+        edges=[
+            EdgeRecord(
+                edge["id"],
+                edge["source"],
+                edge["target"],
+                edge["type"],
+                edge.get("attributes", {}),
+            )
+            for edge in payload.get("edges", ())
+        ],
+        halo=[
+            (vertex["id"], vertex.get("attributes", {}))
+            for vertex in payload.get("halo", ())
+        ],
+        boundary_rows={
+            (int(row[0]), int(row[1])): tuple(row[2])
+            for row in payload.get("boundary", ())
+        },
+    )
 
 
 # -- results --------------------------------------------------------------------------

@@ -344,8 +344,15 @@ class WhyQueryService:
     snapshot of that graph -- created with the graph's pool slot and
     shut down when the slot is evicted.  ``shards`` > 1 additionally
     partitions each worker's snapshot so single heavy counts can fan
-    out per shard (``count_sharded``).  The per-graph worker/shard
-    counters surface under ``stats()["process_pools"]``.
+    out per shard (``count_sharded``).  ``placement="affine"`` makes
+    the worker pools **shard-affine**: each worker process receives
+    only its placed shards' wire payloads instead of the full snapshot,
+    so per-worker memory scales down with the shard count; blocks a
+    slice cannot finish are resolved coordinator-side (counted as
+    ``affine_fallbacks``).  The per-graph worker/shard counters --
+    including the payload/memory accounting (``payload_bytes`` actually
+    shipped vs ``full_snapshot_bytes``) -- surface under
+    ``stats()["process_pools"]``.
     """
 
     #: engine kwargs the service itself wires per request; passing them as
@@ -378,6 +385,7 @@ class WhyQueryService:
         ] = None,
         shards: int = 1,
         process_workers: int = 2,
+        placement: str = "full",
         **engine_options,
     ) -> None:
         if max_contexts < 1:
@@ -392,6 +400,15 @@ class WhyQueryService:
             raise ValueError(
                 f"unknown executor mode {executor!r}; pass 'process' or a "
                 "BatchExecutor instance"
+            )
+        if placement not in ("full", "affine"):
+            raise ValueError(
+                f"unknown placement mode {placement!r}; pass 'full' or 'affine'"
+            )
+        if placement == "affine" and executor != "process":
+            raise ValueError(
+                "placement='affine' requires executor='process' (placement "
+                "maps shards onto worker processes)"
             )
         reserved = self._RESERVED_ENGINE_OPTIONS & engine_options.keys()
         if reserved:
@@ -408,6 +425,7 @@ class WhyQueryService:
         self.process_mode = executor == "process"
         self.shards = shards
         self.process_workers = process_workers
+        self.placement = placement
         self.budget_pool = budget_pool
         self.max_async_requests = max_async_requests
         self.engine_options = engine_options
@@ -460,6 +478,7 @@ class WhyQueryService:
                         shards=self.shards,
                         injective=context.matcher.injective,
                         typed_adjacency=context.matcher.typed_adjacency,
+                        placement=self.placement,
                     )
                 entry = _PoolEntry(context, executor)
                 self._pool[key] = entry
@@ -722,10 +741,18 @@ class WhyQueryService:
                     "pools_live": 0,
                     "workers": 0,
                     "shards_per_pool": self.shards,
+                    "placement": self.placement,
                     "batches": 0,
                     "queries_shipped": 0,
                     "sharded_counts": 0,
                     "pool_rebuilds": 0,
+                    # memory/payload accounting: what actually crossed the
+                    # process boundary per pooled graph (affine payloads
+                    # are per-worker slices, full mode ships the whole
+                    # snapshot to every worker)
+                    "payload_bytes": 0,
+                    "full_snapshot_bytes": 0,
+                    "affine_fallbacks": 0,
                 }
             for entry in self._pool.values():
                 report = entry.context.cache_report()
@@ -758,6 +785,21 @@ class WhyQueryService:
                     process_pools["pool_rebuilds"] += int(
                         pool_info["pool_rebuilds"]
                     )
+                    process_pools["full_snapshot_bytes"] += int(
+                        pool_info.get("full_snapshot_bytes", 0) or 0
+                    )
+                    if self.placement == "affine":
+                        process_pools["payload_bytes"] += sum(
+                            pool_info.get("payload_bytes_per_worker", ())
+                        )
+                        process_pools["affine_fallbacks"] += int(
+                            pool_info.get("affine_fallbacks", 0)
+                        )
+                    else:
+                        # the full snapshot is shipped to every worker
+                        process_pools["payload_bytes"] += int(
+                            pool_info.get("full_snapshot_bytes", 0) or 0
+                        ) * int(pool_info["max_workers"])
                 per_graph.append(graph_stats)
             requests = self._explain_calls + self._session_calls
             uptime = time.perf_counter() - self._started

@@ -26,7 +26,7 @@ this module drives it per shard and merges:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
 from repro.core.query import GraphQuery, QueryVertex
 from repro.core.result import ResultSet
@@ -98,12 +98,27 @@ class ShardedMatcher:
     # -- evaluation --------------------------------------------------------------
 
     def count_shard(
-        self, shard_index: int, query: GraphQuery, limit: Optional[int] = None
+        self,
+        shard_index: int,
+        query: GraphQuery,
+        limit: Optional[int] = None,
+        edge_order: Optional[Sequence[int]] = None,
     ) -> int:
-        """Matches whose first seed binds inside one shard (bounded)."""
+        """Matches whose first seed binds inside one shard (bounded).
+
+        ``edge_order`` pins the evaluation plan; the affine placement
+        path passes its canonical order here so a coordinator-resolved
+        block restricts the same first-seed vertex the slice-evaluated
+        blocks did.
+        """
         shard = self.sharded.shards[shard_index]
         self.shard_tasks += 1
-        return self.matcher.count(query, limit=limit, seed_restrict=shard.vertex_ids)
+        return self.matcher.count(
+            query,
+            limit=limit,
+            edge_order=edge_order,
+            seed_restrict=shard.vertex_ids,
+        )
 
     def count(self, query: GraphQuery, limit: Optional[int] = None) -> int:
         """Total match count, fanned out per shard (value-identical).
@@ -111,13 +126,53 @@ class ShardedMatcher:
         Each shard is evaluated with the full ``limit`` (a shard cannot
         know how many matches the others contribute); the sum is clamped
         at ``limit``, which equals the unsharded bounded count.
+
+        With a **placement-aware** executor (an affine
+        :class:`~repro.shard.ProcessExecutor`), every shard's block is
+        routed to the worker process that *owns* the shard -- the only
+        worker holding its data -- and worker-side misses resolve
+        against the executor's coordinator fallback, so the merge stays
+        value-identical.
         """
+        if getattr(self.executor, "supports_placement", False):
+            return self._count_placed(query, limit)
         tasks = [
             (lambda i=shard.index: self.count_shard(i, query, limit=limit))
             for shard in self.sharded.shards
         ]
         counts = self.executor.run(tasks)
         total = sum(counts)
+        if limit is not None:
+            return min(total, limit)
+        return total
+
+    def _count_placed(self, query: GraphQuery, limit: Optional[int]) -> int:
+        """Route each seed block to the shard's owning worker and merge."""
+        executor = self.executor
+        if executor.shards != self.sharded.num_shards:
+            raise ValueError(
+                f"placement executor partitions {executor.shards} shards but "
+                f"this matcher's facade has {self.sharded.num_shards}"
+            )
+        source = self.sharded.source
+        if source is not None and source is not executor.graph:
+            # version counters collide trivially across graphs (both are
+            # just mutation counts), so the identity check comes first
+            raise ValueError(
+                "placement executor is bound to a different graph than the "
+                "one this facade partitioned"
+            )
+        if executor.graph.version != self.sharded.version:
+            raise ValueError(
+                "placement executor and facade snapshot different graph "
+                "versions; re-partition after mutating"
+            )
+        handles = [
+            executor.submit_block(shard.index, query, limit=limit)
+            for shard in self.sharded.shards
+        ]
+        self.shard_tasks += len(handles)
+        total = sum(handle.result() for handle in handles)
         if limit is not None:
             return min(total, limit)
         return total

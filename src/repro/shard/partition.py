@@ -35,6 +35,7 @@ raise.  Re-partition after mutating the source.
 
 from __future__ import annotations
 
+import weakref
 from bisect import bisect_left
 from typing import (
     AbstractSet,
@@ -230,11 +231,19 @@ class ShardedGraph:
         edges: Dict[int, EdgeRecord],
         version: int,
         boundary: Dict[Tuple[int, int], Tuple[int, ...]],
+        source: Optional[PropertyGraph] = None,
     ) -> None:
         self._shards: Tuple[GraphShard, ...] = tuple(shards)
         self._edges = edges
         self._version = version
         self._boundary = boundary
+        #: weak identity link to the partitioned graph: consumers that
+        #: pair a facade with per-graph resources (the affine placement
+        #: routing) verify they speak about the same graph *object* --
+        #: mutation counters alone collide trivially across graphs
+        self._source_ref = (
+            weakref.ref(source) if source is not None else lambda: None
+        )
         #: ascending upper bounds of the non-empty shards (for routing;
         #: empty shards own no vid and never resolve)
         routed = [shard for shard in self._shards if shard.vids]
@@ -277,6 +286,21 @@ class ShardedGraph:
         """Edges from ``source_shard``'s vertices into ``target_shard``'s."""
         return self._boundary.get((source_shard, target_shard), _EMPTY_SEQ)
 
+    def boundary_rows(self, shard_index: int) -> Dict[Tuple[int, int], Tuple[int, ...]]:
+        """The boundary-index rows *relevant to* one shard.
+
+        The projection of the global ``(source_shard, target_shard) ->
+        edge ids`` index onto the rows where ``shard_index`` is either
+        side -- exactly the rows a shard-affine worker needs to resolve
+        its own cross-shard edges, and the only ones
+        :func:`repro.core.serialize.shard_to_wire` ships.
+        """
+        return {
+            key: eids
+            for key, eids in self._boundary.items()
+            if shard_index in key
+        }
+
     def partition_stats(self) -> Dict[str, object]:
         """Balance / boundary summary (service + benchmark reporting)."""
         sizes = [s.num_vertices for s in self._shards]
@@ -299,6 +323,11 @@ class ShardedGraph:
     def version(self) -> int:
         """Source graph's mutation counter at partition time."""
         return self._version
+
+    @property
+    def source(self) -> Optional[PropertyGraph]:
+        """The partitioned source graph, if still alive (weakly held)."""
+        return self._source_ref()
 
     def has_vertex(self, vid: int) -> bool:
         pos = bisect_left(self._route_highs, vid)
@@ -515,6 +544,7 @@ class GraphPartitioner:
             edges,
             graph.version,
             {key: tuple(eids) for key, eids in boundary.items()},
+            source=graph,
         )
 
     def _blocks(self, vids: List[int]) -> Iterator[List[int]]:

@@ -38,7 +38,22 @@ Why this is not just ``ProcessPoolExecutor.map`` over closures:
   and :meth:`count_sharded` splits a *single* heavy count across the
   shard blocks (one task per shard, coordinator sums and clamps), the
   intra-query parallel path the ``sharded_expansion`` benchmark
-  section measures.
+  section measures;
+* **shard-affine placement** -- with ``placement="affine"`` the
+  executor stops shipping the full snapshot entirely: it partitions the
+  graph once, derives a placement map (``shard -> worker``), and warms
+  one *single-process* pool per worker with only the per-shard wire
+  payloads (:func:`repro.core.serialize.shard_to_wire`) placed on it,
+  so worker memory scales **down** with the shard count while CPU still
+  scales up with workers.  Every count fans out per shard and each
+  block is routed to the worker that owns the shard; blocks a slice
+  cannot finish (a second expansion hop off-shard, a disconnected
+  query) come back as misses and are resolved coordinator-side against
+  the full graph.  Merges stay sum-and-clamp, so counts are
+  value-identical and batch-1 engine trajectories bit-identical to
+  serial.  ``info()`` records the per-worker wire-payload bytes next
+  to the full-snapshot bytes (the ``affine_placement`` benchmark
+  section gates the ratio).
 
 Start method: ``forkserver`` where available (fork is unsafe in a
 threaded coordinator, spawn is the slow fallback); override with
@@ -49,9 +64,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from itertools import repeat
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
@@ -62,11 +78,28 @@ from repro.core.serialize import (
     graph_to_dict,
     query_from_wire,
     query_to_wire,
+    shards_to_wire,
 )
+from repro.shard.affine import canonical_edge_order
 
 T = TypeVar("T")
 
 __all__ = ["ProcessExecutor"]
+
+#: placement modes: ``full`` ships the whole snapshot to every worker
+#: (the PR 4 behaviour), ``affine`` ships each worker only its shards
+PLACEMENT_MODES = ("full", "affine")
+
+
+def affine_placement(num_shards: int, num_workers: int) -> Dict[int, int]:
+    """Round-robin ``shard -> worker`` placement map.
+
+    Contiguous shard ranges are balanced by vertex count already, so
+    round-robin keeps per-worker payloads balanced too; a skew-aware
+    variant can swap in here without touching the routing call sites.
+    """
+    workers = max(1, min(num_workers, num_shards))
+    return {shard: shard % workers for shard in range(num_shards)}
 
 
 # -- worker side -----------------------------------------------------------------
@@ -142,7 +175,61 @@ def _worker_touch(delay_s: float) -> int:
     return os.getpid()
 
 
+def _affine_worker_init(
+    payloads: List[dict], injective: bool, typed_adjacency: bool
+) -> None:
+    """Affine pool initializer: rebuild only the placed shards' slices."""
+    from repro.shard.affine import SliceEvaluator
+
+    evaluator = SliceEvaluator.from_wire_payloads(
+        payloads, injective=injective, typed_adjacency=typed_adjacency
+    )
+    _WORKER_STATE.clear()
+    _WORKER_STATE["affine"] = evaluator
+
+
+def _affine_worker_count_block(
+    wire: Tuple, shard_index: int, limit: Optional[int]
+) -> Optional[int]:
+    """One shard-seeded block count on the owning worker (None = miss)."""
+    evaluator = _WORKER_STATE["affine"]
+    return evaluator.count_block_wire(wire, shard_index, limit)  # type: ignore[union-attr]
+
+
 # -- coordinator side -------------------------------------------------------------
+
+
+class _BlockHandle:
+    """Future-shaped handle for one routed shard block.
+
+    ``result()`` resolves worker-side misses (``None``) against the
+    coordinator's full graph, so callers (:class:`~repro.shard.matching.
+    ShardedMatcher`'s placement routing) always observe exact counts.
+    """
+
+    __slots__ = ("_executor", "_shard_index", "_query", "_limit", "_future")
+
+    def __init__(
+        self,
+        executor: "ProcessExecutor",
+        shard_index: int,
+        query: GraphQuery,
+        limit: Optional[int],
+        future: Optional[Future],
+    ) -> None:
+        self._executor = executor
+        self._shard_index = shard_index
+        self._query = query
+        self._limit = limit
+        self._future = future
+
+    def result(self) -> int:
+        value = None if self._future is None else self._future.result()
+        if value is None:
+            value = self._executor._resolve_block(
+                self._shard_index, self._query, self._limit
+            )
+        return value
 
 
 class ProcessExecutor:
@@ -176,16 +263,23 @@ class ProcessExecutor:
         injective: bool = True,
         typed_adjacency: bool = True,
         start_method: Optional[str] = None,
+        placement: str = "full",
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        if placement not in PLACEMENT_MODES:
+            raise ValueError(
+                f"unknown placement mode {placement!r}; expected one of "
+                f"{PLACEMENT_MODES}"
+            )
         self.graph = graph
         self.max_workers = max_workers
         self.shards = shards
         self.injective = injective
         self.typed_adjacency = typed_adjacency
+        self.placement_mode = placement
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             # fork would duplicate a possibly-threaded coordinator mid-lock;
@@ -197,6 +291,15 @@ class ProcessExecutor:
         self.preferred_batch = max_workers
         self._pool: Optional[ProcessPoolExecutor] = None
         self._snapshot_version: Optional[int] = None
+        # affine placement state: one single-process pool per worker,
+        # each warmed with only its placed shards' wire payloads
+        self._affine_pools: Optional[List[ProcessPoolExecutor]] = None
+        self._placement: Dict[int, int] = {}
+        self._sharded_snapshot = None
+        self._local_sharded = None
+        self._payload_bytes: List[int] = []
+        self._full_snapshot_bytes: Optional[int] = None
+        self._full_snapshot_bytes_version: Optional[int] = None
         #: serialises pool creation/teardown: the service's concurrent
         #: explain() calls may race on first touch, and two threads
         #: building pools would leak one pool's workers forever
@@ -206,6 +309,14 @@ class ProcessExecutor:
         self.queries_shipped = 0
         self.sharded_counts = 0
         self.pool_rebuilds = 0
+        #: blocks the affine workers could not finish (cross-shard
+        #: second hops, disconnected queries), resolved coordinator-side
+        self.affine_fallbacks = 0
+
+    @property
+    def supports_placement(self) -> bool:
+        """Placement-aware routing available (``ShardedMatcher`` checks)."""
+        return self.placement_mode == "affine"
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -222,6 +333,12 @@ class ProcessExecutor:
                 self._snapshot_version = None
             if self._pool is None:
                 payload = graph_to_dict(self.graph)
+                # every worker receives this whole payload; the affine
+                # mode's per-worker bytes are measured against it
+                self._full_snapshot_bytes = len(
+                    pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+                )
+                self._full_snapshot_bytes_version = self.graph.version
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.max_workers,
                     mp_context=multiprocessing.get_context(self.start_method),
@@ -240,6 +357,88 @@ class ProcessExecutor:
             stale.shutdown(wait=True)
         return pool
 
+    def _ensure_affine_pools(self) -> List[ProcessPoolExecutor]:
+        """The per-worker affine pools (partition + warm on first touch).
+
+        Rebuilds everything from a fresh partition when the graph
+        mutated since warm-up (same staleness policy as the full-
+        snapshot pool): the vertex ranges themselves may have moved, so
+        every worker's slices are rebuilt, not just the touched ones.
+        """
+        from repro.shard.partition import GraphPartitioner
+
+        stale: List[ProcessPoolExecutor] = []
+        with self._lock:
+            if (
+                self._affine_pools is not None
+                and self._snapshot_version != self.graph.version
+            ):
+                stale, self._affine_pools = self._affine_pools, None
+                self._snapshot_version = None
+                self._sharded_snapshot = None
+                self._local_sharded = None
+            if self._affine_pools is None:
+                sharded = GraphPartitioner(self.shards).partition(self.graph)
+                self._sharded_snapshot = sharded
+                self._placement = affine_placement(self.shards, self.max_workers)
+                num_pools = max(self._placement.values()) + 1
+                payloads = shards_to_wire(sharded)
+                per_pool: List[List[dict]] = [[] for _ in range(num_pools)]
+                for shard_index, worker in self._placement.items():
+                    per_pool[worker].append(payloads[shard_index])
+                context = multiprocessing.get_context(self.start_method)
+                self._affine_pools = [
+                    ProcessPoolExecutor(
+                        max_workers=1,
+                        mp_context=context,
+                        initializer=_affine_worker_init,
+                        initargs=(pool_payloads, self.injective, self.typed_adjacency),
+                    )
+                    for pool_payloads in per_pool
+                ]
+                # what actually crosses the process boundary, per worker
+                # (the full-snapshot comparison number is reporting-only
+                # and computed lazily in info() -- serialising the whole
+                # graph here would re-pay the exact cost affine placement
+                # exists to avoid, on every warm-up and stale rebuild)
+                self._payload_bytes = [
+                    len(pickle.dumps(pool_payloads, pickle.HIGHEST_PROTOCOL))
+                    for pool_payloads in per_pool
+                ]
+                self._snapshot_version = self.graph.version
+                self.pool_rebuilds += 1
+            pools = self._affine_pools
+        for pool in stale:
+            pool.shutdown(wait=True)
+        return pools
+
+    def _local(self):
+        """Coordinator-side fallback matcher over the same partition."""
+        from repro.shard.matching import ShardedMatcher
+
+        with self._lock:
+            if self._local_sharded is None:
+                if self._sharded_snapshot is None:  # pragma: no cover - guarded
+                    raise RuntimeError("affine pools have not been built yet")
+                self._local_sharded = ShardedMatcher(
+                    self._sharded_snapshot, injective=self.injective
+                )
+            return self._local_sharded
+
+    def _resolve_block(
+        self, shard_index: int, query: GraphQuery, limit: Optional[int]
+    ) -> int:
+        """Coordinator-side resolve of a block the worker could not finish.
+
+        Pins the canonical edge order so the resolved block restricts
+        the same first-seed vertex the slice-evaluated blocks did (the
+        cross-shard consistency requirement of the decomposition).
+        """
+        self.affine_fallbacks += 1
+        return self._local().count_shard(
+            shard_index, query, limit=limit, edge_order=canonical_edge_order(query)
+        )
+
     def warm_up(self, barrier_s: float = 0.05) -> List[int]:
         """Force-spawn every worker; returns their (distinct) pids.
 
@@ -248,16 +447,25 @@ class ProcessExecutor:
         rebuild.  Each barrier task holds its worker ``barrier_s``
         seconds, which forces the pool to start all of them.
         """
+        if self.placement_mode == "affine":
+            pools = self._ensure_affine_pools()
+            futures = [pool.submit(_worker_touch, barrier_s) for pool in pools]
+            return [future.result() for future in futures]
         pool = self._ensure_pool()
         return list(pool.map(_worker_touch, repeat(barrier_s, self.max_workers)))
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent; pool respawns lazily)."""
+        """Shut the worker pool(s) down (idempotent; pools respawn lazily)."""
         with self._lock:
             pool, self._pool = self._pool, None
+            affine, self._affine_pools = self._affine_pools, None
             self._snapshot_version = None
+            self._sharded_snapshot = None
+            self._local_sharded = None
         if pool is not None:
             pool.shutdown(wait=True)
+        for affine_pool in affine or ():
+            affine_pool.shutdown(wait=True)
 
     def __enter__(self) -> "ProcessExecutor":
         return self
@@ -286,12 +494,86 @@ class ProcessExecutor:
         queries = list(queries)
         if not queries:
             return []
+        if self.placement_mode == "affine":
+            return self._run_queries_affine(queries, limit)
         pool = self._ensure_pool()
         wires = [query_to_wire(query) for query in queries]
         counts = list(pool.map(_worker_count, wires, repeat(limit, len(wires))))
         self.batches += 1
         self.queries_shipped += len(wires)
         return counts
+
+    def _run_queries_affine(
+        self, queries: List[GraphQuery], limit: Optional[int]
+    ) -> List[int]:
+        """Affine batch: every count fans out per shard to the owners.
+
+        All (query, shard) block tasks are submitted before any result
+        is awaited, so cross-shard parallelism and batch parallelism
+        compose; merges are sum-and-clamp per query, in submission
+        order.  Blocks the owning worker missed -- and whole queries no
+        slice can evaluate (disconnected patterns) -- resolve against
+        the coordinator's full graph.
+        """
+        pools = self._ensure_affine_pools()
+        pending: List[Tuple[GraphQuery, Optional[List[Tuple[int, Future]]]]] = []
+        shipped = 0
+        for query in queries:
+            # a slice enumerates candidates over its owned range only, so
+            # every seed after the first must be resolved coordinator-side
+            if self.shards > 1 and not query.is_connected():
+                pending.append((query, None))
+                continue
+            wire = query_to_wire(query)
+            futures = [
+                (
+                    shard_index,
+                    pools[self._placement[shard_index]].submit(
+                        _affine_worker_count_block, wire, shard_index, limit
+                    ),
+                )
+                for shard_index in range(self.shards)
+            ]
+            shipped += 1
+            pending.append((query, futures))
+        counts: List[int] = []
+        for query, futures in pending:
+            if futures is None:
+                self.affine_fallbacks += 1
+                counts.append(self._local().matcher.count(query, limit=limit))
+                continue
+            total = 0
+            for shard_index, future in futures:
+                value = future.result()
+                if value is None:
+                    value = self._resolve_block(shard_index, query, limit)
+                total += value
+            counts.append(min(total, limit) if limit is not None else total)
+        self.batches += 1
+        self.queries_shipped += shipped
+        return counts
+
+    def submit_block(
+        self, shard_index: int, query: GraphQuery, limit: Optional[int] = None
+    ) -> _BlockHandle:
+        """Route one shard-seeded block to the worker owning the shard.
+
+        The placement-aware entry :class:`~repro.shard.matching.
+        ShardedMatcher` drives: results resolve worker-side misses
+        transparently, so ``handle.result()`` is always the exact
+        bounded block count.
+        """
+        if self.placement_mode != "affine":
+            raise RuntimeError("submit_block requires placement='affine'")
+        if not 0 <= shard_index < self.shards:
+            raise ValueError(f"shard index {shard_index} out of range")
+        pools = self._ensure_affine_pools()
+        if self.shards > 1 and not query.is_connected():
+            return _BlockHandle(self, shard_index, query, limit, None)
+        future = pools[self._placement[shard_index]].submit(
+            _affine_worker_count_block, query_to_wire(query), shard_index, limit
+        )
+        return _BlockHandle(self, shard_index, query, limit, future)
 
     def count_sharded(self, query: GraphQuery, limit: Optional[int] = None) -> int:
         """One (heavy) count split across the workers' shard blocks.
@@ -300,8 +582,13 @@ class ProcessExecutor:
         whose first seed binds inside that shard's vertex range -- and
         reconciles at the coordinator: the per-shard counts (each
         individually clamped at ``limit``) are summed and clamped, which
-        is value-identical to the unsharded bounded count.
+        is value-identical to the unsharded bounded count.  Under affine
+        placement each block additionally lands on the worker that owns
+        the shard (and only that worker holds its data).
         """
+        if self.placement_mode == "affine":
+            self.sharded_counts += 1
+            return self._run_queries_affine([query], limit)[0]
         if self.shards < 2:
             return self.run_queries([query], limit=limit)[0]
         pool = self._ensure_pool()
@@ -318,22 +605,68 @@ class ProcessExecutor:
 
     # -- reporting ---------------------------------------------------------------
 
+    def _measure_full_snapshot(self) -> int:
+        """Bytes the full-snapshot path would ship per worker (lazy,
+        cached per graph version -- reporting-only, never on the
+        evaluation or warm-up path).
+
+        The serialisation itself runs *outside* the pool lock: on a
+        large graph it takes seconds, and a monitoring poll must never
+        stall query submission behind it.  Two concurrent polls may
+        both measure; the duplicated work is reporting-only.
+        """
+        with self._lock:
+            measured = self._full_snapshot_bytes
+            measured_version = self._full_snapshot_bytes_version
+        version = self.graph.version
+        if measured is not None and measured_version == version:
+            return measured
+        measured = len(
+            pickle.dumps(graph_to_dict(self.graph), pickle.HIGHEST_PROTOCOL)
+        )
+        with self._lock:
+            self._full_snapshot_bytes = measured
+            self._full_snapshot_bytes_version = version
+        return measured
+
     def info(self) -> Dict[str, object]:
         """Lifetime counters (folded into ``WhyQueryService.stats()``)."""
-        return {
+        info: Dict[str, object] = {
             "max_workers": self.max_workers,
             "shards": self.shards,
             "start_method": self.start_method,
-            "pool_live": self._pool is not None,
+            "placement": self.placement_mode,
+            "pool_live": (
+                self._pool is not None or self._affine_pools is not None
+            ),
             "pool_rebuilds": self.pool_rebuilds,
             "batches": self.batches,
             "queries_shipped": self.queries_shipped,
             "sharded_counts": self.sharded_counts,
             "snapshot_version": self._snapshot_version,
         }
+        if self.placement_mode == "full" and self._full_snapshot_bytes is not None:
+            info["full_snapshot_bytes"] = self._full_snapshot_bytes
+        if self.placement_mode == "affine":
+            payload_max = max(self._payload_bytes, default=0)
+            full = self._measure_full_snapshot() if payload_max else 0
+            info.update(
+                {
+                    "placement_map": dict(self._placement),
+                    "affine_fallbacks": self.affine_fallbacks,
+                    "payload_bytes_per_worker": list(self._payload_bytes),
+                    "payload_bytes_max": payload_max,
+                    "full_snapshot_bytes": full,
+                    # memory headline: largest per-worker payload vs what
+                    # the full-snapshot path ships to *every* worker
+                    "payload_ratio": (full / payload_max) if payload_max else 0.0,
+                }
+            )
+        return info
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ProcessExecutor(max_workers={self.max_workers}, "
-            f"shards={self.shards}, start_method={self.start_method!r})"
+            f"shards={self.shards}, placement={self.placement_mode!r}, "
+            f"start_method={self.start_method!r})"
         )

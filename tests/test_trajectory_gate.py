@@ -45,6 +45,13 @@ def baseline_payload() -> dict:
             "speedup_2s": 1.4,
             "shards": {},
         },
+        "affine_placement": {
+            "cpu_cores": 2,
+            "workers_cap": 2,
+            "payload_ratio_4s": 3.5,
+            "speedup_2s": 1.3,
+            "payloads": {},
+        },
     }
 
 
@@ -147,3 +154,49 @@ class TestCoreAwareSpeedupGate:
         assert check_trajectory(baseline, fresh, tolerance).failures == []
         fresh["process_pool"]["speedup_2w"] = 1.8 * (1 - tolerance) - 0.01
         assert check_trajectory(baseline, fresh, tolerance).failures != []
+
+
+class TestAffinePlacementGate:
+    def test_payload_ratio_gated_even_on_single_core(self):
+        """Payload bytes are deterministic: a 1-core fresh run skips the
+        timing gates but must still clear the payload ratio."""
+        baseline = baseline_payload()
+        fresh = copy.deepcopy(baseline)
+        for section in ("process_pool", "sharded_expansion", "affine_placement"):
+            fresh[section]["cpu_cores"] = 1
+        fresh["affine_placement"]["payload_ratio_4s"] = 1.2
+        gate = check_trajectory(baseline, fresh)
+        assert any("payload ratio" in f for f in gate.failures)
+
+    def test_payload_ratio_regression_fails(self):
+        baseline = baseline_payload()
+        fresh = copy.deepcopy(baseline)
+        fresh["affine_placement"]["payload_ratio_4s"] = 2.0  # below 3.5 * 0.75
+        gate = check_trajectory(baseline, fresh)
+        assert any("payload ratio" in f for f in gate.failures)
+
+    def test_low_baseline_cannot_water_down_the_2x_target(self):
+        """Even if a committed baseline somehow recorded < 2x, the fresh
+        run must clear the absolute acceptance target."""
+        baseline = baseline_payload()
+        baseline["affine_placement"]["payload_ratio_4s"] = 1.0
+        fresh = copy.deepcopy(baseline)
+        fresh["affine_placement"]["payload_ratio_4s"] = 1.2  # below 2.0 * 0.75
+        gate = check_trajectory(baseline, fresh)
+        assert any("payload ratio" in f for f in gate.failures)
+        fresh["affine_placement"]["payload_ratio_4s"] = 2.1
+        assert check_trajectory(baseline, fresh).failures == []
+
+    def test_affine_speedup_is_core_aware(self):
+        baseline = baseline_payload()
+        fresh = copy.deepcopy(baseline)
+        fresh["affine_placement"].update(cpu_cores=1, speedup_2s=0.7)
+        gate = check_trajectory(baseline, fresh)
+        assert gate.failures == []
+        assert any(
+            "affine-placement speedup" in line and "SKIPPED" in line
+            for line in gate.lines
+        )
+        fresh["affine_placement"].update(cpu_cores=4)
+        gate = check_trajectory(baseline, fresh)
+        assert any("affine-placement speedup" in f for f in gate.failures)
