@@ -65,6 +65,22 @@ def test_fig5_priority_functions(priority_rows, write_result, benchmark, ldbc_bu
     assert sum(r.plan_hits for r in priority_rows) > 0
     assert sum(r.candidate_hits for r in priority_rows) > 0
 
+    # the compiled backend's counters must flow through the same
+    # reporting seam (compiled-matching PR acceptance criterion): one
+    # repeated evaluation compiles a program, reuses it, and reports
+    # both events plus the CSR build it ran over
+    from repro.datasets import ldbc as ldbc_dataset
+    from repro.matching import PatternMatcher
+
+    compiled = PatternMatcher(ldbc_bundle.graph, compiled=True)
+    assert compiled.count(ldbc_dataset.query_1()) > 0
+    assert compiled.count(ldbc_dataset.query_1()) > 0
+    programs = compiled.cache_info()["programs"]
+    assert programs["programs_compiled"] > 0
+    assert programs["program_hits"] > 0
+    assert programs["csr_builds"] > 0
+    assert programs["csr_bytes"] > 0
+
     by_priority = defaultdict(list)
     for r in priority_rows:
         by_priority[r.priority].append(r)

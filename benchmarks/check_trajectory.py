@@ -16,15 +16,27 @@ fails (exit code 1) when the trajectory regressed:
   typed matcher must not take more evaluation steps than the baseline
   recorded (steps are deterministic, so any increase is an algorithmic
   regression, bounded by the same tolerance);
+* **compiled-match throughput**: the compiled backend's speedup over
+  the interpreter on the typed-expansion workload must clear the
+  stronger of the committed baseline and the 2x acceptance target.
+  Single-core, pure CPU -- like the typed-expansion gate, this is *not*
+  core-aware;
 * **candidate-batch throughput**: the batch-32 overlap speedup of the
   parallel evaluator must not drop by more than ``--max-regression``;
-* **process-pool / sharded-expansion / affine throughput** (core-aware):
-  the pure-CPU multi-process speedups are gated against both the
-  baseline's recorded ratio and the 1.5x (process pool) / 1.1x (shard
-  fan-out, affine fan-out) targets -- but only when the fresh run had
-  >= 2 CPU cores (the sections record ``cpu_cores``); a single-core
-  machine physically cannot overlap CPU-bound work across processes, so
-  there the numbers are recorded, reported and skipped;
+* **sharded-expansion throughput**: the shard fan-out now runs compiled
+  workers, so its speedup over the *interpreted* serial baseline holds
+  on any core count (the compiled kernels repay the IPC round trip
+  without real parallelism) -- never skipped, gated against the
+  committed baseline clamped into [1.0, 2.0] (the IPC half of the
+  ratio is noisy run-to-run; the clamp keeps a lucky baseline from
+  flaking the gate while still failing genuine sub-serial regressions);
+* **process-pool / affine throughput** (core-aware): the pure-CPU
+  multi-process speedups are gated against both the baseline's recorded
+  ratio and the 1.5x (process pool) / 1.1x (affine fan-out) targets --
+  but only when the fresh run had >= 2 CPU cores (the sections record
+  ``cpu_cores``); a single-core machine physically cannot overlap
+  CPU-bound work across processes, so there the numbers are recorded,
+  reported and skipped;
 * **affine payload ratio**: the per-worker wire-payload bytes of
   shard-affine placement vs the full snapshot at 4 shards.  Bytes are
   deterministic (no timing involved), so this gate is *not* core-aware:
@@ -174,6 +186,21 @@ def check_trajectory(
         dig(fresh, "typed_expansion.typed.steps_per_count"),
         max_regression,
     )
+    # pure single-core CPU ratio, like the typed-expansion gate: the
+    # expectation is the stronger of the committed baseline and the 2x
+    # acceptance target of the compiled backend
+    gate.check_not_below(
+        "compiled-match speedup",
+        max(dig(baseline, "compiled_match.speedup"), 2.0),
+        dig(fresh, "compiled_match.speedup"),
+        max_regression,
+    )
+    gate.check_not_below(
+        "compiled-match rewrite-batch speedup",
+        max(dig(baseline, "compiled_match.rewrite_batch.speedup"), 2.0),
+        dig(fresh, "compiled_match.rewrite_batch.speedup"),
+        max_regression,
+    )
     gate.check_not_below(
         "candidate-batch speedup @32",
         dig(baseline, "candidate_batch.speedup_32"),
@@ -190,15 +217,19 @@ def check_trajectory(
         target=1.5,
         tolerance=max_regression,
     )
-    check_multicore_speedup(
-        gate,
+    # compiled workers beat the interpreted serial baseline on any core
+    # count, so this gate dropped its core-awareness (and its old 1.1x
+    # multi-core target) for an always-on floor.  The ratio mixes a
+    # stable compilation speedup with IPC round-trip timing, and the
+    # IPC half is noisy (~2x run-to-run on a busy box), so the
+    # committed baseline's contribution is capped at 2.0: a lucky
+    # baseline draw must not turn ordinary IPC jitter into a gate
+    # failure, while genuine regressions below ~1.5x still fail
+    gate.check_not_below(
         "sharded-expansion speedup @2 shards",
-        baseline,
-        fresh,
-        "sharded_expansion",
-        "speedup_2s",
-        target=1.1,
-        tolerance=max_regression,
+        max(min(dig(baseline, "sharded_expansion.speedup_2s"), 2.0), 1.0),
+        dig(fresh, "sharded_expansion.speedup_2s"),
+        max_regression,
     )
     # the affine payload ratio is a deterministic byte count, not a
     # timing: it holds on any machine, so no core-awareness -- the

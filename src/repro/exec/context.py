@@ -69,6 +69,7 @@ class ExecutionContext:
         graph: PropertyGraph,
         injective: bool = True,
         typed_adjacency: bool = True,
+        compiled: Optional[bool] = None,
         matcher: Optional[PatternMatcher] = None,
         cache: Optional[QueryResultCache] = None,
         result_cache_entries: Optional[int] = DEFAULT_RESULT_CACHE_ENTRIES,
@@ -82,7 +83,10 @@ class ExecutionContext:
             matcher
             if matcher is not None
             else PatternMatcher(
-                graph, injective=injective, typed_adjacency=typed_adjacency
+                graph,
+                injective=injective,
+                typed_adjacency=typed_adjacency,
+                compiled=compiled,
             )
         )
         if self.matcher.graph is not graph:

@@ -1,4 +1,5 @@
-"""Pattern-matching engine: candidates, planning, backtracking search."""
+"""Pattern-matching engine: candidates, planning, backtracking search,
+and the compiled CSR/program backend."""
 
 from repro.matching.candidates import (
     attributes_match,
@@ -8,6 +9,7 @@ from repro.matching.candidates import (
     vertex_candidates,
     vertex_matches,
 )
+from repro.matching.csr import CSRIndex, csr_for, csr_stats
 from repro.matching.evalcache import (
     CacheStats,
     EvaluationCache,
@@ -15,15 +17,22 @@ from repro.matching.evalcache import (
 )
 from repro.matching.matcher import PatternMatcher
 from repro.matching.plan import ExpandStep, SeedStep, build_plan, plan_cache_stats
+from repro.matching.program import MatchProgram, ProgramUnsupported, compiled_program
 
 __all__ = [
+    "CSRIndex",
     "CacheStats",
     "EvaluationCache",
     "ExpandStep",
+    "MatchProgram",
     "PatternMatcher",
+    "ProgramUnsupported",
     "SeedStep",
     "attributes_match",
     "build_plan",
+    "compiled_program",
+    "csr_for",
+    "csr_stats",
     "edge_matches",
     "estimate_edge_candidates",
     "estimate_vertex_candidates",

@@ -1,0 +1,360 @@
+"""Interned CSR-style array adjacency for the compiled matching backend.
+
+The interpreter in :mod:`repro.matching.matcher` walks dict/list
+adjacency and re-checks predicates object-by-object on every call.  The
+compiled backend (:mod:`repro.matching.program`) instead runs over a
+*packed* image of the graph built here once per ``(graph, version)``:
+
+* vertex ids are interned to dense indexes ``0..n-1`` in ascending-vid
+  order (``vid_of`` / ``ix_of``), edge ids to dense indexes in global
+  insertion order (``eid_of`` / ``eix_of``);
+* the type-partitioned directional adjacency of
+  :class:`~repro.core.graph.PropertyGraph` is packed per ``(edge type,
+  direction)`` into CSR triples ``(indptr, edge_ix, other_ix)`` of flat
+  ``array('l')`` rows, replaying the source lists' insertion order
+  element for element (the interpreter's enumeration-order contract);
+* attribute predicates are interned by *predicate signature* into
+  per-vertex / per-edge bitsets (``bytearray`` masks), so the inner
+  matching loop tests a predicate with one index, never an object call.
+
+The index is cached per graph beside the plan cache of
+:mod:`repro.matching.plan` (same ``WeakKeyDictionary`` + mutation
+``version`` invalidation contract: a mutated graph gets a fresh index,
+and all compiled programs specialised over the stale arrays die with
+it).  Partial graphs -- the worker-side
+:class:`~repro.shard.affine.ShardSlice` -- are first-class: the interned
+universe covers owned *and* halo vertices (halo attributes are
+checkable), ``known`` marks the owned rows whose adjacency is complete,
+and the seed universe spans the owned range only, mirroring the slice's
+accessor surface exactly.
+"""
+
+from __future__ import annotations
+
+import weakref
+from array import array
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from repro.core.query import QueryEdge, QueryVertex
+from repro.matching.candidates import attributes_match, vertex_candidates
+from repro.matching.evalcache import EvaluationCache, predicate_signature
+
+__all__ = [
+    "CSRIndex",
+    "csr_entry",
+    "csr_for",
+    "csr_stats",
+    "edge_predicate_signature",
+]
+
+_EMPTY_COUNTERS: Dict[str, int] = {
+    "csr_builds": 0,
+    "csr_bytes": 0,
+    "programs_compiled": 0,
+    "program_hits": 0,
+}
+
+
+def edge_predicate_signature(qedge: QueryEdge) -> Tuple:
+    """Vertex-id-independent signature of a query edge's predicate map
+    (the edge-side twin of :func:`repro.matching.evalcache.predicate_signature`)."""
+    return tuple(
+        sorted((attr, pred.signature()) for attr, pred in qedge.predicates.items())
+    )
+
+
+class CSRIndex:
+    """One graph snapshot packed into flat arrays (see module docstring).
+
+    Base tables are built eagerly; adjacency segments and predicate
+    masks are interned lazily on first touch, so a workload only pays
+    for the types and signatures its queries actually use.  The index
+    holds only a weak reference to the graph (the cache below keys on
+    the graph, and a strong back-reference would make both immortal).
+    """
+
+    __slots__ = (
+        "_graph_ref",
+        "version",
+        "partial",
+        "shard_index",
+        "vid_of",
+        "ix_of",
+        "eid_of",
+        "eix_of",
+        "src",
+        "tgt",
+        "selfloop",
+        "known",
+        "seed_universe",
+        "_adj",
+        "_vertex_masks",
+        "_seed_pools",
+        "_edge_masks",
+        "programs",
+    )
+
+    def __init__(self, graph: Any) -> None:
+        self._graph_ref = weakref.ref(graph)
+        self.version: int = graph.version
+        # a ShardSlice exposes its halo attribute map and owned-vid set;
+        # duck-typed so matching never imports the shard layer
+        halo = getattr(graph, "_halo", None)
+        owned = getattr(graph, "vertex_ids", None)
+        self.partial: bool = halo is not None and owned is not None
+        self.shard_index: Optional[int] = (
+            getattr(graph, "index", None) if self.partial else None
+        )
+        if self.partial:
+            vids = sorted(set(owned) | set(halo))
+        else:
+            vids = sorted(graph.vertices())
+        self.vid_of = array("q", vids)
+        self.ix_of: Dict[int, int] = {vid: ix for ix, vid in enumerate(vids)}
+        ix_of = self.ix_of
+        eids: list = []
+        src = array("l")
+        tgt = array("l")
+        selfloop = bytearray()
+        self.eix_of: Dict[int, int] = {}
+        for record in graph.edges():
+            self.eix_of[record.eid] = len(eids)
+            eids.append(record.eid)
+            src.append(ix_of[record.source])
+            tgt.append(ix_of[record.target])
+            selfloop.append(1 if record.source == record.target else 0)
+        self.eid_of = array("q", eids)
+        self.src = src
+        self.tgt = tgt
+        self.selfloop = selfloop
+        if self.partial:
+            self.known: Optional[bytearray] = bytearray(
+                1 if vid in owned else 0 for vid in vids
+            )
+            self.seed_universe = array(
+                "l", (ix for ix, vid in enumerate(vids) if vid in owned)
+            )
+        else:
+            self.known = None
+            self.seed_universe = array("l", range(len(vids)))
+        #: (type | None, "out" | "in") -> (indptr, edge_ix, other_ix)
+        self._adj: Dict[Tuple[Optional[str], str], Tuple[array, array, array]] = {}
+        self._vertex_masks: Dict[Hashable, bytearray] = {}
+        self._seed_pools: Dict[Hashable, array] = {}
+        self._edge_masks: Dict[Hashable, bytearray] = {}
+        #: (query signature, edge_order, injective) -> MatchProgram;
+        #: lives exactly as long as the arrays it is specialised over
+        self.programs: Dict[Hashable, Any] = {}
+
+    def _graph(self) -> Any:
+        graph = self._graph_ref()
+        if graph is None:  # pragma: no cover - cache entry dies with the graph
+            raise RuntimeError("CSRIndex outlived its graph")
+        return graph
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vid_of)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.eid_of)
+
+    # -- adjacency segments -----------------------------------------------------
+
+    def adjacency(
+        self, type_key: Optional[str], direction: str
+    ) -> Tuple[array, array, array]:
+        """CSR triple ``(indptr, edge_ix, other_ix)`` for one ``(type,
+        direction)`` segment (``type_key=None`` is the untyped walk).
+
+        Row ``ix`` spans ``edge_ix[indptr[ix]:indptr[ix+1]]``, in the
+        source graph's insertion order; ``other_ix`` carries the
+        opposite endpoint so the inner loop never touches edge records.
+        Unknown-adjacency rows of a partial graph are empty -- the
+        program guards them with an explicit miss *before* scanning.
+        """
+        key = (type_key, direction)
+        segment = self._adj.get(key)
+        if segment is None:
+            segment = self._build_adjacency(type_key, direction)
+            self._adj[key] = segment
+        return segment
+
+    def _build_adjacency(
+        self, type_key: Optional[str], direction: str
+    ) -> Tuple[array, array, array]:
+        graph = self._graph()
+        out = direction == "out"
+        endpoint = self.tgt if out else self.src
+        eix_of = self.eix_of
+        known = self.known
+        indptr = array("l", [0])
+        edge_ix = array("l")
+        other_ix = array("l")
+        for ix, vid in enumerate(self.vid_of):
+            if known is None or known[ix]:
+                if type_key is None:
+                    eids = graph.out_edges(vid) if out else graph.in_edges(vid)
+                elif out:
+                    eids = graph.out_edges_of_type(vid, type_key)
+                else:
+                    eids = graph.in_edges_of_type(vid, type_key)
+                for eid in eids:
+                    eix = eix_of[eid]
+                    edge_ix.append(eix)
+                    other_ix.append(endpoint[eix])
+            indptr.append(len(edge_ix))
+        return indptr, edge_ix, other_ix
+
+    # -- predicate masks ---------------------------------------------------------
+
+    def vertex_mask(
+        self, qvertex: QueryVertex, evalcache: Optional[EvaluationCache] = None
+    ) -> Optional[bytearray]:
+        """Bitset over vertex indexes satisfying the vertex's predicates,
+        or ``None`` when the vertex is unconstrained (nothing to test).
+
+        Interned by predicate signature, so all query variants sharing a
+        constraint share one mask.  On full graphs the mask is filled
+        from the (shared) candidate cache; on a partial graph the
+        candidate indexes cover the owned range only, so the mask is
+        built by direct evaluation over owned *and* halo attributes --
+        expansion targets may land in the halo.
+        """
+        predicates = qvertex.predicates
+        if not predicates:
+            return None
+        sig = predicate_signature(qvertex)
+        mask = self._vertex_masks.get(sig)
+        if mask is None:
+            graph = self._graph()
+            mask = bytearray(len(self.vid_of))
+            if self.partial:
+                for ix, vid in enumerate(self.vid_of):
+                    if attributes_match(graph.vertex_attributes(vid), predicates):
+                        mask[ix] = 1
+            else:
+                if evalcache is not None:
+                    candidates = evalcache.vertex_candidates(qvertex)
+                else:
+                    candidates = vertex_candidates(graph, qvertex)
+                ix_of = self.ix_of
+                for vid in candidates or ():
+                    mask[ix_of[vid]] = 1
+            self._vertex_masks[sig] = mask
+        return mask
+
+    def seed_pool(
+        self, qvertex: QueryVertex, evalcache: Optional[EvaluationCache] = None
+    ) -> array:
+        """Ascending vertex-index pool for seeding ``qvertex``: the seed
+        universe (owned range on partial graphs) filtered by the
+        vertex's mask.  Interned by predicate signature."""
+        sig = predicate_signature(qvertex)
+        pool = self._seed_pools.get(sig)
+        if pool is None:
+            mask = self.vertex_mask(qvertex, evalcache)
+            if mask is None:
+                pool = self.seed_universe
+            else:
+                pool = array("l", (ix for ix in self.seed_universe if mask[ix]))
+            self._seed_pools[sig] = pool
+        return pool
+
+    def edge_mask(self, qedge: QueryEdge) -> Optional[bytearray]:
+        """Bitset over edge indexes satisfying the edge's predicates, or
+        ``None`` when the edge carries none.  Types are *not* part of
+        the mask -- the typed adjacency segments prefilter them."""
+        predicates = qedge.predicates
+        if not predicates:
+            return None
+        sig = edge_predicate_signature(qedge)
+        mask = self._edge_masks.get(sig)
+        if mask is None:
+            graph = self._graph()
+            mask = bytearray(len(self.eid_of))
+            for eix, eid in enumerate(self.eid_of):
+                if attributes_match(graph.edge(eid).attributes, predicates):
+                    mask[eix] = 1
+            self._edge_masks[sig] = mask
+        return mask
+
+    # -- accounting --------------------------------------------------------------
+
+    def nbytes(self) -> int:
+        """Flat-array bytes held by this index (base tables, built
+        adjacency segments, interned masks and pools)."""
+        total = (
+            self.vid_of.itemsize * len(self.vid_of)
+            + self.eid_of.itemsize * len(self.eid_of)
+            + self.src.itemsize * len(self.src)
+            + self.tgt.itemsize * len(self.tgt)
+            + len(self.selfloop)
+            + self.seed_universe.itemsize * len(self.seed_universe)
+        )
+        if self.known is not None:
+            total += len(self.known)
+        for indptr, edge_ix, other_ix in self._adj.values():
+            total += indptr.itemsize * len(indptr)
+            total += edge_ix.itemsize * len(edge_ix)
+            total += other_ix.itemsize * len(other_ix)
+        for mask in self._vertex_masks.values():
+            total += len(mask)
+        for mask in self._edge_masks.values():
+            total += len(mask)
+        for pool in self._seed_pools.values():
+            total += pool.itemsize * len(pool)
+        return total
+
+
+class _CsrEntry:
+    """Per-graph cache slot: the live index plus lifetime counters that
+    survive version-triggered rebuilds (the rebuild *is* the event the
+    ``csr_builds`` counter reports)."""
+
+    __slots__ = ("csr", "builds", "programs_compiled", "program_hits")
+
+    def __init__(self, csr: CSRIndex) -> None:
+        self.csr = csr
+        self.builds = 1
+        self.programs_compiled = 0
+        self.program_hits = 0
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "csr_builds": self.builds,
+            "csr_bytes": self.csr.nbytes(),
+            "programs_compiled": self.programs_compiled,
+            "program_hits": self.program_hits,
+        }
+
+
+_CSR_ENTRIES: "weakref.WeakKeyDictionary[Any, _CsrEntry]" = weakref.WeakKeyDictionary()
+
+
+def csr_entry(graph: Any) -> _CsrEntry:
+    """The graph's cache entry, (re)built when the mutation counter moved
+    (same invalidation contract as :func:`repro.matching.plan.build_plan`)."""
+    entry = _CSR_ENTRIES.get(graph)
+    if entry is None:
+        entry = _CsrEntry(CSRIndex(graph))
+        _CSR_ENTRIES[graph] = entry
+    elif entry.csr.version != graph.version:
+        entry.csr = CSRIndex(graph)
+        entry.builds += 1
+    return entry
+
+
+def csr_for(graph: Any) -> CSRIndex:
+    """The packed index for the graph's *current* version."""
+    return csr_entry(graph).csr
+
+
+def csr_stats(graph: Any) -> Dict[str, int]:
+    """Compilation counters for reporting (zeros before any build; never
+    forces a build or a rebuild)."""
+    entry = _CSR_ENTRIES.get(graph)
+    if entry is None:
+        return dict(_EMPTY_COUNTERS)
+    return entry.counters()

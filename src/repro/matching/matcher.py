@@ -24,6 +24,7 @@ reports the shared plan/candidate cache counters next to them.
 
 from __future__ import annotations
 
+import os
 from typing import AbstractSet, Dict, Iterator, List, Optional, Sequence, Set
 
 from repro.core.graph import PropertyGraph
@@ -34,6 +35,7 @@ from repro.matching.candidates import (
     edge_matches,
     vertex_matches,
 )
+from repro.matching.csr import csr_stats
 from repro.matching.evalcache import (
     EvaluationCache,
     shared_evaluation_cache,
@@ -45,6 +47,17 @@ from repro.matching.plan import (
     build_plan,
     plan_cache_stats,
 )
+from repro.matching.program import (
+    MatchProgram,
+    ProgramUnsupported,
+    compiled_program,
+)
+
+
+def _compiled_default() -> bool:
+    """Opt-in default for the compiled backend (the CI matrix leg sets
+    ``REPRO_COMPILED_MATCH=1`` to run the whole suite through it)."""
+    return os.environ.get("REPRO_COMPILED_MATCH", "0") not in ("", "0")
 
 
 class PatternMatcher:
@@ -60,6 +73,16 @@ class PatternMatcher:
     falls back to scanning all incident edges with a per-edge type test
     (the pre-optimisation behaviour; kept for benchmarking and as a
     correctness oracle).
+
+    ``compiled=True`` routes ``match``/``count``/``exists`` through the
+    compiled backend: plans are lowered once per ``(graph version, query
+    signature, edge_order, injective)`` into flat kernels over interned
+    CSR arrays (:mod:`repro.matching.program`), visiting exactly the
+    candidates the interpreter visits -- ``steps`` totals are identical
+    on unbounded evaluations.  ``compiled=None`` (the default) follows
+    the ``REPRO_COMPILED_MATCH`` environment switch.  The compiled mode
+    requires the typed adjacency; a ``typed_adjacency=False`` matcher
+    always interprets, keeping the oracle configuration oracle-shaped.
     """
 
     def __init__(
@@ -68,6 +91,7 @@ class PatternMatcher:
         injective: bool = True,
         evalcache: Optional[EvaluationCache] = None,
         typed_adjacency: bool = True,
+        compiled: Optional[bool] = None,
     ) -> None:
         self.graph = graph
         self.injective = injective
@@ -75,17 +99,47 @@ class PatternMatcher:
             evalcache if evalcache is not None else shared_evaluation_cache(graph)
         )
         self.typed_adjacency = typed_adjacency
+        if compiled is None:
+            compiled = _compiled_default()
+        self.compiled = bool(compiled) and typed_adjacency
         #: number of match/count/exists invocations served
         self.calls = 0
         #: cumulative number of binding attempts (search effort)
         self.steps = 0
 
     def cache_info(self) -> Dict[str, Dict[str, float]]:
-        """Hit/miss counters of the shared evaluation caches."""
+        """Hit/miss counters of the shared evaluation caches, plus the
+        graph's compilation counters (zeros until a compiled run)."""
         return {
             "plan": plan_cache_stats(self.graph).as_dict(),
             "vertex_candidates": self.evalcache.stats.as_dict(),
+            "programs": csr_stats(self.graph),
         }
+
+    # -- compiled routing -------------------------------------------------------
+
+    def _compiled_program(
+        self, query: GraphQuery, edge_order: Optional[Sequence[int]]
+    ) -> Optional[MatchProgram]:
+        """The query's compiled program, or ``None`` when this call must
+        take the interpreter (compiled mode off, empty query, or a plan
+        shape the lowering does not support)."""
+        if not self.compiled:
+            return None
+        query.validate()
+        if query.num_vertices == 0:
+            # the interpreter path returns the same empty result instantly
+            return None
+        try:
+            return compiled_program(
+                self.graph,
+                query,
+                edge_order,
+                injective=self.injective,
+                evalcache=self.evalcache,
+            )
+        except ProgramUnsupported:
+            return None
 
     # -- public API -----------------------------------------------------------
 
@@ -109,6 +163,13 @@ class PatternMatcher:
         results = ResultSet()
         if limit is not None and limit <= 0:
             return results
+        program = self._compiled_program(query, edge_order)
+        if program is not None:
+            emitted, steps = program.run_match(self.graph, limit, seed_restrict)
+            self.steps += steps
+            for binding in emitted:
+                results.add(binding)
+            return results
         for binding in self._search(query, edge_order, seed_restrict):
             results.add(binding)
             if limit is not None and results.cardinality >= limit:
@@ -128,6 +189,11 @@ class PatternMatcher:
         ``seed_restrict`` confines the first seed step (see :meth:`match`).
         """
         self.calls += 1
+        program = self._compiled_program(query, edge_order)
+        if program is not None:
+            n, steps = program.run_count(self.graph, limit, seed_restrict)
+            self.steps += steps
+            return n
         n = 0
         for _ in self._search(query, edge_order, seed_restrict):
             n += 1
@@ -143,6 +209,11 @@ class PatternMatcher:
     ) -> bool:
         """``True`` when the pattern has at least one match."""
         self.calls += 1
+        program = self._compiled_program(query, edge_order)
+        if program is not None:
+            n, steps = program.run_count(self.graph, 1, seed_restrict)
+            self.steps += steps
+            return n > 0
         for _ in self._search(query, edge_order, seed_restrict):
             return True
         return False

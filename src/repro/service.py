@@ -479,6 +479,7 @@ class WhyQueryService:
                         injective=context.matcher.injective,
                         typed_adjacency=context.matcher.typed_adjacency,
                         placement=self.placement,
+                        compiled=context.matcher.compiled,
                     )
                 entry = _PoolEntry(context, executor)
                 self._pool[key] = entry
@@ -734,6 +735,10 @@ class WhyQueryService:
                 "candidate_misses": 0,
                 "matcher_calls": 0,
                 "matcher_steps": 0,
+                "programs_compiled": 0,
+                "program_hits": 0,
+                "csr_builds": 0,
+                "csr_bytes": 0,
             }
             process_pools: Optional[Dict[str, int]] = None
             if self.process_mode:
@@ -764,6 +769,11 @@ class WhyQueryService:
                 )
                 totals["matcher_calls"] += int(report["matcher"]["calls"])
                 totals["matcher_steps"] += int(report["matcher"]["steps"])
+                programs = report.get("programs", {})
+                totals["programs_compiled"] += int(programs.get("programs_compiled", 0))
+                totals["program_hits"] += int(programs.get("program_hits", 0))
+                totals["csr_builds"] += int(programs.get("csr_builds", 0))
+                totals["csr_bytes"] += int(programs.get("csr_bytes", 0))
                 graph_stats: Dict[str, object] = {
                     "graph": repr(entry.context.graph),
                     "version": entry.version,

@@ -381,6 +381,7 @@ class SliceEvaluator:
         injective: bool = True,
         typed_adjacency: bool = True,
         fallback: Optional[object] = None,
+        compiled: Optional[bool] = None,
     ) -> None:
         if not slices:
             raise ValueError("SliceEvaluator needs at least one slice")
@@ -388,6 +389,7 @@ class SliceEvaluator:
         self.num_shards = next(iter(self.slices.values())).num_shards
         self.injective = injective
         self.typed_adjacency = typed_adjacency
+        self.compiled = compiled
         #: coordinator-side resolver for missed blocks -- anything
         #: exposing ``count_shard(index, query, limit)`` and a
         #: ``matcher`` with ``seed_restrict`` (a
@@ -396,7 +398,10 @@ class SliceEvaluator:
         self.fallback = fallback
         self._matchers: Dict[int, PatternMatcher] = {
             index: PatternMatcher(
-                slice_, injective=injective, typed_adjacency=typed_adjacency
+                slice_,
+                injective=injective,
+                typed_adjacency=typed_adjacency,
+                compiled=compiled,
             )
             for index, slice_ in self.slices.items()
         }
@@ -416,8 +421,10 @@ class SliceEvaluator:
         injective: bool = True,
         typed_adjacency: bool = True,
         fallback: Optional[object] = None,
+        compiled: Optional[bool] = None,
     ) -> "SliceEvaluator":
-        """Rebuild the placed slices from their wire payloads."""
+        """Rebuild the placed slices from their wire payloads (each slice
+        builds its CSR index locally on first compiled evaluation)."""
         from repro.core.serialize import shard_from_wire
 
         slices = {}
@@ -429,6 +436,7 @@ class SliceEvaluator:
             injective=injective,
             typed_adjacency=typed_adjacency,
             fallback=fallback,
+            compiled=compiled,
         )
 
     @classmethod
@@ -438,6 +446,7 @@ class SliceEvaluator:
         injective: bool = True,
         typed_adjacency: bool = True,
         fallback: Optional[object] = None,
+        compiled: Optional[bool] = None,
     ) -> "SliceEvaluator":
         """All of a :class:`~repro.shard.ShardedGraph`'s slices, rebuilt
         through a full wire round-trip (the transport the workers see)."""
@@ -449,6 +458,7 @@ class SliceEvaluator:
             injective=injective,
             typed_adjacency=typed_adjacency,
             fallback=fallback,
+            compiled=compiled,
         )
 
     # -- wire memo ---------------------------------------------------------------

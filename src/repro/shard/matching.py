@@ -56,11 +56,12 @@ class ShardedMatcher:
         sharded: ShardedGraph,
         injective: bool = True,
         executor: Optional[BatchExecutor] = None,
+        compiled: Optional[bool] = None,
     ) -> None:
         if not isinstance(sharded, ShardedGraph):
             raise TypeError("ShardedMatcher requires a ShardedGraph")
         self.sharded = sharded
-        self.matcher = PatternMatcher(sharded, injective=injective)
+        self.matcher = PatternMatcher(sharded, injective=injective, compiled=compiled)
         self.executor: BatchExecutor = (
             executor if executor is not None else SerialExecutor()
         )

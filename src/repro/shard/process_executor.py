@@ -118,7 +118,11 @@ _WORKER_QUERY_CACHE_ENTRIES = 10_000
 
 
 def _worker_init(
-    payload: dict, shards: int, injective: bool, typed_adjacency: bool
+    payload: dict,
+    shards: int,
+    injective: bool,
+    typed_adjacency: bool,
+    compiled: Optional[bool] = None,
 ) -> None:
     """Pool initializer: rebuild the snapshot, warm one context."""
     # imported lazily so the coordinator-side import of this module stays
@@ -131,13 +135,18 @@ def _worker_init(
     state: Dict[str, object] = {
         "graph": graph,
         "context": ExecutionContext(
-            graph, injective=injective, typed_adjacency=typed_adjacency
+            graph,
+            injective=injective,
+            typed_adjacency=typed_adjacency,
+            compiled=compiled,
         ),
         "queries": {},
     }
     if shards > 1:
         state["sharded"] = ShardedMatcher(
-            GraphPartitioner(shards).partition(graph), injective=injective
+            GraphPartitioner(shards).partition(graph),
+            injective=injective,
+            compiled=compiled,
         )
     _WORKER_STATE.clear()
     _WORKER_STATE.update(state)
@@ -176,13 +185,20 @@ def _worker_touch(delay_s: float) -> int:
 
 
 def _affine_worker_init(
-    payloads: List[dict], injective: bool, typed_adjacency: bool
+    payloads: List[dict],
+    injective: bool,
+    typed_adjacency: bool,
+    compiled: Optional[bool] = None,
 ) -> None:
-    """Affine pool initializer: rebuild only the placed shards' slices."""
+    """Affine pool initializer: rebuild only the placed shards' slices
+    (each slice builds its own CSR index locally when compiled)."""
     from repro.shard.affine import SliceEvaluator
 
     evaluator = SliceEvaluator.from_wire_payloads(
-        payloads, injective=injective, typed_adjacency=typed_adjacency
+        payloads,
+        injective=injective,
+        typed_adjacency=typed_adjacency,
+        compiled=compiled,
     )
     _WORKER_STATE.clear()
     _WORKER_STATE["affine"] = evaluator
@@ -264,6 +280,7 @@ class ProcessExecutor:
         typed_adjacency: bool = True,
         start_method: Optional[str] = None,
         placement: str = "full",
+        compiled: Optional[bool] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -279,6 +296,7 @@ class ProcessExecutor:
         self.shards = shards
         self.injective = injective
         self.typed_adjacency = typed_adjacency
+        self.compiled = compiled
         self.placement_mode = placement
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
@@ -348,6 +366,7 @@ class ProcessExecutor:
                         self.shards,
                         self.injective,
                         self.typed_adjacency,
+                        self.compiled,
                     ),
                 )
                 self._snapshot_version = self.graph.version
@@ -392,7 +411,12 @@ class ProcessExecutor:
                         max_workers=1,
                         mp_context=context,
                         initializer=_affine_worker_init,
-                        initargs=(pool_payloads, self.injective, self.typed_adjacency),
+                        initargs=(
+                            pool_payloads,
+                            self.injective,
+                            self.typed_adjacency,
+                            self.compiled,
+                        ),
                     )
                     for pool_payloads in per_pool
                 ]
@@ -421,7 +445,9 @@ class ProcessExecutor:
                 if self._sharded_snapshot is None:  # pragma: no cover - guarded
                     raise RuntimeError("affine pools have not been built yet")
                 self._local_sharded = ShardedMatcher(
-                    self._sharded_snapshot, injective=self.injective
+                    self._sharded_snapshot,
+                    injective=self.injective,
+                    compiled=self.compiled,
                 )
             return self._local_sharded
 

@@ -66,7 +66,13 @@ class TestExecutionContext:
         ctx = ExecutionContext(tiny_graph)
         ctx.count(typed_query("person", "workAt"))
         report = ctx.cache_report()
-        assert set(report) == {"plan", "vertex_candidates", "results", "matcher"}
+        assert set(report) == {
+            "plan",
+            "vertex_candidates",
+            "programs",
+            "results",
+            "matcher",
+        }
         assert report["results"]["misses"] == 1
         assert report["matcher"]["calls"] == 1
 

@@ -1,9 +1,10 @@
 """Property-based tests (hypothesis) for the core data structures and
 metric invariants, plus the **randomized differential oracle suite**:
 seeded random graphs and queries run through every execution path --
-serial ``PatternMatcher`` (the oracle), ``ShardedMatcher`` at shard
-counts {1, 2, 4}, the thread-backed ``ParallelExecutor``, the
-asyncio-backed ``AsyncExecutor`` and the shard-affine slice path --
+serial ``PatternMatcher`` (the oracle), the compiled CSR backend,
+``ShardedMatcher`` at shard counts {1, 2, 4}, the thread-backed
+``ParallelExecutor``, the asyncio-backed ``AsyncExecutor``, the
+shard-affine slice path and the compiled shard-affine slice path --
 asserting count value-identity and match-set permutation-identity
 everywhere.  Seeds are fixed in-code so every failure reproduces."""
 
@@ -420,8 +421,25 @@ def assert_paths_agree(graph, query, injective, thread_pool, async_pool, limits=
     (permutation-identity) and bounded counts (value-identity)."""
     oracle = PatternMatcher(graph, injective=injective)
     expected_count = oracle.count(query)
+    oracle_count_steps = oracle.steps
     expected_matches = match_key(oracle.match(query))
     expected_bounded = {limit: oracle.count(query, limit=limit) for limit in limits}
+
+    # path 1b: the compiled CSR backend against the same serial oracle.
+    # The generated kernels must not only agree on values -- on the
+    # unbounded count they must visit *exactly* the interpreter's
+    # candidates (steps value-identity), which pins the search order
+    compiled = PatternMatcher(graph, injective=injective, compiled=True)
+    assert compiled.compiled, "compiled mode must engage for the oracle suite"
+    assert compiled.count(query) == expected_count, query.signature()
+    assert compiled.steps == oracle_count_steps, query.signature()
+    assert match_key(compiled.match(query)) == expected_matches, query.signature()
+    for limit, bounded in expected_bounded.items():
+        assert compiled.count(query, limit=limit) == bounded, (
+            query.signature(),
+            limit,
+        )
+
     for num_shards in DIFFERENTIAL_SHARD_COUNTS:
         sharded_graph = GraphPartitioner(num_shards).partition(graph)
         context = (num_shards, query.signature())
@@ -460,10 +478,31 @@ def assert_paths_agree(graph, query, injective, thread_pool, async_pool, limits=
         for limit, bounded in expected_bounded.items():
             assert affine.count(query, limit=limit) == bounded, (context, limit)
 
+        # path 6: the same slice-local evaluation with every per-slice
+        # matcher (and the coordinator fallback) running the compiled
+        # backend -- partial-graph CSR builds, ShardMiss propagation out
+        # of generated kernels, seed-range clamps, all compiled
+        affine_compiled = SliceEvaluator.for_sharded(
+            sharded_graph,
+            injective=injective,
+            compiled=True,
+            fallback=ShardedMatcher(
+                sharded_graph, injective=injective, compiled=True
+            ),
+        )
+        assert affine_compiled.count(query) == expected_count, context
+        assert match_key(affine_compiled.match(query)) == expected_matches, context
+        for limit, bounded in expected_bounded.items():
+            assert affine_compiled.count(query, limit=limit) == bounded, (
+                context,
+                limit,
+            )
+
 
 class TestDifferentialOracle:
-    """Acceptance (ISSUE 5): >= 100 seeded random cases, five execution
-    paths, zero divergences."""
+    """Acceptance: >= 100 seeded random cases, seven execution paths
+    (serial, compiled, sharded 1/2/4, thread, async, affine,
+    affine-compiled), zero divergences."""
 
     @pytest.mark.parametrize("seed", DIFFERENTIAL_SEEDS)
     def test_all_execution_paths_agree(self, seed, thread_pool, async_pool):

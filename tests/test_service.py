@@ -188,6 +188,35 @@ class TestRequests:
         assert stats["totals"]["matcher_calls"] > 0
         assert stats["per_graph"][0]["requests"] == 2
 
+    def test_compiled_counters_flow_into_stats(self, tiny_graph):
+        """Satellite (ISSUE 6): the compilation counters of every pooled
+        context's graph aggregate into the service totals."""
+
+        def factory(graph):
+            return ExecutionContext(graph, compiled=True)
+
+        service = WhyQueryService(context_factory=factory)
+        service.explain(tiny_graph, failing_query())
+        totals = service.stats()["totals"]
+        assert totals["programs_compiled"] > 0
+        assert totals["csr_builds"] > 0
+        assert totals["csr_bytes"] > 0
+        # drive one repeat evaluation through the pooled context: the
+        # program cache must serve it
+        service.context_for(tiny_graph).matcher.count(failing_query())
+        service.context_for(tiny_graph).matcher.count(failing_query())
+        assert service.stats()["totals"]["program_hits"] > 0
+
+    def test_interpreted_service_reports_zero_compiled_counters(self, tiny_graph):
+        def factory(graph):
+            return ExecutionContext(graph, compiled=False)
+
+        service = WhyQueryService(context_factory=factory)
+        service.explain(tiny_graph, failing_query())
+        totals = service.stats()["totals"]
+        assert totals["programs_compiled"] == 0
+        assert totals["program_hits"] == 0
+
 
 class TestConcurrency:
     def test_concurrent_explains_one_graph(self, tiny_graph):

@@ -32,6 +32,11 @@ def baseline_payload() -> dict:
             "typed": {"best_s": 0.001, "steps_per_count": 432},
             "legacy": {"best_s": 0.003, "steps_per_count": 9264},
         },
+        "compiled_match": {
+            "speedup": 11.0,
+            "rewrite_batch": {"speedup": 8.0},
+            "program_cache": {},
+        },
         "candidate_batch": {"speedup_32": 6.0, "batches": {"32": {"serial_s": 1.0}}},
         "process_pool": {
             "cpu_cores": 2,
@@ -108,11 +113,10 @@ class TestCoreAwareSpeedupGate:
         baseline = baseline_payload()
         fresh = copy.deepcopy(baseline)
         fresh["process_pool"].update(cpu_cores=1, speedup_2w=0.95)
-        fresh["sharded_expansion"].update(cpu_cores=1, speedup_2s=0.6)
         gate = check_trajectory(baseline, fresh)
         assert gate.failures == []
         skipped = [line for line in gate.lines if "SKIPPED" in line]
-        assert len(skipped) == 2
+        assert len(skipped) == 1
 
     def test_worker_cap_below_two_is_recorded_not_gated(self):
         """REPRO_BENCH_PROCESS_WORKERS=1 on a multi-core box records a
@@ -121,10 +125,9 @@ class TestCoreAwareSpeedupGate:
         baseline = baseline_payload()
         fresh = copy.deepcopy(baseline)
         fresh["process_pool"].update(cpu_cores=8, workers_cap=1, speedup_2w=0.9)
-        fresh["sharded_expansion"].update(cpu_cores=8, workers_cap=1, speedup_2s=0.8)
         gate = check_trajectory(baseline, fresh)
         assert gate.failures == []
-        assert sum("SKIPPED" in line for line in gate.lines) == 2
+        assert sum("SKIPPED" in line for line in gate.lines) == 1
 
     def test_multicore_regression_fails(self):
         baseline = baseline_payload()
@@ -154,6 +157,69 @@ class TestCoreAwareSpeedupGate:
         assert check_trajectory(baseline, fresh, tolerance).failures == []
         fresh["process_pool"]["speedup_2w"] = 1.8 * (1 - tolerance) - 0.01
         assert check_trajectory(baseline, fresh, tolerance).failures != []
+
+
+class TestCompiledMatchGate:
+    def test_regression_fails_even_on_single_core(self):
+        """Pure single-core CPU ratio: never skipped, like typed-expansion."""
+        baseline = baseline_payload()
+        fresh = copy.deepcopy(baseline)
+        fresh["compiled_match"]["speedup"] = 5.0  # below 11.0 * 0.75
+        gate = check_trajectory(baseline, fresh)
+        assert any("compiled-match speedup" in f for f in gate.failures)
+
+    def test_low_baseline_cannot_water_down_the_2x_target(self):
+        baseline = baseline_payload()
+        baseline["compiled_match"]["speedup"] = 1.0
+        fresh = copy.deepcopy(baseline)
+        fresh["compiled_match"]["speedup"] = 1.2  # below 2.0 * 0.75
+        gate = check_trajectory(baseline, fresh)
+        assert any("compiled-match speedup" in f for f in gate.failures)
+        fresh["compiled_match"]["speedup"] = 2.1
+        assert check_trajectory(baseline, fresh).failures == []
+
+    def test_rewrite_batch_gated_independently(self):
+        baseline = baseline_payload()
+        fresh = copy.deepcopy(baseline)
+        fresh["compiled_match"]["rewrite_batch"]["speedup"] = 1.0
+        gate = check_trajectory(baseline, fresh)
+        assert any("rewrite-batch" in f for f in gate.failures)
+
+
+class TestShardedExpansionGate:
+    def test_always_on_even_on_single_core(self):
+        """Compiled workers repay the IPC round trip without parallelism,
+        so this gate dropped its core-awareness: sub-serial fan-out fails
+        on a 1-core box too."""
+        baseline = baseline_payload()
+        fresh = copy.deepcopy(baseline)
+        fresh["sharded_expansion"].update(cpu_cores=1, speedup_2s=0.6)
+        gate = check_trajectory(baseline, fresh)
+        assert any("sharded-expansion" in f for f in gate.failures)
+
+    def test_lucky_baseline_is_clamped_to_two(self):
+        """A noisy-high committed ratio must not turn ordinary IPC jitter
+        into a gate failure: the baseline contributes at most 2.0."""
+        baseline = baseline_payload()
+        baseline["sharded_expansion"]["speedup_2s"] = 11.0
+        fresh = copy.deepcopy(baseline)
+        fresh["sharded_expansion"]["speedup_2s"] = 1.6  # above 2.0 * 0.75
+        assert check_trajectory(baseline, fresh).failures == []
+        fresh["sharded_expansion"]["speedup_2s"] = 1.4  # below the 1.5 floor
+        gate = check_trajectory(baseline, fresh)
+        assert any("sharded-expansion" in f for f in gate.failures)
+
+    def test_sub_serial_baseline_is_raised_to_one(self):
+        """A committed baseline below 1.0 cannot water the gate down to
+        accepting sub-serial fan-out."""
+        baseline = baseline_payload()
+        baseline["sharded_expansion"]["speedup_2s"] = 0.5
+        fresh = copy.deepcopy(baseline)
+        fresh["sharded_expansion"]["speedup_2s"] = 0.6  # below 1.0 * 0.75
+        gate = check_trajectory(baseline, fresh)
+        assert any("sharded-expansion" in f for f in gate.failures)
+        fresh["sharded_expansion"]["speedup_2s"] = 1.05
+        assert check_trajectory(baseline, fresh).failures == []
 
 
 class TestAffinePlacementGate:
