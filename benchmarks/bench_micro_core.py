@@ -25,7 +25,11 @@ across worker-process shard blocks) and the shard-affine placement
 record (``affine_placement``: per-worker wire-payload bytes under
 affine placement vs the full snapshot every full-mode worker receives
 -- deterministic, gated at >= 2x smaller at 4 shards -- next to the
-affine heavy-count wall-clock).  The JSON is the machine-readable
+affine heavy-count wall-clock) and the delta-sync churn record
+(``mutate_while_serving``: interleaved mutations absorbed by in-place
+CSR patching and by warm affine-worker catch-up, gated on the patch
+rate and the delta-vs-full-re-warm byte ratio).  The JSON is the
+machine-readable
 record of the hot-path performance trajectory; CI diffs a fresh run
 against the committed baseline with ``benchmarks/check_trajectory.py``
 and fails on >25% regression in the gated ratios.
@@ -550,7 +554,12 @@ def _process_workload(hubs: int = 300, fanout: int = 80, names: int = 72):
 def _process_pool_section(batch: int = 8, rounds: int = 3) -> dict:
     graph, variant, matches = _process_workload()
     cores = _cpu_cores()
-    worker_counts = sorted({1, min(2, PROCESS_WORKERS), PROCESS_WORKERS})
+    worker_counts = {1, min(2, PROCESS_WORKERS), PROCESS_WORKERS}
+    if cores >= 4 and PROCESS_WORKERS >= 4:
+        # a 4-worker point only means something when both the hardware
+        # and the cap allow 4-way overlap; 2-core CI records just 1/2
+        worker_counts.add(4)
+    worker_counts = sorted(worker_counts)
 
     # disjoint variant slices per timed round and per executor: every
     # measured count is a first-touch evaluation on both sides, so no
@@ -590,7 +599,7 @@ def _process_pool_section(batch: int = 8, rounds: int = 3) -> dict:
     )
 
     two_key = str(min(2, PROCESS_WORKERS))
-    return {
+    section = {
         "workload": {
             "hubs": 300,
             "fanout": 80,
@@ -607,6 +616,9 @@ def _process_pool_section(batch: int = 8, rounds: int = 3) -> dict:
         "workers": workers,
         "speedup_2w": workers[two_key]["speedup"],
     }
+    if "4" in workers:
+        section["speedup_4w"] = workers["4"]["speedup"]
+    return section
 
 
 def _timed(fn) -> float:
@@ -703,6 +715,143 @@ def _affine_placement_section(shard_counts=(2, 4), rounds: int = 3) -> dict:
         "affine_batch_s": affine_s,
         "speedup_2s": serial_s / affine_s if affine_s > 0 else float("inf"),
         "affine_fallbacks": info["affine_fallbacks"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# mutate-while-serving workload: the delta-sync pipeline under churn
+# ---------------------------------------------------------------------------
+
+
+def _mutate_while_serving_section(
+    csr_mutations: int = 24, catchup_mutations: int = 6
+) -> dict:
+    """Delta-sync record: serving cost of a mutation is O(delta).
+
+    Two deterministic sub-records plus a throughput number:
+
+    * ``csr``: ``csr_mutations`` rounds each apply one small delta (an
+      appended vertex+edge, an edge between existing vertices, or an
+      attribute flip) and then serve compiled queries.  The interned
+      CSR entry must absorb >= 90% of the rounds by in-place patching
+      (``csr_patches``) instead of rebuilding, with compiled counts
+      *and* ``steps`` identical to the interpreter after every patch.
+    * ``catchup``: an affine process pool absorbs single-edge deltas
+      between counts by shipping routed per-shard delta payloads to its
+      warm workers.  The pool must never tear down
+      (``warm_hit_rate`` == 1.0) and the delta bytes must be >= 5x
+      smaller than re-warming with the full per-worker payloads on
+      every mutation.  Byte ratios are deterministic -- no core gate.
+    """
+    # -- csr: in-place patching under interleaved mutation ------------------
+    graph = PropertyGraph()
+    hubs, fanout, names = 40, 20, 12
+    leaves = []
+    for _ in range(hubs):
+        hub = graph.add_vertex(type="hub")
+        for _ in range(fanout):
+            leaf = graph.add_vertex(type="leaf", name=f"n{len(leaves) % names}")
+            graph.add_edge(hub, leaf, "rel")
+            leaves.append(leaf)
+
+    def variant(index: int) -> GraphQuery:
+        q = GraphQuery()
+        h = q.add_vertex(predicates={"type": equals("hub")})
+        leaf_v = q.add_vertex(
+            predicates={"type": equals("leaf"), "name": equals(f"n{index % names}")}
+        )
+        q.add_edge(h, leaf_v, types={"rel"})
+        return q
+
+    interp = PatternMatcher(graph, compiled=False)
+    comp = PatternMatcher(graph, compiled=True)
+    served = [variant(i) for i in range(4)]
+    assert [comp.count(q) for q in served] == [interp.count(q) for q in served]
+
+    counts_identical = True
+    steps_identical = True
+    serve_s = 0.0
+    queries_served = 0
+    for i in range(csr_mutations):
+        kind = i % 3
+        if kind == 0:  # appended vertex + its edge
+            leaf = graph.add_vertex(type="leaf", name=f"n{i % names}")
+            graph.add_edge((i % hubs) * (fanout + 1), leaf, "rel")
+            leaves.append(leaf)
+        elif kind == 1:  # edge between existing vertices
+            graph.add_edge((i % hubs) * (fanout + 1), leaves[-1 - i], "rel")
+        else:  # attribute flip
+            graph.set_vertex_attribute(leaves[i], "name", f"n{(i + 5) % names}")
+        start = time.perf_counter()
+        compiled_counts = [comp.count(q) for q in served]
+        serve_s += time.perf_counter() - start
+        queries_served += len(served)
+        counts_identical &= compiled_counts == [interp.count(q) for q in served]
+        # steps-identity directly after the patch: the patched kernel
+        # visits exactly the interpreter's candidates
+        interp.steps = comp.steps = 0
+        interp.count(served[0])
+        comp.count(served[0])
+        steps_identical &= interp.steps == comp.steps
+
+    stats = csr_stats(graph)
+    refreshes = stats["csr_patches"] + stats["csr_rebuilds"]
+    patch_rate = stats["csr_patches"] / refreshes if refreshes else 0.0
+
+    # -- catchup: warm affine pool absorbing single-edge deltas --------------
+    big_graph, big_variant, _ = _process_workload()
+    cores = _cpu_cores()
+    workers = min(2, PROCESS_WORKERS) if PROCESS_WORKERS else 2
+    slices = iter(range(10_000))
+    matcher = PatternMatcher(big_graph)
+    with ProcessExecutor(
+        big_graph, max_workers=workers, shards=4, placement="affine"
+    ) as executor:
+        executor.warm_up()
+        executor.count_sharded(big_variant(next(slices)))  # warm pools
+        hub_stride = 81  # hubs are created before their 80 leaves
+        catchup_counts_ok = True
+        for i in range(catchup_mutations):
+            # deliberately long-range: most of these cross shard
+            # boundaries, exercising halo + boundary-row routing
+            big_graph.add_edge(i * hub_stride, (299 - i) * hub_stride, "rel")
+            q = big_variant(next(slices))
+            catchup_counts_ok &= executor.count_sharded(q) == matcher.count(q)
+        info = executor.info()
+    full_rewarm_bytes = sum(info["payload_bytes_per_worker"]) * catchup_mutations
+    delta_bytes = info["delta_bytes"]
+    reship_ratio = full_rewarm_bytes / delta_bytes if delta_bytes else float("inf")
+    warm_hit_rate = (
+        info["worker_catchups"] / catchup_mutations if catchup_mutations else 0.0
+    )
+
+    return {
+        "csr": {
+            "workload": {"hubs": hubs, "fanout": fanout, "names": names},
+            "mutations": csr_mutations,
+            "patches": stats["csr_patches"],
+            "rebuilds": stats["csr_rebuilds"],
+            "patch_rate": patch_rate,
+            "deltas_applied": stats["deltas_applied"],
+            "program_hits": stats["program_hits"],
+            "counts_identical": counts_identical,
+            "steps_identical": steps_identical,
+            "serve_qps": queries_served / serve_s if serve_s > 0 else float("inf"),
+        },
+        "catchup": {
+            "cpu_cores": cores,
+            "workers": workers,
+            "shards": 4,
+            "mutations": catchup_mutations,
+            "worker_catchups": info["worker_catchups"],
+            "warm_hit_rate": warm_hit_rate,
+            "pool_rebuilds": info["pool_rebuilds"],
+            "affine_fallbacks": info["affine_fallbacks"],
+            "counts_identical": catchup_counts_ok,
+            "delta_bytes": delta_bytes,
+            "full_rewarm_bytes": full_rewarm_bytes,
+            "reship_ratio": reship_ratio,
+        },
     }
 
 
@@ -846,10 +995,11 @@ def test_micro_emit_machine_readable(ldbc_bundle):
     process_pool = _process_pool_section()
     sharded_expansion = _sharded_expansion_section()
     affine_placement = _affine_placement_section()
+    mutate_while_serving = _mutate_while_serving_section()
 
     payload = {
         "benchmark": "bench_micro_core",
-        "schema_version": 6,
+        "schema_version": 7,
         "typed_expansion": {
             "workload": {
                 "hubs": 48,
@@ -867,6 +1017,7 @@ def test_micro_emit_machine_readable(ldbc_bundle):
         "process_pool": process_pool,
         "sharded_expansion": sharded_expansion,
         "affine_placement": affine_placement,
+        "mutate_while_serving": mutate_while_serving,
         "ops": ops,
         "cache_counters": {
             "plan": plan_cache_stats(ldbc_bundle.graph).as_dict(),
@@ -883,7 +1034,10 @@ def test_micro_emit_machine_readable(ldbc_bundle):
         f"async-service speedup@32 {async_service['speedup_32']:.1f}x, "
         f"process-pool speedup@2w {process_pool['speedup_2w']:.2f}x, "
         f"sharded speedup@2s {sharded_expansion['speedup_2s']:.2f}x, "
-        f"affine payload ratio@4s {affine_placement['payload_ratio_4s']:.1f}x "
+        f"affine payload ratio@4s {affine_placement['payload_ratio_4s']:.1f}x, "
+        f"delta-sync patch rate "
+        f"{mutate_while_serving['csr']['patch_rate']:.2f} / reship ratio "
+        f"{mutate_while_serving['catchup']['reship_ratio']:.0f}x "
         f"on {process_pool['cpu_cores']} core(s))"
     )
 
@@ -929,3 +1083,16 @@ def test_micro_emit_machine_readable(ldbc_bundle):
         "payload_ratio_4s"
     ]
     assert affine_placement["affine_fallbacks"] == 0
+    # acceptance (delta-sync): interleaved small mutations are absorbed
+    # by in-place CSR patching on >= 90% of refreshes, with the patched
+    # kernels count- and steps-identical to the interpreter; the affine
+    # pool absorbs every single-edge delta warm and reships >= 5x fewer
+    # bytes than a full per-worker re-warm.  All deterministic (counts
+    # and bytes, not wall-clock) -- no core gate.
+    mws_csr = mutate_while_serving["csr"]
+    mws_catchup = mutate_while_serving["catchup"]
+    assert mws_csr["patch_rate"] >= 0.9, mws_csr["patch_rate"]
+    assert mws_csr["counts_identical"] and mws_csr["steps_identical"], mws_csr
+    assert mws_catchup["warm_hit_rate"] == 1.0, mws_catchup
+    assert mws_catchup["counts_identical"], mws_catchup
+    assert mws_catchup["reship_ratio"] >= 5.0, mws_catchup["reship_ratio"]

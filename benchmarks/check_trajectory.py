@@ -41,7 +41,16 @@ fails (exit code 1) when the trajectory regressed:
   shard-affine placement vs the full snapshot at 4 shards.  Bytes are
   deterministic (no timing involved), so this gate is *not* core-aware:
   the fresh ratio must clear the stronger of the committed baseline and
-  the 2x acceptance target on every machine.
+  the 2x acceptance target on every machine;
+* **delta-sync churn** (``mutate_while_serving``): the CSR patch rate
+  (fraction of mutation-triggered refreshes absorbed in place instead
+  of rebuilding, floored at the 90% acceptance target), the affine
+  warm-hit rate (fraction of mutations absorbed by shipping deltas to
+  warm workers instead of tearing the pool down) and the reship ratio
+  (full per-worker re-warm bytes vs delta bytes, expectation the
+  stronger of the committed baseline and the 5x acceptance target).
+  All three are deterministic counts/bytes -- *not* core-aware -- and
+  the rate/ratio gates fail on a > ``--max-regression`` drop.
 
 Speedups are *ratios of two measurements taken on the same machine in
 the same process*, so they are comparable across the baseline's machine
@@ -217,6 +226,21 @@ def check_trajectory(
         target=1.5,
         tolerance=max_regression,
     )
+    # the 4-worker point exists only when both the hardware and the
+    # worker cap allow 4-way overlap; absence on one side only is
+    # structural drift (caught above), so both sides have it here
+    if "speedup_4w" in fresh.get("process_pool", {}):
+        check_multicore_speedup(
+            gate,
+            "process-pool speedup @4 workers",
+            baseline,
+            fresh,
+            "process_pool",
+            "speedup_4w",
+            target=2.0,
+            tolerance=max_regression,
+            min_units=4,
+        )
     # compiled workers beat the interpreted serial baseline on any core
     # count, so this gate dropped its core-awareness (and its old 1.1x
     # multi-core target) for an always-on floor.  The ratio mixes a
@@ -251,6 +275,33 @@ def check_trajectory(
         target=1.1,
         tolerance=max_regression,
     )
+    # delta-sync gates: deterministic counts and byte ratios, never
+    # wall-clock, so none of these honour cpu_cores.  The patch-rate
+    # floor combines the committed baseline (within tolerance) with the
+    # 90% acceptance target -- a patch pipeline that silently degrades
+    # to rebuilding fails here even if the baseline already had slack.
+    gate.check_not_below(
+        "delta-sync csr patch rate",
+        max(
+            dig(baseline, "mutate_while_serving.csr.patch_rate")
+            * (1.0 - max_regression),
+            0.9,
+        ),
+        dig(fresh, "mutate_while_serving.csr.patch_rate"),
+        0.0,
+    )
+    gate.check_not_below(
+        "delta-sync affine warm-hit rate",
+        dig(baseline, "mutate_while_serving.catchup.warm_hit_rate"),
+        dig(fresh, "mutate_while_serving.catchup.warm_hit_rate"),
+        max_regression,
+    )
+    gate.check_not_below(
+        "delta-sync reship ratio (full re-warm bytes / delta bytes)",
+        max(dig(baseline, "mutate_while_serving.catchup.reship_ratio"), 5.0),
+        dig(fresh, "mutate_while_serving.catchup.reship_ratio"),
+        max_regression,
+    )
     return gate
 
 
@@ -263,29 +314,30 @@ def check_multicore_speedup(
     metric: str,
     target: float,
     tolerance: float,
+    min_units: int = 2,
 ) -> None:
     """Ratio-gate a process-parallel speedup, honouring the hardware.
 
     The expectation is the *stronger* of the baseline's recorded ratio
     and the absolute multi-core target, so a baseline regenerated on a
     single-core box (ratio ~1.0) cannot water the gate down for
-    multi-core CI runners.  On a fresh run with < 2 cores -- or with
-    ``REPRO_BENCH_PROCESS_WORKERS`` capped below 2 (the section records
-    it as ``workers_cap``) -- the number is physically meaningless as a
-    parallelism signal: recorded + skipped.
+    multi-core CI runners.  On a fresh run with < ``min_units`` cores
+    -- or with ``REPRO_BENCH_PROCESS_WORKERS`` capped below it (the
+    section records it as ``workers_cap``) -- the number is physically
+    meaningless as a parallelism signal: recorded + skipped.
     """
     fresh_cores = dig(fresh, f"{section}.cpu_cores")
     fresh_cap = dig(fresh, f"{section}.workers_cap")
     fresh_speedup = dig(fresh, f"{section}.{metric}")
-    if fresh_cores < 2 or fresh_cap < 2:
+    if fresh_cores < min_units or fresh_cap < min_units:
         reason = (
             f"fresh run had {fresh_cores:.0f} CPU core(s)"
-            if fresh_cores < 2
+            if fresh_cores < min_units
             else f"REPRO_BENCH_PROCESS_WORKERS capped workers at {fresh_cap:.0f}"
         )
         gate.ok(
             f"{name}: recorded {fresh_speedup:.3f} but SKIPPED the gate "
-            f"({reason}; process parallelism needs >= 2)"
+            f"({reason}; process parallelism needs >= {min_units})"
         )
         return
     expected = max(dig(baseline, f"{section}.{metric}"), target)

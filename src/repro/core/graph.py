@@ -31,18 +31,36 @@ Storage-layer invariants
 * **O(1) counts.**  ``num_edges_of_type``, ``num_vertices_with``,
   ``out_degree_of_type`` and ``in_degree_of_type`` are constant-time reads
   of maintained structures; no histogram dict is rebuilt per call.
-* **Version counter.**  Every mutation (``add_vertex``/``add_edge``) bumps
-  ``version``; evaluation-layer caches (plan cache, candidate cache in
+* **Version counter.**  Every mutation (``add_vertex``/``add_edge``/
+  ``set_vertex_attribute``/``set_edge_attribute``) bumps ``version``;
+  evaluation-layer caches (plan cache, candidate cache in
   :mod:`repro.matching.evalcache`) snapshot it and self-invalidate when the
   graph has changed.
+* **Mutation delta log.**  Every version bump also appends one compact
+  delta record to a bounded ring; :meth:`PropertyGraph.deltas_since`
+  hands consumers (the CSR index, the evaluation caches, the shard
+  executors) exactly the records between their snapshot version and the
+  current one, so they can patch in O(delta) instead of rebuilding in
+  O(graph).  A consumer that lagged past the ring bound gets ``None``
+  and falls back to the wholesale rebuild it would have done anyway.
+
+Delta record format (plain tuples, wire-friendly):
+
+* ``("v", vid, attrs)``         -- ``add_vertex``
+* ``("e", eid, source, target, type, attrs)`` -- ``add_edge``
+* ``("va", vid, attr, value)``  -- ``set_vertex_attribute``
+* ``("ea", eid, attr, value)``  -- ``set_edge_attribute``
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import (
     AbstractSet,
     Any,
+    Deque,
     Dict,
     FrozenSet,
     Iterable,
@@ -97,6 +115,11 @@ class _VertexCell:
 _EMPTY_SEQ: Tuple[int, ...] = ()
 _EMPTY_SET: FrozenSet[int] = frozenset()
 
+#: Bound on the retained mutation delta ring.  Consumers lagging more
+#: than this many mutations behind the graph's current version cannot
+#: catch up incrementally and fall back to a full rebuild.
+DELTA_RING_LIMIT = 4096
+
 
 class PropertyGraph:
     """A directed multigraph with attributed vertices and typed edges.
@@ -121,6 +144,10 @@ class PropertyGraph:
         self._type_index: Dict[str, Set[int]] = {}
         # bumped on every mutation; caches snapshot it to self-invalidate
         self._version = 0
+        # bounded ring of delta records, one per version bump: record i
+        # (from the right) describes the transition into version
+        # ``_version - i + 1``
+        self._delta_log: Deque[Tuple] = deque(maxlen=DELTA_RING_LIMIT)
 
     @property
     def version(self) -> int:
@@ -135,11 +162,32 @@ class PropertyGraph:
         version unrelated to the snapshot's.  Worker processes key their
         caches (and the coordinator keys snapshot staleness) off the
         *original* version, so the deserializer restores it exactly.
+        The delta log is cleared -- its records are aligned to the replay
+        versions, not the restored one.
         Internal: only :mod:`repro.core.serialize` should call this.
         """
         if version < 0:
             raise ValueError("version must be >= 0")
         self._version = version
+        self._delta_log.clear()
+
+    def deltas_since(self, version: int) -> Optional[Tuple[Tuple, ...]]:
+        """The delta records applied after ``version``, oldest first.
+
+        Returns ``()`` when the consumer is already current, the exact
+        record run when the ring still holds it, and ``None`` when the
+        consumer lagged past the ring bound (or claims a version this
+        graph never reached) -- the caller must rebuild from scratch.
+        """
+        lag = self._version - version
+        if lag == 0:
+            return ()
+        if lag < 0 or lag > len(self._delta_log):
+            return None
+        log = self._delta_log
+        if lag == len(log):
+            return tuple(log)
+        return tuple(islice(log, len(log) - lag, None))
 
     # -- construction ------------------------------------------------------
 
@@ -158,6 +206,7 @@ class PropertyGraph:
         for attr in self._indexed_attrs & attributes.keys():
             self._vertex_index[attr].setdefault(attributes[attr], set()).add(vid)
         self._version += 1
+        self._delta_log.append(("v", vid, dict(attributes)))
         return vid
 
     def add_edge(
@@ -188,7 +237,43 @@ class PropertyGraph:
         target_cell.in_by_type.setdefault(type, []).append(eid)
         self._type_index.setdefault(type, set()).add(eid)
         self._version += 1
+        self._delta_log.append(("e", eid, source, target, type, dict(attributes)))
         return eid
+
+    def set_vertex_attribute(self, vid: int, attr: str, value: Any) -> None:
+        """Set (or overwrite) one attribute of an existing vertex.
+
+        Maintains the attribute value index incrementally and logs a
+        compact delta, so version-keyed consumers patch rather than
+        rebuild.
+        """
+        try:
+            cell = self._vertices[vid]
+        except KeyError:
+            raise UnknownVertexError(vid) from None
+        if attr in self._indexed_attrs:
+            index = self._vertex_index[attr]
+            if attr in cell.attributes:
+                bucket = index.get(cell.attributes[attr])
+                if bucket is not None:
+                    bucket.discard(vid)
+                    if not bucket:
+                        del index[cell.attributes[attr]]
+            index.setdefault(value, set()).add(vid)
+        cell.attributes[attr] = value
+        self._version += 1
+        self._delta_log.append(("va", vid, attr, value))
+
+    def set_edge_attribute(self, eid: int, attr: str, value: Any) -> None:
+        """Set (or overwrite) one attribute of an existing edge."""
+        try:
+            record = self._edges[eid]
+        except KeyError:
+            raise UnknownEdgeError(eid) from None
+        # EdgeRecord is frozen but owns its (mutable) attribute dict
+        record.attributes[attr] = value  # type: ignore[index]
+        self._version += 1
+        self._delta_log.append(("ea", eid, attr, value))
 
     # -- element access ----------------------------------------------------
 

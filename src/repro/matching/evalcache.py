@@ -18,21 +18,27 @@ index is touched at most once per distinct constraint:
   weak registry), so every component bound to the same graph shares hits
   automatically without explicit plumbing.
 
-Caches snapshot :attr:`PropertyGraph.version` and self-invalidate when
-the graph has been mutated since they were filled.  All caches expose
-:class:`CacheStats` hit/miss counters; the harness reports them next to
-the matcher's ``calls``/``steps`` instrumentation.
+Caches snapshot :attr:`PropertyGraph.version` and, when the graph's
+delta log still holds the records between that snapshot and the current
+version, *patch* their candidate sets record by record instead of
+clearing: a new vertex joins every cached set whose retained predicate
+map it satisfies, an attribute write re-evaluates exactly the sets
+mentioning that attribute, and edge records are no-ops (candidate sets
+are vertex-only).  The wholesale clear remains the fallback when the
+ring has been overrun.  All caches expose :class:`CacheStats` hit/miss
+counters; the harness reports them next to the matcher's
+``calls``/``steps`` instrumentation.
 """
 
 from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, Optional
+from typing import Any, Dict, FrozenSet, Hashable, Optional
 
 from repro.core.graph import PropertyGraph
 from repro.core.query import QueryVertex
-from repro.matching.candidates import vertex_candidates
+from repro.matching.candidates import attributes_match, vertex_candidates
 
 
 @dataclass
@@ -87,6 +93,9 @@ class EvaluationCache:
         self._graph_ref = weakref.ref(graph)
         self._version = graph.version
         self._vertex_candidates: Dict[Hashable, Optional[FrozenSet[int]]] = {}
+        #: signature -> the predicate map the entry was filled from,
+        #: retained so a delta patch can re-test single vertices
+        self._preds: Dict[Hashable, Dict[str, Any]] = {}
         self.stats = CacheStats()
 
     @property
@@ -97,10 +106,52 @@ class EvaluationCache:
         return graph
 
     def _validate(self, graph: PropertyGraph) -> None:
-        if graph.version != self._version:
+        if graph.version == self._version:
+            return
+        deltas_since = getattr(graph, "deltas_since", None)
+        deltas = deltas_since(self._version) if deltas_since is not None else None
+        if deltas is None:
             self._vertex_candidates.clear()
-            self._version = graph.version
+            self._preds.clear()
             self.stats.size = 0
+        else:
+            self._apply_deltas(graph, deltas)
+        self._version = graph.version
+
+    def _apply_deltas(self, graph: PropertyGraph, deltas) -> None:
+        """Patch the cached candidate sets with a pending delta run.
+
+        Entries are immutable shared frozensets, so membership changes
+        *replace* the stored set rather than mutating it -- results
+        already handed out keep describing the version they were
+        computed at.  ``None`` entries (unconstrained vertices) stay
+        ``None``: they mean "no filtering", which survives any
+        mutation.  Halo-vertex records (``"hv"``) are skipped because
+        candidate sets cover the owned range only.
+        """
+        entries = self._vertex_candidates
+        preds_of = self._preds
+        for record in deltas:
+            kind = record[0]
+            if kind == "v":
+                vid, attrs = record[1], record[2]
+                for key, entry in entries.items():
+                    if entry is None:
+                        continue
+                    if attributes_match(attrs, preds_of[key]):
+                        entries[key] = entry | {vid}
+            elif kind == "va":
+                vid, attr = record[1], record[2]
+                attrs = graph.vertex_attributes(vid)
+                for key, entry in entries.items():
+                    if entry is None or attr not in preds_of[key]:
+                        continue
+                    if attributes_match(attrs, preds_of[key]):
+                        if vid not in entry:
+                            entries[key] = entry | {vid}
+                    elif vid in entry:
+                        entries[key] = entry - {vid}
+            # "e" / "ea" / "hv": candidate sets are owned-vertex-only
 
     def vertex_candidates(self, qvertex: QueryVertex) -> Optional[FrozenSet[int]]:
         """Cached :func:`repro.matching.candidates.vertex_candidates`.
@@ -118,6 +169,7 @@ class EvaluationCache:
             self.stats.misses += 1
             result = vertex_candidates(graph, qvertex)
             self._vertex_candidates[key] = result
+            self._preds[key] = dict(qvertex.predicates)
             self.stats.size = len(self._vertex_candidates)
             return result
         self.stats.hits += 1
@@ -126,6 +178,7 @@ class EvaluationCache:
     def clear(self) -> None:
         """Drop all entries (counters are kept)."""
         self._vertex_candidates.clear()
+        self._preds.clear()
         self.stats.size = 0
 
     def __len__(self) -> int:

@@ -16,8 +16,14 @@ they are memoised in a per-graph cache: the rewriting engines re-evaluate
 the same query variants through independently constructed matchers
 (priority comparisons, preference rounds), and repeated evaluation of a
 variant must not re-pay selectivity estimation.  The cache snapshots the
-graph's mutation counter and self-invalidates when the graph changes;
-:func:`plan_cache_stats` exposes its hit/miss counters to the harness.
+graph's mutation counter; when the graph moves, invalidation is
+*delta-scoped*: plans pinned by an explicit ``edge_order`` are
+statistics-independent and always survive, and selectivity-ordered
+plans are dropped only when the pending delta run touches an attribute
+or edge type their query depends on (see :mod:`repro.core.delta`).
+With no delta log (or a ring overrun) the wholesale clear remains the
+fallback.  :func:`plan_cache_stats` exposes hit/miss counters to the
+harness.
 """
 
 from __future__ import annotations
@@ -26,6 +32,12 @@ import weakref
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.core.delta import (
+    QueryTouchProfile,
+    delta_touch,
+    query_touch_profile,
+    touch_affects_query,
+)
 from repro.core.graph import PropertyGraph
 from repro.core.query import GraphQuery
 from repro.matching.candidates import (
@@ -62,11 +74,13 @@ PlanStep = Union[SeedStep, ExpandStep]
 class _PlanCache:
     """Per-graph memo of built plans, keyed by (query signature, order)."""
 
-    __slots__ = ("version", "entries", "stats")
+    __slots__ = ("version", "entries", "profiles", "stats")
 
     def __init__(self, version: int) -> None:
         self.version = version
         self.entries: Dict[Hashable, List[PlanStep]] = {}
+        #: key -> touch profile of the query the plan was built for
+        self.profiles: Dict[Hashable, QueryTouchProfile] = {}
         self.stats = CacheStats()
 
 
@@ -81,9 +95,28 @@ def _plan_cache(graph: PropertyGraph) -> _PlanCache:
         cache = _PlanCache(graph.version)
         _PLAN_CACHES[graph] = cache
     elif cache.version != graph.version:
-        cache.entries.clear()
+        deltas_since = getattr(graph, "deltas_since", None)
+        deltas = deltas_since(cache.version) if deltas_since is not None else None
+        if deltas is None:
+            cache.entries.clear()
+            cache.profiles.clear()
+        else:
+            # Pinned edge_order plans (key[1] is not None) are pure
+            # functions of the query and always survive.  Selectivity
+            # plans survive unless the delta touches their statistics;
+            # a kept-but-suboptimal ordering stays *correct* -- only
+            # its fail-fast quality could lag the new statistics.
+            touch = delta_touch(deltas)
+            stale = [
+                key
+                for key, profile in cache.profiles.items()
+                if key[1] is None and touch_affects_query(touch, profile)
+            ]
+            for key in stale:
+                del cache.entries[key]
+                del cache.profiles[key]
         cache.version = graph.version
-        cache.stats.size = 0
+        cache.stats.size = len(cache.entries)
     return cache
 
 
@@ -117,6 +150,7 @@ def build_plan(
     cache.stats.misses += 1
     plan = _build_plan_uncached(graph, query, edge_order)
     cache.entries[key] = plan
+    cache.profiles[key] = query_touch_profile(query)
     cache.stats.size = len(cache.entries)
     return plan
 

@@ -416,17 +416,29 @@ def compiled_program(
 
     Resolution goes *through* the plan cache: the plan is the memoised
     pure function of ``(graph, query signature, edge_order)`` already,
-    so the program cache keys on the plan object's identity extended by
-    the injectivity mode the kernel is specialized for (each program
-    holds its plan, pinning that identity).  Plan-cache hit counters
+    so the program cache keys on the query signature plus the plan's
+    step content, extended by the injectivity mode the kernel is
+    specialized for (steps are frozen dataclasses, so equal plans for
+    the same query -- including ones the delta-scoped plan cache
+    re-derived after a statistics change -- share one compiled
+    kernel).  Plan-cache hit counters
     therefore keep reporting variant reuse exactly as on the interpreter
     path.  The program cache lives on the
-    :class:`~repro.matching.csr.CSRIndex` and dies with it when the
-    graph mutates -- the same version the plan cache self-invalidates on.
+    :class:`~repro.matching.csr.CSRIndex`.  When a mutation is patched
+    into the index in place (:meth:`CSRIndex.apply_deltas`) the
+    programs survive -- their bound arrays are the very objects the
+    patch extended; only a full rebuild (or an empty adjacency segment
+    turning non-empty, which invalidates lowered pruning decisions)
+    discards them.
     """
     entry = csr_entry(graph)
     plan = build_plan(graph, query, edge_order)
-    key = (id(plan), injective)
+    # key on the query's signature *and* the plan's step content (steps
+    # are frozen dataclasses): a plan the delta-scoped cache dropped and
+    # re-derived identically maps back to its already-compiled kernel,
+    # while same-shaped queries with different predicates -- whose plans
+    # carry only vertex/edge ids -- never collide
+    key = (query.signature(), tuple(plan), injective)
     program = entry.csr.programs.get(key)
     if program is None:
         program = MatchProgram(entry.csr, plan, query, injective, evalcache)

@@ -13,6 +13,12 @@ from __future__ import annotations
 import threading
 from typing import Dict, Hashable, Optional
 
+from repro.core.delta import (
+    QueryTouchProfile,
+    delta_touch,
+    query_touch_profile,
+    touch_affects_query,
+)
 from repro.core.query import GraphQuery
 from repro.matching.evalcache import CacheStats, EvaluationCache
 from repro.matching.matcher import PatternMatcher
@@ -55,6 +61,8 @@ class QueryResultCache:
         self.max_entries = max_entries
         self._version = matcher.graph.version
         self._entries: Dict[Hashable, tuple] = {}
+        #: key -> touch profile of the cached query, for delta scoping
+        self._profiles: Dict[Hashable, QueryTouchProfile] = {}
         self._lock = threading.Lock()
         self.stats = CacheStats()
 
@@ -64,11 +72,34 @@ class QueryResultCache:
         return self.matcher.evalcache
 
     def _validate_locked(self) -> None:
-        """Self-invalidate when the data graph has been mutated."""
-        if self.matcher.graph.version != self._version:
+        """Catch up with a mutated data graph, delta-scoped.
+
+        While the graph's delta log still holds the records since this
+        cache's snapshot, only entries whose query depends on a touched
+        attribute or edge type are dropped; a count over untouched
+        types/attributes cannot have changed.  No log (or an overrun
+        ring) falls back to the wholesale clear.
+        """
+        graph = self.matcher.graph
+        if graph.version == self._version:
+            return
+        deltas_since = getattr(graph, "deltas_since", None)
+        deltas = deltas_since(self._version) if deltas_since is not None else None
+        if deltas is None:
             self._entries.clear()
-            self._version = self.matcher.graph.version
-            self.stats.size = 0
+            self._profiles.clear()
+        else:
+            touch = delta_touch(deltas)
+            stale = [
+                key
+                for key, profile in self._profiles.items()
+                if touch_affects_query(touch, profile)
+            ]
+            for key in stale:
+                del self._entries[key]
+                del self._profiles[key]
+        self._version = graph.version
+        self.stats.size = len(self._entries)
 
     def count(self, query: GraphQuery, limit: Optional[int] = None) -> int:
         """Cardinality of ``query`` (bounded by ``limit``), cached."""
@@ -101,10 +132,13 @@ class QueryResultCache:
             # also lands in the most-recently-used position
             self._entries.pop(key, None)
             self._entries[key] = (count, limit)
+            self._profiles[key] = query_touch_profile(query)
             if self.max_entries is not None:
                 # dicts iterate in insertion/promotion order: evict LRU-first
                 while len(self._entries) > self.max_entries:
-                    del self._entries[next(iter(self._entries))]
+                    evicted = next(iter(self._entries))
+                    del self._entries[evicted]
+                    self._profiles.pop(evicted, None)
             self.stats.size = len(self._entries)
         return count
 
@@ -112,6 +146,7 @@ class QueryResultCache:
         """Drop all entries (used when the data graph changes)."""
         with self._lock:
             self._entries.clear()
+            self._profiles.clear()
             self.stats.size = 0
 
     def __len__(self) -> int:

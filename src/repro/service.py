@@ -739,6 +739,10 @@ class WhyQueryService:
                 "program_hits": 0,
                 "csr_builds": 0,
                 "csr_bytes": 0,
+                "csr_patches": 0,
+                "csr_rebuilds": 0,
+                "csr_evictions": 0,
+                "deltas_applied": 0,
             }
             process_pools: Optional[Dict[str, int]] = None
             if self.process_mode:
@@ -758,6 +762,10 @@ class WhyQueryService:
                     "payload_bytes": 0,
                     "full_snapshot_bytes": 0,
                     "affine_fallbacks": 0,
+                    # mutations absorbed without pool teardown, and the
+                    # delta payload bytes the catch-ups shipped
+                    "worker_catchups": 0,
+                    "delta_bytes": 0,
                 }
             for entry in self._pool.values():
                 report = entry.context.cache_report()
@@ -774,6 +782,10 @@ class WhyQueryService:
                 totals["program_hits"] += int(programs.get("program_hits", 0))
                 totals["csr_builds"] += int(programs.get("csr_builds", 0))
                 totals["csr_bytes"] += int(programs.get("csr_bytes", 0))
+                totals["csr_patches"] += int(programs.get("csr_patches", 0))
+                totals["csr_rebuilds"] += int(programs.get("csr_rebuilds", 0))
+                totals["csr_evictions"] += int(programs.get("csr_evictions", 0))
+                totals["deltas_applied"] += int(programs.get("deltas_applied", 0))
                 graph_stats: Dict[str, object] = {
                     "graph": repr(entry.context.graph),
                     "version": entry.version,
@@ -804,6 +816,12 @@ class WhyQueryService:
                         )
                         process_pools["affine_fallbacks"] += int(
                             pool_info.get("affine_fallbacks", 0)
+                        )
+                        process_pools["worker_catchups"] += int(
+                            pool_info.get("worker_catchups", 0)
+                        )
+                        process_pools["delta_bytes"] += int(
+                            pool_info.get("delta_bytes", 0)
                         )
                     else:
                         # the full snapshot is shipped to every worker

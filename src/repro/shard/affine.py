@@ -42,10 +42,11 @@ the unsharded count.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from typing import (
     AbstractSet,
     Any,
+    Deque,
     Dict,
     FrozenSet,
     Iterator,
@@ -78,6 +79,10 @@ _EMPTY_SET: FrozenSet[int] = frozenset()
 #: long-lived worker serves every distinct rewriting candidate a service
 #: ever searches and must not grow without limit
 _MEMO_ENTRIES = 10_000
+
+#: bound on the per-slice ring of applied delta batches; consumers that
+#: lag more than this many catch-up rounds rebuild their derived state
+_DELTA_BATCH_LIMIT = 256
 
 
 class ShardMiss(GraphError, LookupError):
@@ -175,6 +180,14 @@ class ShardSlice:
         #: lazily built attr -> value -> owned vertex ids
         self._vertex_index: Dict[str, Dict[Any, Set[int]]] = {}
         self._indexed_attrs: Set[str] = set()
+        #: applied catch-up batches as (from_version, to_version,
+        #: records); batch-granular because the slice only ever moves
+        #: whole wire batches, so consumers (the CSR index, the
+        #: evaluation cache) only observe batch-boundary versions
+        self._delta_batches: Deque[Tuple[int, int, Tuple[Tuple, ...]]] = deque(
+            maxlen=_DELTA_BATCH_LIMIT
+        )
+        self.deltas_applied = 0
 
     # -- ownership / identity ---------------------------------------------------
 
@@ -307,6 +320,129 @@ class ShardSlice:
             self.create_vertex_index(attr)
         return {value: len(vids) for value, vids in self._vertex_index[attr].items()}
 
+    # -- delta catch-up -------------------------------------------------------------
+
+    def deltas_since(self, version: int) -> Optional[Tuple[Tuple, ...]]:
+        """Applied delta records after ``version``, or ``None`` when
+        ``version`` is not a retained batch boundary (ring overrun or a
+        mid-batch version that can never be observed)."""
+        if version == self._version:
+            return ()
+        collected: List[Tuple] = []
+        found = False
+        for from_version, _to_version, records in self._delta_batches:
+            if found:
+                collected.extend(records)
+            elif from_version == version:
+                found = True
+                collected.extend(records)
+        if not found:
+            return None
+        return tuple(collected)
+
+    def apply_wire_delta(self, payload: Mapping[str, Any]) -> int:
+        """Apply one routed catch-up payload (see
+        :func:`repro.core.serialize.route_deltas`); returns the number
+        of records applied.
+
+        The payload must continue exactly where this slice stands
+        (``from_version == version``) -- the coordinator ships
+        contiguous runs.  Application is idempotent per record: an
+        ``"hv"`` for a vertex already held, or an edge already present,
+        is skipped (cross-shard routing legitimately produces them).
+        Only records the packed-index layer understands are logged for
+        :meth:`deltas_since`; boundary-index rows (``"be"``) apply
+        without being logged.
+        """
+        from repro.core.serialize import delta_from_wire
+
+        from_version, to_version, records = delta_from_wire(payload)
+        if payload.get("shard") not in (None, self.index):
+            raise ValueError(
+                f"delta payload routed to shard {payload.get('shard')}, "
+                f"applied to slice {self.index}"
+            )
+        if from_version != self._version:
+            raise ValueError(
+                f"delta run starts at version {from_version}, slice is at "
+                f"{self._version}; re-ship the snapshot"
+            )
+        applied: List[Tuple] = []
+        for record in records:
+            if self._apply_record(record):
+                applied.append(record)
+        self._delta_batches.append((self._version, to_version, tuple(applied)))
+        self._version = to_version
+        self.deltas_applied += len(applied)
+        return len(applied)
+
+    def _apply_record(self, record: Tuple) -> bool:
+        """Apply one delta record; ``True`` when it changed state the
+        packed-index layer must hear about (and so must be logged)."""
+        kind = record[0]
+        if kind == "hv":
+            vid, attrs = record[1], record[2]
+            if vid in self._cells or vid in self._halo:
+                return False
+            self._halo[vid] = dict(attrs)
+            return True
+        if kind == "e":
+            eid = record[1]
+            if eid in self._edges:
+                return False
+            source, target, type_, attrs = record[2], record[3], record[4], record[5]
+            if not self.has_vertex(source) or not self.has_vertex(target):
+                raise ValueError(
+                    f"edge {eid} routed to shard {self.index} before its "
+                    "endpoints; malformed delta run"
+                )
+            edge = EdgeRecord(eid, source, target, type_, dict(attrs))
+            self._edges[eid] = edge
+            cell = self._cells.get(source)
+            if cell is not None:
+                cell.out_edges.append(eid)
+                cell.out_by_type.setdefault(type_, []).append(eid)
+                self._type_index.setdefault(type_, set()).add(eid)
+            cell = self._cells.get(target)
+            if cell is not None:
+                cell.in_edges.append(eid)
+                cell.in_by_type.setdefault(type_, []).append(eid)
+            return True
+        if kind == "va":
+            vid, attr, value = record[1], record[2], record[3]
+            cell = self._cells.get(vid)
+            if cell is not None:
+                if attr in self._indexed_attrs:
+                    index = self._vertex_index[attr]
+                    if attr in cell.attributes:
+                        bucket = index.get(cell.attributes[attr])
+                        if bucket is not None:
+                            bucket.discard(vid)
+                    index.setdefault(value, set()).add(vid)
+                cell.attributes[attr] = value  # type: ignore[index]
+                return True
+            halo_attrs = self._halo.get(vid)
+            if halo_attrs is not None:
+                halo_attrs[attr] = value  # type: ignore[index]
+                return True
+            # routed before the vertex became visible here; the eventual
+            # "hv" ships the final attributes, so skipping is sound
+            return False
+        if kind == "ea":
+            eid, attr, value = record[1], record[2], record[3]
+            edge = self._edges.get(eid)
+            if edge is None:
+                return False
+            edge.attributes[attr] = value  # type: ignore[index]
+            return True
+        if kind == "be":
+            key = (record[1], record[2])
+            row = self.boundary_rows.get(key, _EMPTY_SEQ)
+            if record[3] not in row:
+                self.boundary_rows[key] = tuple(row) + (record[3],)
+            return False
+        raise ValueError(f"unknown delta record kind {record[0]!r}")
+
     # -- mutation guard ------------------------------------------------------------
 
     def add_vertex(self, *args: Any, **kwargs: Any) -> int:
@@ -411,6 +547,8 @@ class SliceEvaluator:
         self.blocks_served = 0
         self.misses = 0
         self.fallbacks = 0
+        self.catchups = 0
+        self.deltas_applied = 0
 
     # -- construction -----------------------------------------------------------
 
@@ -460,6 +598,29 @@ class SliceEvaluator:
             fallback=fallback,
             compiled=compiled,
         )
+
+    # -- delta catch-up -----------------------------------------------------------
+
+    def apply_wire_deltas(self, payloads: Sequence[Mapping[str, Any]]) -> int:
+        """Catch the held slices up with routed delta payloads (the
+        worker half of the catch-up protocol); returns records applied.
+
+        Payloads routed to shards not placed here are ignored -- the
+        coordinator broadcasts one batch per shard and every worker
+        picks out its own.  The per-block result memo is dropped
+        wholesale (it is keyed by version-free signatures and refills
+        cheaply); each slice's packed CSR index catches up lazily from
+        the slice's own delta ring on its next compiled evaluation.
+        """
+        applied = 0
+        for payload in payloads:
+            slice_ = self.slices.get(payload.get("shard"))
+            if slice_ is not None:
+                applied += slice_.apply_wire_delta(payload)
+        self._block_counts.clear()
+        self.catchups += 1
+        self.deltas_applied += applied
+        return applied
 
     # -- wire memo ---------------------------------------------------------------
 
@@ -626,6 +787,8 @@ class SliceEvaluator:
             "blocks_served": self.blocks_served,
             "misses": self.misses,
             "fallbacks": self.fallbacks,
+            "catchups": self.catchups,
+            "deltas_applied": self.deltas_applied,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -78,6 +78,7 @@ from repro.core.serialize import (
     graph_to_dict,
     query_from_wire,
     query_to_wire,
+    route_deltas,
     shards_to_wire,
 )
 from repro.shard.affine import canonical_edge_order
@@ -212,6 +213,14 @@ def _affine_worker_count_block(
     return evaluator.count_block_wire(wire, shard_index, limit)  # type: ignore[union-attr]
 
 
+def _affine_worker_apply_deltas(payloads: List[dict]) -> int:
+    """Catch this worker's slices up with routed delta payloads instead
+    of tearing the pool down (the worker half of the catch-up
+    protocol); returns the number of records applied."""
+    evaluator = _WORKER_STATE["affine"]
+    return evaluator.apply_wire_deltas(payloads)  # type: ignore[union-attr]
+
+
 # -- coordinator side -------------------------------------------------------------
 
 
@@ -330,6 +339,11 @@ class ProcessExecutor:
         #: blocks the affine workers could not finish (cross-shard
         #: second hops, disconnected queries), resolved coordinator-side
         self.affine_fallbacks = 0
+        #: mutations absorbed by shipping per-shard deltas to the warm
+        #: pools instead of tearing them down, and the payload bytes it
+        #: cost (compare against a full re-warm's payload bytes)
+        self.worker_catchups = 0
+        self.delta_bytes = 0
 
     @property
     def supports_placement(self) -> bool:
@@ -379,10 +393,14 @@ class ProcessExecutor:
     def _ensure_affine_pools(self) -> List[ProcessPoolExecutor]:
         """The per-worker affine pools (partition + warm on first touch).
 
-        Rebuilds everything from a fresh partition when the graph
-        mutated since warm-up (same staleness policy as the full-
-        snapshot pool): the vertex ranges themselves may have moved, so
-        every worker's slices are rebuilt, not just the touched ones.
+        When the graph mutated since warm-up, the pools first try to
+        **catch up**: if the graph's delta log still holds the pending
+        run and it adds no vertices (the partition map is then provably
+        unchanged -- ranges are balanced by vertex count alone), the run
+        is routed per shard and shipped to the warm workers, orders of
+        magnitude cheaper than a re-warm.  Everything is rebuilt from a
+        fresh partition only when catch-up is impossible: a vertex add,
+        a ring overrun, or no delta log at all.
         """
         from repro.shard.partition import GraphPartitioner
 
@@ -392,10 +410,11 @@ class ProcessExecutor:
                 self._affine_pools is not None
                 and self._snapshot_version != self.graph.version
             ):
-                stale, self._affine_pools = self._affine_pools, None
-                self._snapshot_version = None
-                self._sharded_snapshot = None
-                self._local_sharded = None
+                if not self._try_catch_up_locked():
+                    stale, self._affine_pools = self._affine_pools, None
+                    self._snapshot_version = None
+                    self._sharded_snapshot = None
+                    self._local_sharded = None
             if self._affine_pools is None:
                 sharded = GraphPartitioner(self.shards).partition(self.graph)
                 self._sharded_snapshot = sharded
@@ -436,14 +455,77 @@ class ProcessExecutor:
             pool.shutdown(wait=True)
         return pools
 
+    def _try_catch_up_locked(self) -> bool:
+        """Ship the pending delta run to the warm affine pools; ``True``
+        when every worker caught up (callers then skip the teardown).
+
+        Requires the lock.  Refuses (returns ``False``) when the run
+        cannot be routed -- no delta log, ring overrun, or any vertex
+        add (which can move the partition ranges the routing and every
+        seed restriction depend on).  A worker-side failure also
+        refuses, and the caller's teardown restores consistency.
+        """
+        deltas_since = getattr(self.graph, "deltas_since", None)
+        if (
+            deltas_since is None
+            or self._sharded_snapshot is None
+            or self._snapshot_version is None
+        ):
+            return False
+        deltas = deltas_since(self._snapshot_version)
+        if deltas is None or any(record[0] == "v" for record in deltas):
+            return False
+        try:
+            payloads = route_deltas(
+                self._sharded_snapshot,
+                deltas,
+                self._snapshot_version,
+                self.graph.version,
+            )
+        except (ValueError, KeyError):
+            return False
+        assert self._affine_pools is not None
+        per_pool: List[List[dict]] = [[] for _ in range(len(self._affine_pools))]
+        for shard_index, worker in self._placement.items():
+            per_pool[worker].append(payloads[shard_index])
+        try:
+            futures = [
+                pool.submit(_affine_worker_apply_deltas, pool_payloads)
+                for pool, pool_payloads in zip(self._affine_pools, per_pool)
+            ]
+            for future in futures:
+                future.result()
+        except Exception:
+            return False
+        self.delta_bytes += sum(
+            len(pickle.dumps(pool_payloads, pickle.HIGHEST_PROTOCOL))
+            for pool_payloads in per_pool
+        )
+        self.worker_catchups += 1
+        self._snapshot_version = self.graph.version
+        return True
+
     def _local(self):
-        """Coordinator-side fallback matcher over the same partition."""
+        """Coordinator-side fallback matcher over the same partition.
+
+        After worker catch-ups the retained snapshot lags the graph;
+        the fallback then re-partitions lazily -- catch-up runs add no
+        vertices, so the fresh vertex-count-balanced ranges are
+        identical to the ones the workers were warmed with, and the
+        fallback's seed restrictions keep matching the workers' blocks.
+        """
         from repro.shard.matching import ShardedMatcher
+        from repro.shard.partition import GraphPartitioner
 
         with self._lock:
+            if self._sharded_snapshot is None:  # pragma: no cover - guarded
+                raise RuntimeError("affine pools have not been built yet")
+            if self._sharded_snapshot.version != self.graph.version:
+                self._sharded_snapshot = GraphPartitioner(self.shards).partition(
+                    self.graph
+                )
+                self._local_sharded = None
             if self._local_sharded is None:
-                if self._sharded_snapshot is None:  # pragma: no cover - guarded
-                    raise RuntimeError("affine pools have not been built yet")
                 self._local_sharded = ShardedMatcher(
                     self._sharded_snapshot,
                     injective=self.injective,
@@ -686,6 +768,8 @@ class ProcessExecutor:
                     # memory headline: largest per-worker payload vs what
                     # the full-snapshot path ships to *every* worker
                     "payload_ratio": (full / payload_max) if payload_max else 0.0,
+                    "worker_catchups": self.worker_catchups,
+                    "delta_bytes": self.delta_bytes,
                 }
             )
         return info

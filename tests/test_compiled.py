@@ -213,17 +213,40 @@ class TestSeedRestrict:
 
 
 class TestInvalidation:
-    def test_mutation_rebuilds_csr_and_programs(self, tiny_graph, two_hop):
+    def test_mutation_patches_csr_in_place(self, tiny_graph, two_hop):
         compiled = PatternMatcher(tiny_graph, compiled=True)
         assert compiled.count(two_hop) == 3
         builds = csr_stats(tiny_graph)["csr_builds"]
+        compiled_before = csr_stats(tiny_graph)["programs_compiled"]
         index = csr_for(tiny_graph)
-        # a fifth person working at TU Dresden adds one match
+        # a fifth person working at TU Dresden adds one match; the
+        # appended vertex + edge are delta-patched into the *same*
+        # index, and the existing kernels (bound to its arrays) survive
         eve = tiny_graph.add_vertex(type="person", name="Eve")
         tiny_graph.add_edge(eve, 4, "workAt")
         assert compiled.count(two_hop) == 4
         stats = csr_stats(tiny_graph)
+        assert stats["csr_builds"] == builds
+        assert stats["csr_patches"] == 1
+        assert stats["csr_rebuilds"] == 0
+        assert csr_for(tiny_graph) is index
+        assert stats["programs_compiled"] == compiled_before
+
+    def test_unpatchable_mutation_rebuilds_csr_and_programs(
+        self, tiny_graph, two_hop
+    ):
+        compiled = PatternMatcher(tiny_graph, compiled=True)
+        assert compiled.count(two_hop) == 3
+        builds = csr_stats(tiny_graph)["csr_builds"]
+        index = csr_for(tiny_graph)
+        # interning is ascending-by-vid: an explicit id *below* the max
+        # cannot be appended, so this falls back to a full rebuild
+        eve = tiny_graph.add_vertex(vid=-1, type="person", name="Eve")
+        tiny_graph.add_edge(eve, 4, "workAt")
+        assert compiled.count(two_hop) == 4
+        stats = csr_stats(tiny_graph)
         assert stats["csr_builds"] == builds + 1
+        assert stats["csr_rebuilds"] == 1
         assert csr_for(tiny_graph) is not index
         # the stale index's programs died with it; the fresh one compiled
         assert stats["programs_compiled"] >= 2
@@ -263,6 +286,10 @@ class TestCounters:
         assert csr_stats(g) == {
             "csr_builds": 0,
             "csr_bytes": 0,
+            "csr_patches": 0,
+            "csr_rebuilds": 0,
+            "csr_evictions": 0,
+            "deltas_applied": 0,
             "programs_compiled": 0,
             "program_hits": 0,
         }

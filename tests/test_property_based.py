@@ -26,7 +26,7 @@ from repro.core import (
 )
 from repro.core.predicates import predicate_distance
 from repro.exec import AsyncExecutor, ParallelExecutor
-from repro.matching import PatternMatcher
+from repro.matching import PatternMatcher, csr_stats
 from repro.metrics.assignment import assignment_cost
 from repro.metrics.cardinality import CardinalityThreshold, cardinality_distance
 from repro.metrics.ged import coarse_ged
@@ -497,6 +497,92 @@ def assert_paths_agree(graph, query, injective, thread_pool, async_pool, limits=
                 context,
                 limit,
             )
+
+
+MUTATION_SEEDS = range(20)
+MUTATION_ROUNDS = 3
+
+
+def random_mutations(rng: random.Random, graph: PropertyGraph, k: int) -> None:
+    """``k`` random deltas: appended vertices (wired in so they can
+    match), fresh edges (incl. self-loops and parallel edges),
+    vertex-attribute flips (both the indexed ``type`` and the plain
+    ``x``) and edge-attribute flips."""
+    vids = list(graph.vertices())
+    eids = [record.eid for record in graph.edges()]
+    for _ in range(k):
+        roll = rng.random()
+        if roll < 0.25:
+            vid = graph.add_vertex(type=rng.choice("abc"), x=rng.randint(0, 4))
+            eids.append(graph.add_edge(rng.choice(vids), vid, rng.choice(EDGE_TYPES)))
+            vids.append(vid)
+        elif roll < 0.55:
+            u, v = rng.choice(vids), rng.choice(vids)
+            eids.append(
+                graph.add_edge(u, v, rng.choice(EDGE_TYPES), w=rng.randint(0, 3))
+            )
+        elif roll < 0.8:
+            if rng.random() < 0.5:
+                graph.set_vertex_attribute(rng.choice(vids), "type", rng.choice("abc"))
+            else:
+                graph.set_vertex_attribute(rng.choice(vids), "x", rng.randint(0, 4))
+        else:
+            graph.set_edge_attribute(rng.choice(eids), "w", rng.randint(0, 3))
+
+
+class TestMutateBetweenQueries:
+    """Delta-sync oracle: random deltas interleaved between query
+    rounds.  After every mutation batch all seven execution paths must
+    re-agree on the mutated graph, and one *persistent* compiled
+    matcher -- whose shared CSR entry follows the graph via in-place
+    patches, never a rebuild -- must stay count- and steps-identical to
+    a fresh interpreter."""
+
+    @pytest.mark.parametrize("seed", MUTATION_SEEDS)
+    def test_paths_agree_across_mutations(self, seed, thread_pool, async_pool):
+        rng = random.Random(10_000 + seed)
+        graph = random_differential_graph(rng)
+        injective = rng.random() < 0.8
+        persistent = PatternMatcher(graph, injective=injective, compiled=True)
+
+        def check_round() -> None:
+            query = random_differential_query(rng)
+            assert_paths_agree(graph, query, injective, thread_pool, async_pool)
+            # the persistent matcher evaluates over the patched arrays
+            # and the retained programs; the kernels must still visit
+            # exactly a fresh interpreter's candidates
+            oracle = PatternMatcher(graph, injective=injective)
+            expected = oracle.count(query)
+            before = persistent.steps
+            assert persistent.count(query) == expected, query.signature()
+            assert persistent.steps - before == oracle.steps, query.signature()
+
+        check_round()
+        for _ in range(MUTATION_ROUNDS):
+            random_mutations(rng, graph, rng.randint(1, 6))
+            check_round()
+        # every delta the generator emits is patch-eligible (vertex and
+        # edge ids only grow, endpoints exist): the shared entry must
+        # have absorbed all batches in place
+        stats = csr_stats(graph)
+        assert stats["csr_rebuilds"] == 0, stats
+        assert stats["csr_patches"] >= MUTATION_ROUNDS, stats
+
+    def test_mutation_generator_covers_all_delta_kinds(self):
+        """Every delta kind must actually occur across the suite's
+        seeds (guards against a silently tamed mutation generator)."""
+        kinds = set()
+        for seed in MUTATION_SEEDS:
+            rng = random.Random(10_000 + seed)
+            graph = random_differential_graph(rng)
+            rng.random()  # injective draw, as in the oracle test
+            random_differential_query(rng)
+            for _ in range(MUTATION_ROUNDS):
+                version = graph.version
+                random_mutations(rng, graph, rng.randint(1, 6))
+                kinds.update(r[0] for r in graph.deltas_since(version))
+                random_differential_query(rng)
+        assert kinds == {"v", "e", "va", "ea"}, kinds
 
 
 class TestDifferentialOracle:

@@ -57,6 +57,10 @@ def baseline_payload() -> dict:
             "speedup_2s": 1.3,
             "payloads": {},
         },
+        "mutate_while_serving": {
+            "csr": {"patch_rate": 1.0},
+            "catchup": {"warm_hit_rate": 1.0, "reship_ratio": 3000.0},
+        },
     }
 
 
@@ -157,6 +161,75 @@ class TestCoreAwareSpeedupGate:
         assert check_trajectory(baseline, fresh, tolerance).failures == []
         fresh["process_pool"]["speedup_2w"] = 1.8 * (1 - tolerance) - 0.01
         assert check_trajectory(baseline, fresh, tolerance).failures != []
+
+
+class TestFourWorkerGate:
+    def test_absent_on_both_sides_is_not_gated(self):
+        baseline = baseline_payload()
+        gate = check_trajectory(baseline, copy.deepcopy(baseline))
+        assert not any("4 workers" in line for line in gate.lines)
+
+    def test_gated_when_present_and_hardware_allows(self):
+        baseline = baseline_payload()
+        baseline["process_pool"].update(cpu_cores=4, workers_cap=4, speedup_4w=3.0)
+        fresh = copy.deepcopy(baseline)
+        fresh["process_pool"]["speedup_4w"] = 1.5  # below 3.0 * 0.75
+        gate = check_trajectory(baseline, fresh)
+        assert any("4 workers" in f for f in gate.failures)
+        fresh["process_pool"]["speedup_4w"] = 2.8
+        assert check_trajectory(baseline, fresh).failures == []
+
+    def test_two_core_fresh_run_is_recorded_not_gated(self):
+        """The 4-worker point needs 4 cores, not just the generic 2."""
+        baseline = baseline_payload()
+        baseline["process_pool"].update(cpu_cores=4, workers_cap=4, speedup_4w=3.0)
+        fresh = copy.deepcopy(baseline)
+        fresh["process_pool"].update(cpu_cores=2, speedup_4w=0.9)
+        gate = check_trajectory(baseline, fresh)
+        assert gate.failures == []
+        assert any(
+            "4 workers" in line and "SKIPPED" in line for line in gate.lines
+        )
+
+
+class TestDeltaSyncGates:
+    def test_patch_rate_below_the_absolute_floor_fails(self):
+        """0.9 is an acceptance floor, not baseline-relative: tolerance
+        must not let the patch pipeline degrade toward rebuilding."""
+        baseline = baseline_payload()
+        fresh = copy.deepcopy(baseline)
+        fresh["mutate_while_serving"]["csr"]["patch_rate"] = 0.85
+        gate = check_trajectory(baseline, fresh)
+        assert any("patch rate" in f for f in gate.failures)
+        fresh["mutate_while_serving"]["csr"]["patch_rate"] = 0.92
+        assert check_trajectory(baseline, fresh).failures == []
+
+    def test_warm_hit_rate_regression_fails(self):
+        baseline = baseline_payload()
+        fresh = copy.deepcopy(baseline)
+        fresh["mutate_while_serving"]["catchup"]["warm_hit_rate"] = 0.7
+        gate = check_trajectory(baseline, fresh)
+        assert any("warm-hit" in f for f in gate.failures)
+        fresh["mutate_while_serving"]["catchup"]["warm_hit_rate"] = 0.8
+        assert check_trajectory(baseline, fresh).failures == []
+
+    def test_reship_ratio_regression_fails_and_is_not_core_aware(self):
+        baseline = baseline_payload()
+        fresh = copy.deepcopy(baseline)
+        fresh["process_pool"]["cpu_cores"] = 1  # byte gates ignore cores
+        fresh["mutate_while_serving"]["catchup"]["reship_ratio"] = 2000.0
+        gate = check_trajectory(baseline, fresh)
+        assert any("reship ratio" in f for f in gate.failures)
+
+    def test_low_baseline_cannot_water_down_the_5x_target(self):
+        baseline = baseline_payload()
+        baseline["mutate_while_serving"]["catchup"]["reship_ratio"] = 1.0
+        fresh = copy.deepcopy(baseline)
+        fresh["mutate_while_serving"]["catchup"]["reship_ratio"] = 3.0
+        gate = check_trajectory(baseline, fresh)
+        assert any("reship ratio" in f for f in gate.failures)
+        fresh["mutate_while_serving"]["catchup"]["reship_ratio"] = 6.0
+        assert check_trajectory(baseline, fresh).failures == []
 
 
 class TestCompiledMatchGate:
