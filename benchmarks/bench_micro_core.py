@@ -696,7 +696,7 @@ def _affine_placement_section(shard_counts=(2, 4), rounds: int = 3) -> dict:
     # the hub->leaf expansion is one hop: every block must complete on
     # its owning worker (the shipped halo suffices), never at the
     # coordinator
-    assert info["affine_fallbacks"] == 0, info["affine_fallbacks"]
+    assert info["pools"]["affine_fallbacks"] == 0, info["pools"]["affine_fallbacks"]
 
     return {
         "workload": {
@@ -714,7 +714,7 @@ def _affine_placement_section(shard_counts=(2, 4), rounds: int = 3) -> dict:
         "serial_batch_s": serial_s,
         "affine_batch_s": affine_s,
         "speedup_2s": serial_s / affine_s if affine_s > 0 else float("inf"),
-        "affine_fallbacks": info["affine_fallbacks"],
+        "affine_fallbacks": info["pools"]["affine_fallbacks"],
     }
 
 
@@ -818,11 +818,15 @@ def _mutate_while_serving_section(
             q = big_variant(next(slices))
             catchup_counts_ok &= executor.count_sharded(q) == matcher.count(q)
         info = executor.info()
-    full_rewarm_bytes = sum(info["payload_bytes_per_worker"]) * catchup_mutations
-    delta_bytes = info["delta_bytes"]
+    full_rewarm_bytes = (
+        sum(info["pools"]["payload_bytes_per_worker"]) * catchup_mutations
+    )
+    delta_bytes = info["deltas"]["bytes"]
     reship_ratio = full_rewarm_bytes / delta_bytes if delta_bytes else float("inf")
     warm_hit_rate = (
-        info["worker_catchups"] / catchup_mutations if catchup_mutations else 0.0
+        info["deltas"]["worker_catchups"] / catchup_mutations
+        if catchup_mutations
+        else 0.0
     )
 
     return {
@@ -843,10 +847,10 @@ def _mutate_while_serving_section(
             "workers": workers,
             "shards": 4,
             "mutations": catchup_mutations,
-            "worker_catchups": info["worker_catchups"],
+            "worker_catchups": info["deltas"]["worker_catchups"],
             "warm_hit_rate": warm_hit_rate,
-            "pool_rebuilds": info["pool_rebuilds"],
-            "affine_fallbacks": info["affine_fallbacks"],
+            "pool_rebuilds": info["pools"]["pool_rebuilds"],
+            "affine_fallbacks": info["pools"]["affine_fallbacks"],
             "counts_identical": catchup_counts_ok,
             "delta_bytes": delta_bytes,
             "full_rewarm_bytes": full_rewarm_bytes,
@@ -890,10 +894,12 @@ def _sharded_expansion_section(shard_counts=(2, 4), rounds: int = 3) -> dict:
     compiled_matcher = PatternMatcher(graph, compiled=True)
     expected = matcher.count(heavy)  # warm-up + ground truth
     assert compiled_matcher.count(heavy) == expected
-    serial_s = min(_timed(lambda: matcher.count(heavy)) for _ in range(rounds))
-    serial_compiled_s = min(
+    serial_rounds = [_timed(lambda: matcher.count(heavy)) for _ in range(rounds)]
+    serial_s = min(serial_rounds)
+    serial_compiled_rounds = [
         _timed(lambda: compiled_matcher.count(heavy)) for _ in range(rounds)
-    )
+    ]
+    serial_compiled_s = min(serial_compiled_rounds)
 
     # in-process sharded merge first: the decomposition itself must be
     # exact (per-shard counts partition the total) before timing it
@@ -912,13 +918,25 @@ def _sharded_expansion_section(shard_counts=(2, 4), rounds: int = 3) -> dict:
         ) as executor:
             executor.warm_up()
             assert executor.count_sharded(heavy) == expected  # untimed first
-            sharded_s = min(
+            sharded_rounds = [
                 _timed(lambda: executor.count_sharded(heavy))
                 for _ in range(rounds)
-            )
+            ]
+        sharded_s = min(sharded_rounds)
+        # best-of-N plus the per-round spread: the IPC half of this
+        # ratio is noisy run-to-run, and recording how noisy (the
+        # worst/best round ratio) is what justifies the gate's clamp
+        speedup_rounds = [
+            serial_s / r if r > 0 else float("inf") for r in sharded_rounds
+        ]
         shards[str(num_shards)] = {
             "sharded_s": sharded_s,
+            "rounds_s": sharded_rounds,
             "speedup": serial_s / sharded_s if sharded_s > 0 else float("inf"),
+            "speedup_rounds": speedup_rounds,
+            "speedup_spread": max(sharded_rounds) / min(sharded_rounds)
+            if min(sharded_rounds) > 0
+            else float("inf"),
             "speedup_vs_compiled_serial": serial_compiled_s / sharded_s
             if sharded_s > 0
             else float("inf"),
@@ -936,11 +954,29 @@ def _sharded_expansion_section(shard_counts=(2, 4), rounds: int = 3) -> dict:
         "workers": workers,
         "workers_cap": PROCESS_WORKERS,
         "compiled_workers": True,
+        "rounds": rounds,
         "serial_count_s": serial_s,
+        "serial_rounds_s": serial_rounds,
         "serial_compiled_s": serial_compiled_s,
+        "serial_compiled_rounds_s": serial_compiled_rounds,
         "shards": shards,
         "speedup_2s": shards[str(shard_counts[0])]["speedup"],
     }
+
+
+def _server_protocol_section() -> dict:
+    """The open-loop protocol-server benchmark (see ``bench_server.py``;
+    imported lazily so a plain ``python benchmarks/bench_micro_core.py``
+    run and pytest collection both find it regardless of sys.path)."""
+    import pathlib
+    import sys
+
+    bench_dir = str(pathlib.Path(__file__).parent)
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    from bench_server import server_protocol_section
+
+    return server_protocol_section()
 
 
 def test_micro_emit_machine_readable(ldbc_bundle):
@@ -996,10 +1032,11 @@ def test_micro_emit_machine_readable(ldbc_bundle):
     sharded_expansion = _sharded_expansion_section()
     affine_placement = _affine_placement_section()
     mutate_while_serving = _mutate_while_serving_section()
+    server_protocol = _server_protocol_section()
 
     payload = {
         "benchmark": "bench_micro_core",
-        "schema_version": 7,
+        "schema_version": 8,
         "typed_expansion": {
             "workload": {
                 "hubs": 48,
@@ -1018,6 +1055,7 @@ def test_micro_emit_machine_readable(ldbc_bundle):
         "sharded_expansion": sharded_expansion,
         "affine_placement": affine_placement,
         "mutate_while_serving": mutate_while_serving,
+        "server_protocol": server_protocol,
         "ops": ops,
         "cache_counters": {
             "plan": plan_cache_stats(ldbc_bundle.graph).as_dict(),
@@ -1037,7 +1075,9 @@ def test_micro_emit_machine_readable(ldbc_bundle):
         f"affine payload ratio@4s {affine_placement['payload_ratio_4s']:.1f}x, "
         f"delta-sync patch rate "
         f"{mutate_while_serving['csr']['patch_rate']:.2f} / reship ratio "
-        f"{mutate_while_serving['catchup']['reship_ratio']:.0f}x "
+        f"{mutate_while_serving['catchup']['reship_ratio']:.0f}x, "
+        f"server p99@8 {server_protocol['open_loop']['8']['latency_p99_s'] * 1e3:.1f}ms / "
+        f"ttfc-ratio {server_protocol['open_loop']['8']['ttfc_ratio']:.2f} "
         f"on {process_pool['cpu_cores']} core(s))"
     )
 
@@ -1096,3 +1136,13 @@ def test_micro_emit_machine_readable(ldbc_bundle):
     assert mws_catchup["warm_hit_rate"] == 1.0, mws_catchup
     assert mws_catchup["counts_identical"], mws_catchup
     assert mws_catchup["reship_ratio"] >= 5.0, mws_catchup["reship_ratio"]
+    # acceptance (ISSUE 8): the protocol server streams partial results
+    # without breaking the differential guarantee -- the streamed final
+    # report is bit-identical to the plain remote explain under load --
+    # and the first candidate lands strictly before the full result at
+    # every measured concurrency level.  Both are deterministic
+    # properties of the pipeline (not wall-clock), so no core gate.
+    assert server_protocol["streamed_identical"] == 1.0, server_protocol
+    for level, metrics in server_protocol["open_loop"].items():
+        assert metrics["ttfc_ratio"] < 1.0, (level, metrics["ttfc_ratio"])
+        assert metrics["latency_p99_s"] >= metrics["latency_p50_s"], level

@@ -1,0 +1,214 @@
+"""Open-loop load benchmark for the why-query protocol server (ISSUE 8).
+
+Measures the network front door end to end: a
+:class:`~repro.server.WhyQueryProtocolServer` on a background thread, an
+asyncio client firing explain requests at a *fixed arrival rate*
+(open-loop -- arrivals do not wait for completions, so queueing delay is
+part of the measured latency, unlike the closed-loop concurrency sweep
+in ``bench_micro_core``'s async section), at two offered-load levels:
+
+* **end-to-end latency** p50/p99 per concurrency level (request sent ->
+  final ``result`` frame);
+* **time-to-first-candidate** (ttfc) p50/p99: request sent -> first
+  streamed ``candidate`` frame.  Streaming exists so a user sees the
+  first rewrite proposal while the search still runs; ttfc over latency
+  (``ttfc_ratio``) is the measured value of that;
+* **streamed_identical**: 1.0 iff the streamed explain's final report is
+  bit-identical (modulo wall-clock) to the plain remote explain -- the
+  differential guarantee, asserted under load;
+* tail ratio ``p99_over_p50`` per level (queueing-delay health).
+
+Counts pay a modeled storage stall (same idiom as the async-service
+section), so per-request latency is dominated by a deterministic
+workload rather than matcher CPU, and the ratios are comparable across
+machines.  ``server_protocol_section()`` feeds ``BENCH_micro_core.json``
+(schema v8) and is gated by ``check_trajectory.py``; run this file
+directly for a human-readable report.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import statistics
+import time
+
+from repro.client import connect, connect_async
+from repro.core.graph import PropertyGraph
+from repro.core.predicates import equals
+from repro.core.query import GraphQuery
+from repro.exec import ExecutionContext
+from repro.matching import PatternMatcher
+from repro.rewrite.cache import QueryResultCache
+from repro.server import serve_in_thread
+from repro.server.protocol import strip_volatile
+from repro.service import WhyQueryService
+
+__all__ = ["server_protocol_section"]
+
+
+class _StallCache(QueryResultCache):
+    """Counts pay a modeled storage round trip (memoisation bypassed)."""
+
+    def __init__(self, matcher: PatternMatcher, latency_s: float) -> None:
+        super().__init__(matcher)
+        self.latency_s = latency_s
+
+    def count(self, query, limit=None):
+        if self.latency_s > 0.0:
+            time.sleep(self.latency_s)
+        return self.matcher.count(query, limit=limit)
+
+
+def _workload():
+    """A small hot graph and a doubly-wrong why-empty query (the
+    request profile of the async-service section: the rewrite search
+    genuinely drains its budget, one storage-stalled count per
+    candidate)."""
+    g = PropertyGraph()
+    for _ in range(4):
+        hub = g.add_vertex(type="hub")
+        for t in range(6):
+            for _ in range(3):
+                leaf = g.add_vertex(type="leaf")
+                g.add_edge(hub, leaf, f"rel{t}")
+    q = GraphQuery()
+    h = q.add_vertex(predicates={"type": equals("hub")})
+    leaf_v = q.add_vertex(predicates={"type": equals("leaf"), "name": equals("nope")})
+    q.add_edge(h, leaf_v, types={"relMISSING"})
+    return g, q
+
+
+def _percentile(values, fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def server_protocol_section(
+    latency_s: float = 0.002,
+    concurrencies=(2, 8),
+    rewrite_budget: int = 12,
+    request_workers: int = 16,
+) -> dict:
+    graph, failing = _workload()
+
+    def factory(g: PropertyGraph) -> ExecutionContext:
+        matcher = PatternMatcher(g)
+        return ExecutionContext(g, matcher=matcher, cache=_StallCache(matcher, latency_s))
+
+    service = WhyQueryService(
+        context_factory=factory,
+        max_rewrite_evaluations=rewrite_budget,
+        rewrite_k=1,
+    )
+    handle = serve_in_thread(service=service, request_workers=request_workers)
+    host, port = handle.address
+    try:
+        # -- closed-loop single client: the base latency L and the
+        # differential identity of streamed vs plain explains ------------
+        with connect(host, port) as client:
+            client.put_graph("bench", graph)
+            plain = client.explain("bench", failing, explain=False)  # warm-up
+            reference = strip_volatile(plain)
+
+            closed = []
+            for _ in range(16):
+                start = time.perf_counter()
+                client.explain("bench", failing, explain=False)
+                closed.append(time.perf_counter() - start)
+            closed_p50 = statistics.median(closed)
+
+            identical = 0
+            streamed_runs = 4
+            for _ in range(streamed_runs):
+                stream = client.explain_stream("bench", failing, explain=False)
+                report = stream.result()
+                if strip_volatile(report) == reference and stream.candidates:
+                    identical += 1
+            streamed_identical = identical / streamed_runs
+
+        # -- open-loop: fixed arrival rate, streamed requests -------------
+        async def open_loop(concurrency: int) -> dict:
+            interval = closed_p50 / concurrency
+            requests = max(24, 4 * concurrency)
+            client = await connect_async(host, port)
+            latencies = []
+            ttfcs = []
+            try:
+                start0 = time.perf_counter()
+
+                async def one(i: int) -> None:
+                    # open loop: arrival time is scheduled, not gated on
+                    # earlier completions -- queueing delay is measured
+                    await asyncio.sleep(i * interval - (time.perf_counter() - start0))
+                    sent = time.perf_counter()
+                    stream = client.explain_stream("bench", failing, explain=False)
+                    first = None
+                    async for _candidate in stream:
+                        if first is None:
+                            first = time.perf_counter() - sent
+                    await stream.result()
+                    latencies.append(time.perf_counter() - sent)
+                    if first is not None:
+                        ttfcs.append(first)
+
+                await asyncio.gather(*(one(i) for i in range(requests)))
+                span = time.perf_counter() - start0
+            finally:
+                await client.close()
+
+            p50 = _percentile(latencies, 0.50)
+            p99 = _percentile(latencies, 0.99)
+            ttfc_p50 = _percentile(ttfcs, 0.50)
+            return {
+                "requests": requests,
+                "offered_rps": 1.0 / interval,
+                "achieved_rps": requests / span,
+                "latency_p50_s": p50,
+                "latency_p99_s": p99,
+                "ttfc_p50_s": ttfc_p50,
+                "ttfc_p99_s": _percentile(ttfcs, 0.99),
+                "p99_over_p50": p99 / p50 if p50 > 0 else float("inf"),
+                "ttfc_ratio": ttfc_p50 / p50 if p50 > 0 else float("inf"),
+            }
+
+        levels = {
+            str(concurrency): asyncio.run(open_loop(concurrency))
+            for concurrency in concurrencies
+        }
+    finally:
+        handle.stop()
+
+    return {
+        "workload": {
+            "modeled_eval_latency_s": latency_s,
+            "rewrite_budget_per_request": rewrite_budget,
+            "request_workers": request_workers,
+        },
+        "closed_loop": {
+            "requests": len(closed),
+            "latency_p50_s": closed_p50,
+            "latency_p99_s": _percentile(closed, 0.99),
+        },
+        "streamed_identical": streamed_identical,
+        "open_loop": levels,
+    }
+
+
+def test_server_protocol_section_sanity():
+    """The section the trajectory gate consumes must be well-formed: the
+    streamed differential holds under load, every level measured both
+    percentiles, and ttfc lands strictly before the final result."""
+    section = server_protocol_section(latency_s=0.001, concurrencies=(2,))
+    assert section["streamed_identical"] == 1.0
+    level = section["open_loop"]["2"]
+    assert level["requests"] >= 24
+    assert 0.0 < level["ttfc_p50_s"] <= level["latency_p99_s"]
+    assert level["latency_p99_s"] >= level["latency_p50_s"]
+    assert level["ttfc_ratio"] < 1.0
+
+
+if __name__ == "__main__":
+    import json
+
+    print(json.dumps(server_protocol_section(), indent=2))

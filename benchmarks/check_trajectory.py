@@ -50,7 +50,13 @@ fails (exit code 1) when the trajectory regressed:
   (full per-worker re-warm bytes vs delta bytes, expectation the
   stronger of the committed baseline and the 5x acceptance target).
   All three are deterministic counts/bytes -- *not* core-aware -- and
-  the rate/ratio gates fail on a > ``--max-regression`` drop.
+  the rate/ratio gates fail on a > ``--max-regression`` drop;
+* **protocol server** (``server_protocol``): ``streamed_identical``
+  must be exactly 1.0 (the streamed explain's final report equals the
+  plain remote explain bit-identically), and per open-loop concurrency
+  level the time-to-first-candidate ratio (baseline floored at 0.5) and
+  the p99/p50 tail ratio (baseline floored at 5.0) must not grow past
+  the ceiling -- both are same-machine ratios, never absolute latency.
 
 Speedups are *ratios of two measurements taken on the same machine in
 the same process*, so they are comparable across the baseline's machine
@@ -147,8 +153,8 @@ class Gate:
     ) -> None:
         ceiling = baseline * (1.0 + tolerance)
         message = (
-            f"{name}: baseline {baseline:.0f}, fresh {fresh:.0f} "
-            f"(ceiling {ceiling:.0f})"
+            f"{name}: baseline {baseline:.3f}, fresh {fresh:.3f} "
+            f"(ceiling {ceiling:.3f})"
         )
         if fresh <= ceiling:
             self.ok(message)
@@ -302,6 +308,45 @@ def check_trajectory(
         dig(fresh, "mutate_while_serving.catchup.reship_ratio"),
         max_regression,
     )
+    # protocol-server gates (ISSUE 8).  Absolute p50/p99 latencies are
+    # machine-bound and deliberately not gated; the gated numbers are
+    # same-machine ratios:
+    # * streamed_identical -- the streamed explain's final report equals
+    #   the plain remote explain bit-identically.  Deterministic, exact.
+    # * ttfc_ratio (time-to-first-candidate p50 / end-to-end p50) per
+    #   open-loop level -- streaming must keep delivering the first
+    #   rewrite well before the full result.  Lower is better, so this
+    #   is a ceiling; the baseline's contribution is floored at 0.5 so
+    #   a lucky baseline draw cannot turn scheduling jitter into a
+    #   failure, while a stream that degenerates to arriving with the
+    #   final frame (ratio -> 1.0) still fails.
+    # * p99_over_p50 per level -- queueing-tail health under open-loop
+    #   load.  Ceiling, baseline floored at 5.0: tail ratios are the
+    #   noisiest number here, and the gate only exists to catch a tail
+    #   that detaches from the median (head-of-line blocking, a stuck
+    #   worker), not ordinary jitter.
+    if dig(fresh, "server_protocol.streamed_identical") == 1.0:
+        gate.ok("server-protocol streamed result identical to plain explain")
+    else:
+        gate.fail(
+            "server-protocol streamed result DIVERGED from the plain "
+            f"explain (streamed_identical = "
+            f"{dig(fresh, 'server_protocol.streamed_identical'):.2f}, "
+            "expected 1.0)"
+        )
+    for level in sorted(fresh.get("server_protocol", {}).get("open_loop", {})):
+        gate.check_not_above(
+            f"server-protocol ttfc ratio @{level} (ttfc p50 / latency p50)",
+            max(dig(baseline, f"server_protocol.open_loop.{level}.ttfc_ratio"), 0.5),
+            dig(fresh, f"server_protocol.open_loop.{level}.ttfc_ratio"),
+            max_regression,
+        )
+        gate.check_not_above(
+            f"server-protocol tail ratio @{level} (latency p99 / p50)",
+            max(dig(baseline, f"server_protocol.open_loop.{level}.p99_over_p50"), 5.0),
+            dig(fresh, f"server_protocol.open_loop.{level}.p99_over_p50"),
+            max_regression,
+        )
     return gate
 
 

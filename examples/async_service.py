@@ -80,9 +80,9 @@ async def main() -> None:
             stats = service.stats()
             admission = stats["admission"]
             print("service stats:")
-            print(f"  explain calls:     {stats['explain_calls']}")
-            print(f"  warm contexts:     {stats['contexts_live']}")
-            print(f"  result-cache hits: {stats['totals']['result_hits']}")
+            print(f"  explain calls:     {stats['service']['explain_calls']}")
+            print(f"  warm contexts:     {stats['service']['contexts_live']}")
+            print(f"  result-cache hits: {stats['caches']['results']['hits']}")
             print("admission control:")
             print(f"  admitted:          {admission['admitted']}")
             print(f"  queued waits:      {admission['queued_waits']}")

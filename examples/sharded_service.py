@@ -88,7 +88,7 @@ def main() -> None:
         print(f"\nproblem: {report.problem.value}")
         print(f"best fix: {report.rewriting.best.describe()}")
 
-        pools = service.stats()["process_pools"]
+        pools = service.stats()["pools"]
         print("\nprocess pools:")
         print(f"  pools live:        {pools['pools_live']}")
         print(f"  worker processes:  {pools['workers']}")
@@ -109,7 +109,7 @@ def main() -> None:
         report = service.explain(graph, failing)
         assert report.rewriting.best is not None
         stats = service.stats()
-        pool_info = stats["per_graph"][0]["process_pool"]
+        pool_info = stats["per_graph"][0]["process_pool"]["pools"]
         print("\naffine placement:")
         print(f"  placement map:         {pool_info['placement_map']}")
         print(f"  largest worker payload: {pool_info['payload_bytes_max']} bytes "

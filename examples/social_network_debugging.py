@@ -76,11 +76,13 @@ print(report.summary())
 # -- the service kept everything warm -----------------------------------------
 
 stats = service.stats()
-totals = stats["totals"]
+results = stats["caches"]["results"]
+matcher = stats["matcher"]
 print()
 print(
-    f"[service: {stats['requests']} requests on {stats['contexts_live']} "
-    f"context(s); result cache {totals['result_hits']} hits / "
-    f"{totals['result_misses']} misses; matcher {totals['matcher_calls']} "
-    f"calls, {totals['matcher_steps']} steps]"
+    f"[service: {stats['service']['requests']} requests on "
+    f"{stats['service']['contexts_live']} "
+    f"context(s); result cache {results['hits']} hits / "
+    f"{results['misses']} misses; matcher {matcher['calls']} "
+    f"calls, {matcher['steps']} steps]"
 )

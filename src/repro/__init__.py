@@ -49,6 +49,20 @@ Service
     front door (``explain_async``), with service-level admission control
     via :class:`~repro.service.BudgetPool`; ``executor="process"``
     gives every pooled graph its own warm worker pool.
+Network front door
+    :class:`~repro.server.WhyQueryProtocolServer` serves the service
+    over a length-prefixed JSON-frame protocol (session multiplexing,
+    streamed rewrite candidates, cooperative cancellation, per-tenant
+    quotas); :func:`~repro.client.connect` /
+    :func:`~repro.client.connect_async` return a
+    :class:`~repro.client.WhyQueryClient` /
+    :class:`~repro.client.AsyncWhyQueryClient` speaking it.  See
+    ``docs/protocol.md``.
+Unified stats
+    Every surface (``service.stats()``, ``matcher.cache_info()``,
+    ``executor.info()``) emits the :mod:`repro.stats` schema; the
+    pre-1.3 flat keys stay readable for one release behind a
+    :class:`DeprecationWarning`.
 """
 
 from repro.core import (
@@ -93,12 +107,20 @@ from repro.metrics import (
 )
 
 from repro.service import AdmissionRejected, BudgetPool, WhyQueryService
+from repro.client import (
+    AsyncWhyQueryClient,
+    WhyQueryClient,
+    connect,
+    connect_async,
+)
+from repro.server import WhyQueryProtocolServer, serve_in_thread
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AdmissionRejected",
     "AsyncExecutor",
+    "AsyncWhyQueryClient",
     "BOTH_DIRECTIONS",
     "BudgetPool",
     "CandidateEvaluator",
@@ -122,15 +144,20 @@ __all__ = [
     "ShardedGraph",
     "ShardedMatcher",
     "ValueSet",
+    "WhyQueryClient",
+    "WhyQueryProtocolServer",
     "WhyQueryService",
     "__version__",
     "at_least",
     "at_most",
     "between",
     "cardinality_distance",
+    "connect",
+    "connect_async",
     "equals",
     "execution_context",
     "one_of",
     "result_set_distance",
+    "serve_in_thread",
     "syntactic_distance",
 ]

@@ -13,6 +13,10 @@ Commands
     ids: tabA, fig4, fig5, fig5-user, fig6, fig6-topo, appB.
 ``datasets``
     Print the generated data-set inventory (Table A.1).
+``serve [--host H] [--port P] [--with-ldbc] [--allow-remote-shutdown]``
+    Run the why-query protocol server in the foreground (see
+    ``docs/protocol.md``); ``--with-ldbc`` preloads the generated LDBC
+    social network under the graph name ``ldbc``.
 """
 
 from __future__ import annotations
@@ -38,14 +42,42 @@ def _cmd_demo(_: argparse.Namespace) -> int:
     # a second request over the same graph runs against the warm context
     service.explain(network.graph, failed, explain=False)
     stats = service.stats()
-    totals = stats["totals"]
+    results = stats["caches"]["results"]
     print()
     print(
-        f"[service: {stats['requests']} requests, "
-        f"{stats['contexts_live']} warm context(s), "
-        f"result cache {totals['result_hits']} hits / "
-        f"{totals['result_misses']} misses]"
+        f"[service: {stats['service']['requests']} requests, "
+        f"{stats['service']['contexts_live']} warm context(s), "
+        f"result cache {results['hits']} hits / "
+        f"{results['misses']} misses]"
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server import WhyQueryProtocolServer
+
+    graphs = {}
+    if args.with_ldbc:
+        from repro.datasets import ldbc
+
+        graphs["ldbc"] = ldbc.generate().graph
+
+    server = WhyQueryProtocolServer(
+        graphs=graphs,
+        host=args.host,
+        port=args.port,
+        allow_shutdown=args.allow_remote_shutdown,
+    )
+
+    def _announce(address) -> None:
+        print(f"whyquery server listening on {address[0]}:{address[1]}", flush=True)
+
+    try:
+        asyncio.run(server.run(on_started=_announce))
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -190,6 +222,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     commands.add_parser("demo", help="run the quickstart debugging story")
     commands.add_parser("datasets", help="print the data-set inventory")
+    serve = commands.add_parser("serve", help="run the protocol server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument(
+        "--with-ldbc",
+        action="store_true",
+        help="preload the generated LDBC graph as 'ldbc'",
+    )
+    serve.add_argument(
+        "--allow-remote-shutdown",
+        action="store_true",
+        help="honour the protocol 'shutdown' message (CI smoke jobs)",
+    )
     exp = commands.add_parser("experiments", help="regenerate evaluation tables")
     exp.add_argument("--dataset", choices=("ldbc", "dbpedia"), default="ldbc")
     exp.add_argument(
@@ -203,6 +248,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demo": _cmd_demo,
         "datasets": _cmd_datasets,
         "experiments": _cmd_experiments,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

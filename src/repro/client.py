@@ -1,0 +1,603 @@
+"""Clients for the why-query protocol server.
+
+Two clients over the same wire format (:mod:`repro.server.protocol`):
+
+* :class:`WhyQueryClient` -- synchronous, plain ``socket``; one call per
+  request, or :meth:`WhyQueryClient.explain_stream` for an iterator of
+  rewrite candidates as the server finds them;
+* :class:`AsyncWhyQueryClient` -- asyncio streams with a background
+  reader task, so many requests can be in flight on one connection (the
+  multiplexing the protocol was designed for).
+
+Both demultiplex replies by request ``id``, so out-of-order completion
+on the server side is invisible to callers.  Construct them through
+:func:`connect` / :func:`connect_async`, which perform the
+``hello``/``welcome`` handshake::
+
+    with connect(host, port) as client:
+        client.put_graph("social", graph)
+        report = client.explain("social", failing_query)
+        print(report["summary"])
+
+    stream = client.explain_stream("social", failing_query)
+    for candidate in stream:          # rewrites, as the search finds them
+        print(candidate.cardinality, candidate.query)
+    report = stream.result()          # identical to client.explain(...)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+from dataclasses import dataclass
+from typing import Any, AsyncIterator, Dict, Iterator, List, Mapping, Optional
+
+from repro.core.graph import PropertyGraph
+from repro.core.query import GraphQuery
+from repro.core.serialize import (
+    graph_to_dict,
+    query_from_dict,
+    query_to_dict,
+    result_set_from_dict,
+    threshold_to_dict,
+)
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ProtocolError,
+    RequestCancelled,
+    encode_frame,
+)
+
+__all__ = [
+    "AsyncWhyQueryClient",
+    "RequestRejected",
+    "ServerError",
+    "StreamedCandidate",
+    "WhyQueryClient",
+    "connect",
+    "connect_async",
+]
+
+
+class ServerError(RuntimeError):
+    """The server answered a request with an ``error`` frame."""
+
+    def __init__(self, code: Any, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class RequestRejected(ServerError):
+    """The server refused admission (a protocol-level 429): the tenant's
+    quota pool could not grant an evaluation budget for the request."""
+
+
+@dataclass(frozen=True)
+class StreamedCandidate:
+    """One rewrite candidate, streamed while the server's search runs."""
+
+    seq: int
+    query: GraphQuery
+    cardinality: int
+
+
+def _candidate(frame: Mapping[str, Any]) -> StreamedCandidate:
+    return StreamedCandidate(
+        seq=frame["seq"],
+        query=query_from_dict(frame["query"]),
+        cardinality=frame["cardinality"],
+    )
+
+
+def _raise_for(frame: Dict[str, Any]) -> None:
+    kind = frame.get("type")
+    if kind == "rejected":
+        raise RequestRejected(frame.get("code", 429), frame.get("message", "rejected"))
+    if kind == "cancelled":
+        raise RequestCancelled(frame.get("id"))
+    if kind == "error":
+        raise ServerError(frame.get("code", "error"), frame.get("message", ""))
+
+
+def _explain_request(
+    rid: int,
+    graph: str,
+    query: GraphQuery,
+    threshold,
+    explain: bool,
+    rewrite: bool,
+    stream: bool,
+) -> Dict[str, Any]:
+    return {
+        "type": "explain",
+        "id": rid,
+        "graph": graph,
+        "query": query_to_dict(query),
+        "threshold": None if threshold is None else threshold_to_dict(threshold),
+        "explain": explain,
+        "rewrite": rewrite,
+        "stream": stream,
+    }
+
+
+# -- synchronous client ----------------------------------------------------------
+
+
+class WhyQueryClient:
+    """Synchronous protocol client over one TCP connection.
+
+    Thread-compatible, not thread-safe: issue requests from one thread
+    (or guard with your own lock).  Replies are demultiplexed by request
+    id, so an :class:`ExplainStream` left half-consumed does not corrupt
+    later requests -- its remaining frames are buffered as they arrive.
+    """
+
+    def __init__(self, sock: socket.socket, tenant: Optional[str] = None) -> None:
+        self._sock = sock
+        self.tenant = tenant
+        self._decoder = FrameDecoder()
+        self._ids = itertools.count(1)
+        #: request id -> frames received but not yet consumed
+        self._inbox: Dict[Any, List[Dict[str, Any]]] = {}
+        self._general: List[Dict[str, Any]] = []
+        self.welcome: Optional[Dict[str, Any]] = None
+        self._closed = False
+
+    # -- plumbing --
+
+    def _send(self, message: Dict[str, Any]) -> None:
+        self._sock.sendall(encode_frame(message))
+
+    def _pump(self) -> None:
+        """Read from the socket until at least one frame decodes."""
+        while True:
+            data = self._sock.recv(65536)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            frames = self._decoder.feed(data)
+            if frames:
+                for frame in frames:
+                    rid = frame.get("id")
+                    if rid is None:
+                        self._general.append(frame)
+                    else:
+                        self._inbox.setdefault(rid, []).append(frame)
+                return
+
+    def _next_frame(self, rid: Any) -> Dict[str, Any]:
+        """The next frame addressed to ``rid`` (reads until one arrives)."""
+        while not self._inbox.get(rid):
+            self._pump()
+        return self._inbox[rid].pop(0)
+
+    def _next_general(self, kind: str) -> Dict[str, Any]:
+        while True:
+            for i, frame in enumerate(self._general):
+                if frame.get("type") in (kind, "error"):
+                    del self._general[i]
+                    _raise_for(frame)
+                    return frame
+            self._pump()
+
+    def _request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        self._send(message)
+        frame = self._next_frame(message["id"])
+        _raise_for(frame)
+        return frame
+
+    def _handshake(self) -> None:
+        self._send(
+            {"type": "hello", "protocol": PROTOCOL_VERSION, "tenant": self.tenant}
+        )
+        self.welcome = self._next_general("welcome")
+
+    # -- requests --
+
+    def put_graph(self, name: str, graph: PropertyGraph) -> Dict[str, Any]:
+        """Upload ``graph`` under ``name``; returns the server's ack."""
+        return self._request(
+            {
+                "type": "put_graph",
+                "id": next(self._ids),
+                "graph": name,
+                "data": graph_to_dict(graph),
+            }
+        )
+
+    def count(
+        self,
+        graph: str,
+        query: GraphQuery,
+        limit: Optional[int] = None,
+        injective: bool = True,
+    ) -> int:
+        frame = self._request(
+            {
+                "type": "count",
+                "id": next(self._ids),
+                "graph": graph,
+                "query": query_to_dict(query),
+                "limit": limit,
+                "injective": injective,
+            }
+        )
+        return frame["count"]
+
+    def match(
+        self,
+        graph: str,
+        query: GraphQuery,
+        limit: Optional[int] = None,
+        injective: bool = True,
+    ):
+        frame = self._request(
+            {
+                "type": "match",
+                "id": next(self._ids),
+                "graph": graph,
+                "query": query_to_dict(query),
+                "limit": limit,
+                "injective": injective,
+            }
+        )
+        return result_set_from_dict(frame["matches"])
+
+    def explain(
+        self,
+        graph: str,
+        query: GraphQuery,
+        threshold=None,
+        explain: bool = True,
+        rewrite: bool = True,
+    ) -> Dict[str, Any]:
+        """Debug ``query`` remotely; returns the report dict (the JSON
+        form of :class:`~repro.why.engine.WhyQueryReport`)."""
+        rid = next(self._ids)
+        frame = self._request(
+            _explain_request(rid, graph, query, threshold, explain, rewrite, False)
+        )
+        return frame["report"]
+
+    def explain_stream(
+        self,
+        graph: str,
+        query: GraphQuery,
+        threshold=None,
+        explain: bool = True,
+        rewrite: bool = True,
+    ) -> "ExplainStream":
+        """Like :meth:`explain`, but yields rewrite candidates as the
+        server's search evaluates them (then :meth:`ExplainStream.result`
+        returns the same final report)."""
+        rid = next(self._ids)
+        self._send(
+            _explain_request(rid, graph, query, threshold, explain, rewrite, True)
+        )
+        return ExplainStream(self, rid)
+
+    def stats(self) -> Dict[str, Any]:
+        """The service's unified stats schema plus the ``server`` section."""
+        return self._request({"type": "stats", "id": next(self._ids)})["stats"]
+
+    def shutdown_server(self) -> Dict[str, Any]:
+        """Ask the server to shut down (honoured only with
+        ``allow_shutdown=True`` on the server side)."""
+        return self._request({"type": "shutdown", "id": next(self._ids)})
+
+    def cancel(self, rid: Any) -> None:
+        self._send({"type": "cancel", "id": rid})
+
+    def close(self) -> None:
+        """Say goodbye and wait for the server's drain ack."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._send({"type": "goodbye"})
+            while True:
+                for i, frame in enumerate(self._general):
+                    if frame.get("type") == "goodbye":
+                        break
+                else:
+                    self._pump()
+                    continue
+                break
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "WhyQueryClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class ExplainStream:
+    """Iterator of :class:`StreamedCandidate` for one streamed explain.
+
+    Iteration ends when the server sends the final frame; then
+    :meth:`result` returns the report dict (or raises
+    :class:`~repro.server.protocol.RequestCancelled` /
+    :class:`RequestRejected`).  :meth:`result` may also be called
+    directly -- it drains the remaining candidates into
+    :attr:`candidates`.
+    """
+
+    def __init__(self, client: WhyQueryClient, rid: Any) -> None:
+        self._client = client
+        self.request_id = rid
+        self.candidates: List[StreamedCandidate] = []
+        self._final: Optional[Dict[str, Any]] = None
+
+    def __iter__(self) -> Iterator[StreamedCandidate]:
+        return self
+
+    def __next__(self) -> StreamedCandidate:
+        if self._final is not None:
+            raise StopIteration
+        frame = self._client._next_frame(self.request_id)
+        if frame.get("type") == "candidate":
+            candidate = _candidate(frame)
+            self.candidates.append(candidate)
+            return candidate
+        self._final = frame
+        raise StopIteration
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation of the in-flight explain."""
+        self._client.cancel(self.request_id)
+
+    def result(self) -> Dict[str, Any]:
+        """Drain the stream and return the final report dict."""
+        for _ in self:
+            pass
+        assert self._final is not None
+        _raise_for(self._final)
+        return self._final["report"]
+
+
+def connect(
+    host: str, port: int, tenant: Optional[str] = None, timeout: Optional[float] = None
+) -> WhyQueryClient:
+    """Open a connection and perform the ``hello`` handshake."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    client = WhyQueryClient(sock, tenant=tenant)
+    client._handshake()
+    return client
+
+
+# -- asyncio client --------------------------------------------------------------
+
+
+class AsyncWhyQueryClient:
+    """Asyncio protocol client: many requests in flight on one connection.
+
+    A background reader task demultiplexes frames into per-request
+    queues, so ``asyncio.gather`` over several :meth:`explain` calls
+    genuinely overlaps them on the server (the open-loop benchmark's
+    client)."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        tenant: Optional[str] = None,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.tenant = tenant
+        self._decoder = FrameDecoder()
+        self._ids = itertools.count(1)
+        self._queues: Dict[Any, asyncio.Queue] = {}
+        self._general: asyncio.Queue = asyncio.Queue()
+        self._reader_task: Optional[asyncio.Task] = None
+        self.welcome: Optional[Dict[str, Any]] = None
+        self._closed = False
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                data = await self._reader.read(65536)
+                if not data:
+                    break
+                for frame in self._decoder.feed(data):
+                    rid = frame.get("id")
+                    if rid is None:
+                        await self._general.put(frame)
+                    else:
+                        self._queues.setdefault(rid, asyncio.Queue()).put_nowait(frame)
+        except (ConnectionResetError, ProtocolError):
+            pass
+        # wake any waiters so they see the EOF instead of hanging
+        sentinel = {"type": "error", "code": "closed", "message": "connection closed"}
+        for queue in self._queues.values():
+            queue.put_nowait(dict(sentinel))
+        await self._general.put(dict(sentinel))
+
+    def _queue(self, rid: Any) -> asyncio.Queue:
+        return self._queues.setdefault(rid, asyncio.Queue())
+
+    async def _send(self, message: Dict[str, Any]) -> None:
+        self._writer.write(encode_frame(message))
+        await self._writer.drain()
+
+    async def _request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        queue = self._queue(message["id"])
+        await self._send(message)
+        frame = await queue.get()
+        _raise_for(frame)
+        return frame
+
+    async def _handshake(self) -> None:
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        await self._send(
+            {"type": "hello", "protocol": PROTOCOL_VERSION, "tenant": self.tenant}
+        )
+        frame = await self._general.get()
+        _raise_for(frame)
+        self.welcome = frame
+
+    # -- requests --
+
+    async def put_graph(self, name: str, graph: PropertyGraph) -> Dict[str, Any]:
+        return await self._request(
+            {
+                "type": "put_graph",
+                "id": next(self._ids),
+                "graph": name,
+                "data": graph_to_dict(graph),
+            }
+        )
+
+    async def count(
+        self,
+        graph: str,
+        query: GraphQuery,
+        limit: Optional[int] = None,
+        injective: bool = True,
+    ) -> int:
+        frame = await self._request(
+            {
+                "type": "count",
+                "id": next(self._ids),
+                "graph": graph,
+                "query": query_to_dict(query),
+                "limit": limit,
+                "injective": injective,
+            }
+        )
+        return frame["count"]
+
+    async def explain(
+        self,
+        graph: str,
+        query: GraphQuery,
+        threshold=None,
+        explain: bool = True,
+        rewrite: bool = True,
+    ) -> Dict[str, Any]:
+        rid = next(self._ids)
+        frame = await self._request(
+            _explain_request(rid, graph, query, threshold, explain, rewrite, False)
+        )
+        return frame["report"]
+
+    def explain_stream(
+        self,
+        graph: str,
+        query: GraphQuery,
+        threshold=None,
+        explain: bool = True,
+        rewrite: bool = True,
+    ) -> "AsyncExplainStream":
+        rid = next(self._ids)
+        queue = self._queue(rid)
+        request = _explain_request(rid, graph, query, threshold, explain, rewrite, True)
+        return AsyncExplainStream(self, rid, queue, request)
+
+    async def stats(self) -> Dict[str, Any]:
+        frame = await self._request({"type": "stats", "id": next(self._ids)})
+        return frame["stats"]
+
+    async def cancel(self, rid: Any) -> None:
+        await self._send({"type": "cancel", "id": rid})
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            await self._send({"type": "goodbye"})
+            while True:
+                frame = await self._general.get()
+                if frame.get("type") in ("goodbye", "error"):
+                    break
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            if self._reader_task is not None:
+                self._reader_task.cancel()
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def __aenter__(self) -> "AsyncWhyQueryClient":
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+
+class AsyncExplainStream:
+    """Async iterator of streamed candidates for one explain request.
+
+    The request frame is sent lazily on first use (``async for`` or
+    ``await stream.result()``), since ``explain_stream`` itself is not a
+    coroutine."""
+
+    def __init__(
+        self,
+        client: AsyncWhyQueryClient,
+        rid: Any,
+        queue: asyncio.Queue,
+        request: Dict[str, Any],
+    ) -> None:
+        self._client = client
+        self.request_id = rid
+        self._queue = queue
+        self._request = request
+        self._sent = False
+        self.candidates: List[StreamedCandidate] = []
+        self._final: Optional[Dict[str, Any]] = None
+
+    async def _ensure_sent(self) -> None:
+        if not self._sent:
+            self._sent = True
+            await self._client._send(self._request)
+
+    def __aiter__(self) -> AsyncIterator[StreamedCandidate]:
+        return self
+
+    async def __anext__(self) -> StreamedCandidate:
+        await self._ensure_sent()
+        if self._final is not None:
+            raise StopAsyncIteration
+        frame = await self._queue.get()
+        if frame.get("type") == "candidate":
+            candidate = _candidate(frame)
+            self.candidates.append(candidate)
+            return candidate
+        self._final = frame
+        raise StopAsyncIteration
+
+    async def cancel(self) -> None:
+        await self._ensure_sent()
+        await self._client.cancel(self.request_id)
+
+    async def result(self) -> Dict[str, Any]:
+        await self._ensure_sent()
+        while self._final is None:
+            try:
+                await self.__anext__()
+            except StopAsyncIteration:
+                break
+        assert self._final is not None
+        _raise_for(self._final)
+        return self._final["report"]
+
+
+async def connect_async(
+    host: str, port: int, tenant: Optional[str] = None
+) -> AsyncWhyQueryClient:
+    """Open an asyncio connection and perform the ``hello`` handshake."""
+    reader, writer = await asyncio.open_connection(host, port)
+    client = AsyncWhyQueryClient(reader, writer, tenant=tenant)
+    await client._handshake()
+    return client

@@ -637,3 +637,23 @@ def result_set_from_dict(data: Mapping[str, Any]) -> ResultSet:
             )
         )
     return out
+
+
+# -- cardinality thresholds -----------------------------------------------------
+
+
+def threshold_to_dict(threshold) -> Dict[str, Any]:
+    """JSON form of a :class:`~repro.metrics.cardinality.CardinalityThreshold`."""
+    return {"lower": threshold.lower, "upper": threshold.upper}
+
+
+def threshold_from_dict(data: Mapping[str, Any]):
+    """Rebuild a threshold from :func:`threshold_to_dict` output."""
+    from repro.metrics.cardinality import CardinalityThreshold
+
+    lower = data.get("lower")
+    upper = data.get("upper")
+    return CardinalityThreshold(
+        lower=None if lower is None else int(lower),
+        upper=None if upper is None else int(upper),
+    )

@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.core.graph import PropertyGraph
 from repro.core.query import GraphQuery
@@ -52,6 +52,7 @@ from repro.rewrite.cache import QueryResultCache
 from repro.rewrite.operations import AttributeDomain
 from repro.rewrite.preference_model import RewritePreferenceModel
 from repro.rewrite.statistics import GraphStatistics
+from repro.stats import StatsReport, unified_stats
 
 __all__ = ["ExecutionContext", "execution_context"]
 
@@ -171,20 +172,38 @@ class ExecutionContext:
 
     # -- reporting ------------------------------------------------------------
 
-    def cache_report(self) -> Dict[str, Dict[str, float]]:
-        """Hit/miss counters of every cache layer plus matcher effort.
+    def cache_report(self) -> StatsReport:
+        """Every cache layer plus matcher effort, in the unified schema.
 
-        ``results`` is the query-result cache (App. B.2); ``plan`` and
-        ``vertex_candidates`` are the per-graph shared evaluation caches,
-        reported next to the matcher's ``calls``/``steps`` counters.
+        The matcher's :meth:`~repro.matching.matcher.PatternMatcher.cache_info`
+        sections are extended with the query-result cache (App. B.2) under
+        ``["caches"]["results"]``.  The pre-unification top-level keys
+        (``report["results"]``, ``report["plan"]``, ...) stay readable for
+        one release behind a :class:`DeprecationWarning`.
         """
-        report = dict(self.matcher.cache_info())
-        report["results"] = self.cache.stats.as_dict()
-        report["matcher"] = {
-            "calls": self.matcher.calls,
-            "steps": self.matcher.steps,
-        }
-        return report
+        info = self.matcher.cache_info()
+        caches = dict(info["caches"])
+        caches["results"] = self.cache.stats.as_dict()
+        return unified_stats(
+            caches=caches,
+            csr=info["csr"],
+            programs=info["programs"],
+            deltas=info["deltas"],
+            extra={"matcher": info["matcher"]},
+            legacy={
+                "plan": caches["plan"],
+                "vertex_candidates": caches["vertex_candidates"],
+                "results": caches["results"],
+                "programs": info["programs"],
+            },
+            hints={
+                "plan": "['caches']['plan']",
+                "vertex_candidates": "['caches']['vertex_candidates']",
+                "results": "['caches']['results']",
+                "programs": "['programs'] and ['csr']",
+            },
+            surface="cache_report()",
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

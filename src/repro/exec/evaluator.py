@@ -220,6 +220,7 @@ class CandidateEvaluator:
         executor: Optional[BatchExecutor] = None,
         budget: Optional[EvaluationBudget] = None,
         count_limit: Optional[int] = None,
+        on_result: Optional[Callable[[EvaluatedCandidate], None]] = None,
     ) -> None:
         if not hasattr(counter, "count"):
             raise TypeError("counter must expose count(query, limit=...)")
@@ -227,6 +228,12 @@ class CandidateEvaluator:
         self.executor: BatchExecutor = executor if executor is not None else SerialExecutor()
         self.budget = budget if budget is not None else EvaluationBudget(None)
         self.count_limit = count_limit
+        #: incremental-results seam: called once per admitted candidate,
+        #: in submission order, as soon as its batch finishes -- streaming
+        #: consumers (the protocol server) see candidates while the search
+        #: is still running.  Exceptions propagate into the engine, which
+        #: is how cooperative cancellation unwinds an in-flight search.
+        self.on_result = on_result
         #: total candidates admitted through this evaluator
         self.evaluated = 0
         #: batches served (for throughput reporting)
@@ -280,9 +287,13 @@ class CandidateEvaluator:
             counts = self.executor.run(tasks)
         self.evaluated += len(batch)
         self.batches += 1
-        return [
+        results = [
             EvaluatedCandidate(
                 index=i, query=query, cardinality=counts[first_at[sig]]
             )
             for i, (sig, query) in enumerate(zip(signatures, batch))
         ]
+        if self.on_result is not None:
+            for item in results:
+                self.on_result(item)
+        return results

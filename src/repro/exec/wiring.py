@@ -14,6 +14,7 @@ this module a leaf: it can be imported from ``repro.rewrite`` /
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Tuple
 
 from repro.core.graph import PropertyGraph
@@ -35,9 +36,24 @@ def resolve_spine(
 
     Raises :class:`ValueError` when neither ``graph`` nor ``context`` is
     given, or when both are given but disagree.
+
+    Passing individual components (``matcher`` / ``cache`` /
+    ``statistics``) alongside a ``context`` is deprecated: the context
+    *is* the spine, and overriding one layer of it silently forfeits the
+    shared caches the other layers assume.  Build a dedicated
+    ``ExecutionContext`` with the desired components instead.
     """
     if graph is None and context is None:
         raise ValueError("either graph or context is required")
+    if context is not None and any(
+        component is not None for component in (matcher, cache, statistics)
+    ):
+        warnings.warn(
+            "passing matcher=/cache=/statistics= alongside context= is "
+            "deprecated; wire a dedicated ExecutionContext instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
     if context is not None:
         if graph is not None and graph is not context.graph:
             raise ValueError("graph and context.graph differ")

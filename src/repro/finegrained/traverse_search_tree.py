@@ -25,7 +25,7 @@ import heapq
 import itertools
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 from repro.core.errors import MalformedQueryError, RewritingError
 from repro.core.graph import PropertyGraph
@@ -100,6 +100,7 @@ class TraverseSearchTree:
         executor: Optional[BatchExecutor] = None,
         batch_size: Optional[int] = None,
         budget: Optional[EvaluationBudget] = None,
+        on_candidate: Optional[Callable[..., None]] = None,
     ) -> None:
         if threshold is None:
             raise ValueError("a cardinality threshold is required")
@@ -135,6 +136,10 @@ class TraverseSearchTree:
         #: lease carved from a service-level budget pool); when given it
         #: is the hard bound instead of ``max_evaluations``
         self.budget = budget
+        #: incremental-results seam: invoked once per evaluated candidate
+        #: as each batch finishes (streaming consumers); exceptions raised
+        #: here abort the search (cooperative cancellation)
+        self.on_candidate = on_candidate
 
     # -- candidate generation (Sec. 6.2.2) ------------------------------------
 
@@ -208,7 +213,11 @@ class TraverseSearchTree:
             else EvaluationBudget(self.max_evaluations)
         )
         evaluator = CandidateEvaluator(
-            self.cache, executor=self.executor, budget=budget, count_limit=limit
+            self.cache,
+            executor=self.executor,
+            budget=budget,
+            count_limit=limit,
+            on_result=self.on_candidate,
         )
         counter = itertools.count()
         heap: List[Tuple[Tuple[int, float, int], int]] = []

@@ -55,13 +55,19 @@ def format_series(
 def format_cache_report(report: Dict[str, Dict[str, Any]]) -> str:
     """Render a nested cache-counter report (one line per cache layer).
 
-    Accepts the shape produced by ``PatternMatcher.cache_info`` /
-    ``WhyQueryEngine.cache_report``: ``{layer: {counter: value}}``.
+    Accepts the unified :mod:`repro.stats` schema produced by
+    ``PatternMatcher.cache_info`` / ``WhyQueryEngine.cache_report``
+    (non-mapping entries such as the ``schema`` tag and empty sections
+    are skipped) as well as any plain ``{layer: {counter: value}}``
+    nesting.
     """
     lines = []
     for layer in sorted(report):
+        counters_map = report[layer]
+        if not isinstance(counters_map, dict) or not counters_map:
+            continue
         counters = ", ".join(
-            f"{key}={_fmt(value)}" for key, value in sorted(report[layer].items())
+            f"{key}={_fmt(value)}" for key, value in sorted(counters_map.items())
         )
         lines.append(f"{layer}: {counters}")
     return "\n".join(lines)

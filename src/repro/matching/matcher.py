@@ -52,6 +52,13 @@ from repro.matching.program import (
     ProgramUnsupported,
     compiled_program,
 )
+from repro.stats import (
+    StatsReport,
+    csr_section,
+    deltas_section,
+    programs_section,
+    unified_stats,
+)
 
 
 def _compiled_default() -> bool:
@@ -107,14 +114,45 @@ class PatternMatcher:
         #: cumulative number of binding attempts (search effort)
         self.steps = 0
 
-    def cache_info(self) -> Dict[str, Dict[str, float]]:
-        """Hit/miss counters of the shared evaluation caches, plus the
-        graph's compilation counters (zeros until a compiled run)."""
-        return {
+    def cache_info(self) -> "StatsReport":
+        """Cache and compilation counters in the unified stats schema.
+
+        Emits the :mod:`repro.stats` sections (``caches`` holds the
+        ``plan`` and ``vertex_candidates`` layers, ``csr``/``programs``
+        the compilation counters -- zeros until a compiled run).  The
+        pre-unification keys (``cache_info()["plan"]``,
+        ``cache_info()["programs"]["programs_compiled"]``, ...) stay
+        readable for one release behind a :class:`DeprecationWarning`.
+        """
+        flat = csr_stats(self.graph)
+        caches = {
             "plan": plan_cache_stats(self.graph).as_dict(),
             "vertex_candidates": self.evalcache.stats.as_dict(),
-            "programs": csr_stats(self.graph),
         }
+        programs = StatsReport(
+            programs_section(flat),
+            legacy=flat,
+            hints={key: "['programs']['compiled'/'hits'] or ['csr']" for key in flat},
+            surface="cache_info()['programs']",
+        )
+        return unified_stats(
+            caches=caches,
+            csr=csr_section(flat),
+            programs=programs,
+            deltas=deltas_section(applied=flat.get("deltas_applied", 0)),
+            extra={"matcher": {"calls": self.calls, "steps": self.steps}},
+            legacy={
+                "plan": caches["plan"],
+                "vertex_candidates": caches["vertex_candidates"],
+                "programs": programs,
+            },
+            hints={
+                "plan": "['caches']['plan']",
+                "vertex_candidates": "['caches']['vertex_candidates']",
+                "programs": "['programs'] and ['csr']",
+            },
+            surface="cache_info()",
+        )
 
     # -- compiled routing -------------------------------------------------------
 

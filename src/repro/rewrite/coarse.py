@@ -138,6 +138,7 @@ class CoarseRewriter:
         executor: Optional[BatchExecutor] = None,
         batch_size: Optional[int] = None,
         budget: Optional[EvaluationBudget] = None,
+        on_candidate: Optional[Callable[..., None]] = None,
     ) -> None:
         # explicit components win, then the context's spine, then fresh wiring
         self.graph, self.matcher, self.cache, self.statistics = resolve_spine(
@@ -169,6 +170,12 @@ class CoarseRewriter:
         #: is the hard bound instead of ``max_evaluations``, and spend is
         #: shared with every other engine holding the same budget
         self.budget = budget
+        #: incremental-results seam: invoked once per evaluated candidate
+        #: (an :class:`~repro.exec.evaluator.EvaluatedCandidate`) as each
+        #: batch finishes, so streaming consumers see the search progress
+        #: live; exceptions raised here abort the search (cooperative
+        #: cancellation)
+        self.on_candidate = on_candidate
 
     # -- public API ----------------------------------------------------------
 
@@ -195,6 +202,7 @@ class CoarseRewriter:
             executor=self.executor,
             budget=budget,
             count_limit=self.count_limit,
+            on_result=self.on_candidate,
         )
 
         heap: List[_QueueEntry] = []

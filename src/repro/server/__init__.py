@@ -1,0 +1,38 @@
+"""Network layer: the why-query protocol server and its wire format.
+
+:mod:`repro.server.protocol` defines the length-prefixed JSON-frame wire
+format (shared with :mod:`repro.client`); :mod:`repro.server.server`
+runs a :class:`~repro.service.WhyQueryService` behind it with session
+multiplexing, streamed rewrite candidates, cooperative cancellation and
+per-tenant admission quotas.
+"""
+
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ProtocolError,
+    RequestCancelled,
+    encode_frame,
+    report_to_dict,
+    strip_volatile,
+)
+from repro.server.server import (
+    ThreadedServer,
+    WhyQueryProtocolServer,
+    serve_in_thread,
+)
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "FrameDecoder",
+    "ProtocolError",
+    "RequestCancelled",
+    "ThreadedServer",
+    "WhyQueryProtocolServer",
+    "encode_frame",
+    "report_to_dict",
+    "serve_in_thread",
+    "strip_volatile",
+]

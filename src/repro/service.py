@@ -44,7 +44,7 @@ request throws the shared evaluation state away between requests; the
 >>> service = WhyQueryService(max_contexts=4, budget_pool=BudgetPool(2000))
 >>> report = service.explain(graph, failed_query)       # request 1
 >>> session = service.open_session(graph, failed_query) # request 2, warm
->>> service.stats()["explain_calls"]
+>>> service.stats()["service"]["explain_calls"]
 1
 """
 
@@ -64,6 +64,13 @@ from repro.exec.context import ExecutionContext
 from repro.exec.evaluator import BatchExecutor, EvaluationBudget
 from repro.metrics.cardinality import CardinalityThreshold
 from repro.shard.process_executor import ProcessExecutor
+from repro.stats import (
+    StatsReport,
+    csr_section,
+    deltas_section,
+    programs_section,
+    unified_stats,
+)
 from repro.why.engine import WhyQueryEngine, WhyQueryReport
 from repro.why.session import DebugSession
 
@@ -352,7 +359,7 @@ class WhyQueryService:
     ``affine_fallbacks``).  The per-graph worker/shard counters --
     including the payload/memory accounting (``payload_bytes`` actually
     shipped vs ``full_snapshot_bytes``) -- surface under
-    ``stats()["process_pools"]``.
+    ``stats()["pools"]``.
     """
 
     #: engine kwargs the service itself wires per request; passing them as
@@ -366,6 +373,7 @@ class WhyQueryService:
             "preference_model",
             "preferences",
             "evaluation_budget",
+            "on_candidate",
         }
     )
 
@@ -564,6 +572,8 @@ class WhyQueryService:
         threshold: Optional[CardinalityThreshold] = None,
         explain: bool = True,
         rewrite: bool = True,
+        on_candidate: Optional[Callable[..., None]] = None,
+        budget: Optional[EvaluationBudget] = None,
     ) -> WhyQueryReport:
         """One-shot debugging request (classify, explain, rewrite).
 
@@ -572,8 +582,19 @@ class WhyQueryService:
         per the pool's policy) and returns the lease when done -- under
         load a request may be granted a smaller search budget than the
         engine's ``max_rewrite_evaluations``.
+
+        ``budget`` overrides that admission path with an externally
+        leased :class:`~repro.exec.evaluator.EvaluationBudget` -- the
+        protocol server uses this to map *per-tenant* budget pools onto
+        requests (each tenant leases from its own pool before calling in).
+
+        ``on_candidate`` is the incremental-results seam: it is invoked
+        once per evaluated rewrite candidate
+        (an :class:`~repro.exec.evaluator.EvaluatedCandidate`) while the
+        search is still running; exceptions it raises abort the search
+        and propagate out (cooperative cancellation).
         """
-        lease = self._admit()
+        lease = self._admit() if budget is None else None
         try:
             entry = self._entry_for(graph, lease=True)
             try:
@@ -583,7 +604,12 @@ class WhyQueryService:
                     executor=self._executor_for(entry),
                     preference_model=context.preference_model,
                     preferences=context.preferences,
-                    evaluation_budget=None if lease is None else lease.budget,
+                    evaluation_budget=(
+                        budget
+                        if budget is not None
+                        else None if lease is None else lease.budget
+                    ),
+                    on_candidate=on_candidate,
                     **self.engine_options,
                 )
                 start = time.perf_counter()
@@ -649,6 +675,8 @@ class WhyQueryService:
         threshold: Optional[CardinalityThreshold] = None,
         explain: bool = True,
         rewrite: bool = True,
+        on_candidate: Optional[Callable[..., None]] = None,
+        budget: Optional[EvaluationBudget] = None,
     ) -> WhyQueryReport:
         """Awaitable :meth:`explain` for asyncio deployments.
 
@@ -665,7 +693,14 @@ class WhyQueryService:
         with self._lock:
             self._async_calls += 1
         call = functools.partial(
-            self.explain, graph, query, threshold, explain=explain, rewrite=rewrite
+            self.explain,
+            graph,
+            query,
+            threshold,
+            explain=explain,
+            rewrite=rewrite,
+            on_candidate=on_candidate,
+            budget=budget,
         )
         return await loop.run_in_executor(self._ensure_request_pool(), call)
 
@@ -719,8 +754,20 @@ class WhyQueryService:
 
     # -- reporting ------------------------------------------------------------
 
-    def stats(self) -> Dict[str, object]:
-        """Aggregated cache, throughput and admission counters."""
+    def stats(self) -> StatsReport:
+        """Aggregated counters over all live contexts, unified schema.
+
+        Emits the :mod:`repro.stats` sections -- ``caches``/``csr``/
+        ``programs``/``deltas`` summed over every pooled context,
+        ``pools`` summed over the per-graph worker pools (process mode),
+        ``admission`` straight from the :class:`BudgetPool` -- plus the
+        service-specific ``service`` (throughput), ``matcher``,
+        ``executor`` and ``per_graph`` keys.  This is exactly what the
+        protocol ``stats`` message serves.  The pre-unification keys
+        (``stats()["totals"]``, ``stats()["process_pools"]``,
+        ``stats()["explain_calls"]``, ...) stay readable for one release
+        behind a :class:`DeprecationWarning`.
+        """
         admission = self.budget_pool.stats() if self.budget_pool else None
         executor_info = None
         info = getattr(self.executor, "info", None)
@@ -728,25 +775,17 @@ class WhyQueryService:
             executor_info = info()
         with self._lock:
             per_graph: List[Dict[str, object]] = []
-            totals = {
-                "result_hits": 0,
-                "result_misses": 0,
-                "candidate_hits": 0,
-                "candidate_misses": 0,
-                "matcher_calls": 0,
-                "matcher_steps": 0,
-                "programs_compiled": 0,
-                "program_hits": 0,
-                "csr_builds": 0,
-                "csr_bytes": 0,
-                "csr_patches": 0,
-                "csr_rebuilds": 0,
-                "csr_evictions": 0,
-                "deltas_applied": 0,
+            caches = {
+                "results": {"hits": 0, "misses": 0},
+                "vertex_candidates": {"hits": 0, "misses": 0},
             }
-            process_pools: Optional[Dict[str, int]] = None
+            matcher = {"calls": 0, "steps": 0}
+            csr = csr_section({})
+            programs = programs_section({})
+            deltas = deltas_section()
+            pools: Optional[Dict[str, object]] = None
             if self.process_mode:
-                process_pools = {
+                pools = {
                     "pools_live": 0,
                     "workers": 0,
                     "shards_per_pool": self.shards,
@@ -762,76 +801,58 @@ class WhyQueryService:
                     "payload_bytes": 0,
                     "full_snapshot_bytes": 0,
                     "affine_fallbacks": 0,
-                    # mutations absorbed without pool teardown, and the
-                    # delta payload bytes the catch-ups shipped
-                    "worker_catchups": 0,
-                    "delta_bytes": 0,
                 }
             for entry in self._pool.values():
                 report = entry.context.cache_report()
-                totals["result_hits"] += int(report["results"]["hits"])
-                totals["result_misses"] += int(report["results"]["misses"])
-                totals["candidate_hits"] += int(report["vertex_candidates"]["hits"])
-                totals["candidate_misses"] += int(
-                    report["vertex_candidates"]["misses"]
-                )
-                totals["matcher_calls"] += int(report["matcher"]["calls"])
-                totals["matcher_steps"] += int(report["matcher"]["steps"])
-                programs = report.get("programs", {})
-                totals["programs_compiled"] += int(programs.get("programs_compiled", 0))
-                totals["program_hits"] += int(programs.get("program_hits", 0))
-                totals["csr_builds"] += int(programs.get("csr_builds", 0))
-                totals["csr_bytes"] += int(programs.get("csr_bytes", 0))
-                totals["csr_patches"] += int(programs.get("csr_patches", 0))
-                totals["csr_rebuilds"] += int(programs.get("csr_rebuilds", 0))
-                totals["csr_evictions"] += int(programs.get("csr_evictions", 0))
-                totals["deltas_applied"] += int(programs.get("deltas_applied", 0))
+                for layer in ("results", "vertex_candidates"):
+                    layer_stats = report["caches"][layer]
+                    caches[layer]["hits"] += int(layer_stats["hits"])
+                    caches[layer]["misses"] += int(layer_stats["misses"])
+                matcher["calls"] += int(report["matcher"]["calls"])
+                matcher["steps"] += int(report["matcher"]["steps"])
+                for key in csr:
+                    csr[key] += int(report["csr"][key])
+                for key in programs:
+                    programs[key] += int(report["programs"][key])
+                for key in deltas:
+                    deltas[key] += int(report["deltas"][key])
                 graph_stats: Dict[str, object] = {
                     "graph": repr(entry.context.graph),
                     "version": entry.version,
                     "requests": entry.requests,
                     "cache_report": report,
                 }
-                if entry.executor is not None and process_pools is not None:
+                if entry.executor is not None and pools is not None:
                     pool_info = entry.executor.info()
                     graph_stats["process_pool"] = pool_info
-                    process_pools["pools_live"] += int(bool(pool_info["pool_live"]))
-                    process_pools["workers"] += int(pool_info["max_workers"])
-                    process_pools["batches"] += int(pool_info["batches"])
-                    process_pools["queries_shipped"] += int(
-                        pool_info["queries_shipped"]
+                    entry_pools = pool_info["pools"]
+                    pools["pools_live"] += int(bool(entry_pools["pool_live"]))
+                    pools["workers"] += int(entry_pools["max_workers"])
+                    pools["batches"] += int(entry_pools["batches"])
+                    pools["queries_shipped"] += int(entry_pools["queries_shipped"])
+                    pools["sharded_counts"] += int(entry_pools["sharded_counts"])
+                    pools["pool_rebuilds"] += int(entry_pools["pool_rebuilds"])
+                    pools["full_snapshot_bytes"] += int(
+                        entry_pools.get("full_snapshot_bytes", 0) or 0
                     )
-                    process_pools["sharded_counts"] += int(
-                        pool_info["sharded_counts"]
-                    )
-                    process_pools["pool_rebuilds"] += int(
-                        pool_info["pool_rebuilds"]
-                    )
-                    process_pools["full_snapshot_bytes"] += int(
-                        pool_info.get("full_snapshot_bytes", 0) or 0
-                    )
+                    for key in deltas:
+                        deltas[key] += int(pool_info["deltas"][key])
                     if self.placement == "affine":
-                        process_pools["payload_bytes"] += sum(
-                            pool_info.get("payload_bytes_per_worker", ())
+                        pools["payload_bytes"] += sum(
+                            entry_pools.get("payload_bytes_per_worker", ())
                         )
-                        process_pools["affine_fallbacks"] += int(
-                            pool_info.get("affine_fallbacks", 0)
-                        )
-                        process_pools["worker_catchups"] += int(
-                            pool_info.get("worker_catchups", 0)
-                        )
-                        process_pools["delta_bytes"] += int(
-                            pool_info.get("delta_bytes", 0)
+                        pools["affine_fallbacks"] += int(
+                            entry_pools.get("affine_fallbacks", 0)
                         )
                     else:
                         # the full snapshot is shipped to every worker
-                        process_pools["payload_bytes"] += int(
-                            pool_info.get("full_snapshot_bytes", 0) or 0
-                        ) * int(pool_info["max_workers"])
+                        pools["payload_bytes"] += int(
+                            entry_pools.get("full_snapshot_bytes", 0) or 0
+                        ) * int(entry_pools["max_workers"])
                 per_graph.append(graph_stats)
             requests = self._explain_calls + self._session_calls
             uptime = time.perf_counter() - self._started
-            return {
+            service = {
                 "requests": requests,
                 "explain_calls": self._explain_calls,
                 "session_calls": self._session_calls,
@@ -843,9 +864,43 @@ class WhyQueryService:
                 "busy_seconds": self._busy_seconds,
                 "uptime_seconds": uptime,
                 "requests_per_second": requests / uptime if uptime > 0 else 0.0,
-                "admission": admission,
-                "executor": executor_info,
-                "process_pools": process_pools,
-                "totals": totals,
-                "per_graph": per_graph,
             }
+            totals = {
+                "result_hits": caches["results"]["hits"],
+                "result_misses": caches["results"]["misses"],
+                "candidate_hits": caches["vertex_candidates"]["hits"],
+                "candidate_misses": caches["vertex_candidates"]["misses"],
+                "matcher_calls": matcher["calls"],
+                "matcher_steps": matcher["steps"],
+                "programs_compiled": programs["compiled"],
+                "program_hits": programs["hits"],
+                "csr_builds": csr["builds"],
+                "csr_bytes": csr["bytes"],
+                "csr_patches": csr["patches"],
+                "csr_rebuilds": csr["rebuilds"],
+                "csr_evictions": csr["evictions"],
+                "deltas_applied": deltas["applied"],
+            }
+            legacy: Dict[str, object] = dict(service)
+            legacy["totals"] = totals
+            legacy["process_pools"] = pools
+            hints = {key: f"['service'][{key!r}]" for key in service}
+            hints["totals"] = "['caches']/['csr']/['programs']/['deltas']"
+            hints["process_pools"] = "['pools']"
+            return unified_stats(
+                caches=caches,
+                csr=csr,
+                programs=programs,
+                pools=pools,
+                admission=admission,
+                deltas=deltas,
+                extra={
+                    "service": service,
+                    "matcher": matcher,
+                    "executor": executor_info,
+                    "per_graph": per_graph,
+                },
+                legacy=legacy,
+                hints=hints,
+                surface="WhyQueryService.stats()",
+            )

@@ -82,6 +82,7 @@ from repro.core.serialize import (
     shards_to_wire,
 )
 from repro.shard.affine import canonical_edge_order
+from repro.stats import StatsReport, deltas_section, unified_stats
 
 T = TypeVar("T")
 
@@ -737,9 +738,15 @@ class ProcessExecutor:
             self._full_snapshot_bytes_version = version
         return measured
 
-    def info(self) -> Dict[str, object]:
-        """Lifetime counters (folded into ``WhyQueryService.stats()``)."""
-        info: Dict[str, object] = {
+    def info(self) -> StatsReport:
+        """Lifetime counters in the unified stats schema.
+
+        Pool lifecycle and payload accounting live under ``["pools"]``,
+        the delta-sync catch-up counters under ``["deltas"]``.  The
+        pre-unification flat keys (``info()["pool_live"]``, ...) stay
+        readable for one release behind a :class:`DeprecationWarning`.
+        """
+        pools: Dict[str, object] = {
             "max_workers": self.max_workers,
             "shards": self.shards,
             "start_method": self.start_method,
@@ -753,12 +760,16 @@ class ProcessExecutor:
             "sharded_counts": self.sharded_counts,
             "snapshot_version": self._snapshot_version,
         }
+        worker_catchups = 0
+        delta_bytes = 0
         if self.placement_mode == "full" and self._full_snapshot_bytes is not None:
-            info["full_snapshot_bytes"] = self._full_snapshot_bytes
+            pools["full_snapshot_bytes"] = self._full_snapshot_bytes
         if self.placement_mode == "affine":
             payload_max = max(self._payload_bytes, default=0)
             full = self._measure_full_snapshot() if payload_max else 0
-            info.update(
+            worker_catchups = self.worker_catchups
+            delta_bytes = self.delta_bytes
+            pools.update(
                 {
                     "placement_map": dict(self._placement),
                     "affine_fallbacks": self.affine_fallbacks,
@@ -768,11 +779,28 @@ class ProcessExecutor:
                     # memory headline: largest per-worker payload vs what
                     # the full-snapshot path ships to *every* worker
                     "payload_ratio": (full / payload_max) if payload_max else 0.0,
-                    "worker_catchups": self.worker_catchups,
-                    "delta_bytes": self.delta_bytes,
                 }
             )
-        return info
+        legacy = dict(pools)
+        if self.placement_mode == "affine":
+            legacy["worker_catchups"] = worker_catchups
+            legacy["delta_bytes"] = delta_bytes
+        return unified_stats(
+            pools=pools,
+            deltas=deltas_section(
+                bytes=delta_bytes, worker_catchups=worker_catchups
+            ),
+            legacy=legacy,
+            hints={
+                key: (
+                    "['deltas']"
+                    if key in ("worker_catchups", "delta_bytes")
+                    else f"['pools'][{key!r}]"
+                )
+                for key in legacy
+            },
+            surface="ProcessExecutor.info()",
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,166 @@
+"""One unified stats schema for every reporting surface.
+
+Before this module, the three reporting surfaces each invented their own
+nesting and key names:
+
+* ``PatternMatcher.cache_info()`` -- ``{"plan": ..., "vertex_candidates":
+  ..., "programs": <flat csr counters>}``;
+* ``ProcessExecutor.info()`` -- one flat dict mixing pool lifecycle,
+  payload accounting and delta counters;
+* ``WhyQueryService.stats()`` -- a third nesting with a flat ``totals``
+  dict whose keys (``csr_builds``, ``program_hits``, ...) matched neither
+  of the other two.
+
+A network front door (:mod:`repro.server`) serving a ``stats`` message
+needs *one* schema, so this module defines it:
+
+======================  =====================================================
+``caches``              named hit/miss cache layers (``plan``,
+                        ``vertex_candidates``, ``results``, ...)
+``csr``                 interned CSR array accounting (``builds``, ``bytes``,
+                        ``patches``, ``rebuilds``, ``evictions``)
+``programs``            compiled match kernels (``compiled``, ``hits``)
+``pools``               worker/context pool lifecycle and payload accounting
+``admission``           :class:`~repro.service.BudgetPool` counters
+``deltas``              delta-sync pipeline (``applied``, ``bytes``,
+                        ``worker_catchups``)
+======================  =====================================================
+
+Every surface emits **all six sections** (``None``/empty when the surface
+has nothing to report there) plus surface-specific extras (``matcher``,
+``service``, ``per_graph``), under a ``"schema"`` version tag.  The
+protocol ``stats`` message serves :meth:`WhyQueryService.stats` verbatim.
+
+Deprecation shim
+----------------
+
+The pre-unification shapes stay readable for one release: each surface
+returns a :class:`StatsReport` -- a plain ``dict`` holding the unified
+schema whose *legacy* keys (``stats()["totals"]``,
+``cache_info()["programs"]``, ``info()["pool_live"]``, ...) still resolve,
+emitting a :class:`DeprecationWarning` that names the replacement path.
+Iteration, ``dict(report)`` and JSON serialisation see only the unified
+keys.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = [
+    "STATS_SCHEMA",
+    "SECTIONS",
+    "StatsReport",
+    "csr_section",
+    "deltas_section",
+    "programs_section",
+    "unified_stats",
+]
+
+#: schema identity tag carried by every unified report
+STATS_SCHEMA = "repro.stats/1"
+
+#: the six typed sections every surface emits
+SECTIONS = ("caches", "csr", "programs", "pools", "admission", "deltas")
+
+
+class StatsReport(dict):
+    """Unified stats mapping with a deprecated legacy-key fallback.
+
+    Subscripting a key that only existed in the surface's pre-unification
+    shape resolves against the ``legacy`` mapping and emits a
+    :class:`DeprecationWarning` naming the unified replacement.  All dict
+    iteration/serialisation behaviour sees only the unified keys.
+    """
+
+    def __init__(
+        self,
+        data: Mapping[str, Any],
+        legacy: Optional[Mapping[str, Any]] = None,
+        hints: Optional[Mapping[str, str]] = None,
+        surface: str = "stats",
+    ) -> None:
+        super().__init__(data)
+        self._legacy = dict(legacy or {})
+        self._hints = dict(hints or {})
+        self._surface = surface
+
+    def __missing__(self, key: str) -> Any:
+        if key in self._legacy:
+            hint = self._hints.get(key, "the unified sections")
+            warnings.warn(
+                f"{self._surface}[{key!r}] is the pre-unification shape; "
+                f"read {hint} instead (repro.stats schema {STATS_SCHEMA}). "
+                "The legacy key will be removed in the next release.",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return self._legacy[key]
+        raise KeyError(key)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+
+def csr_section(flat: Mapping[str, int]) -> Dict[str, int]:
+    """CSR accounting section from the flat :func:`csr_stats` counters."""
+    return {
+        "builds": int(flat.get("csr_builds", 0)),
+        "bytes": int(flat.get("csr_bytes", 0)),
+        "patches": int(flat.get("csr_patches", 0)),
+        "rebuilds": int(flat.get("csr_rebuilds", 0)),
+        "evictions": int(flat.get("csr_evictions", 0)),
+    }
+
+
+def programs_section(flat: Mapping[str, int]) -> Dict[str, int]:
+    """Compiled-kernel section from the flat :func:`csr_stats` counters."""
+    return {
+        "compiled": int(flat.get("programs_compiled", 0)),
+        "hits": int(flat.get("program_hits", 0)),
+    }
+
+
+def deltas_section(
+    applied: int = 0, bytes: int = 0, worker_catchups: int = 0
+) -> Dict[str, int]:
+    """Delta-sync pipeline section."""
+    return {
+        "applied": int(applied),
+        "bytes": int(bytes),
+        "worker_catchups": int(worker_catchups),
+    }
+
+
+def unified_stats(
+    caches: Optional[Mapping[str, Any]] = None,
+    csr: Optional[Mapping[str, int]] = None,
+    programs: Optional[Mapping[str, int]] = None,
+    pools: Optional[Mapping[str, Any]] = None,
+    admission: Optional[Mapping[str, Any]] = None,
+    deltas: Optional[Mapping[str, int]] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+    legacy: Optional[Mapping[str, Any]] = None,
+    hints: Optional[Mapping[str, str]] = None,
+    surface: str = "stats",
+) -> StatsReport:
+    """Assemble one unified report; every section is always present."""
+
+    def keep(value: Any) -> Any:
+        # nested StatsReport sections keep their own legacy shim
+        return value if isinstance(value, StatsReport) else dict(value)
+
+    data: Dict[str, Any] = {"schema": STATS_SCHEMA}
+    data["caches"] = keep(caches) if caches is not None else {}
+    data["csr"] = keep(csr) if csr is not None else csr_section({})
+    data["programs"] = keep(programs) if programs is not None else programs_section({})
+    data["pools"] = keep(pools) if pools is not None else None
+    data["admission"] = keep(admission) if admission is not None else None
+    data["deltas"] = keep(deltas) if deltas is not None else deltas_section()
+    if extra:
+        data.update(extra)
+    return StatsReport(data, legacy=legacy, hints=hints, surface=surface)

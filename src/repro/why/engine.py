@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 from repro.core.graph import PropertyGraph
 from repro.core.query import GraphQuery
@@ -107,6 +107,7 @@ class WhyQueryEngine:
         context: Optional[ExecutionContext] = None,
         executor: Optional[BatchExecutor] = None,
         evaluation_budget: Optional[EvaluationBudget] = None,
+        on_candidate: Optional[Callable[..., None]] = None,
     ) -> None:
         if graph is None and context is None:
             raise ValueError("either graph or context is required")
@@ -142,6 +143,11 @@ class WhyQueryEngine:
         #: lease from a service-level BudgetPool); when set it bounds the
         #: rewriting evaluations instead of ``max_rewrite_evaluations``
         self.evaluation_budget = evaluation_budget
+        #: incremental-results seam: forwarded to the rewriting engines,
+        #: which invoke it once per evaluated candidate as batches finish
+        #: (how the protocol server streams partial results); exceptions
+        #: raised here abort the search (cooperative cancellation)
+        self.on_candidate = on_candidate
 
     @property
     def domain(self):
@@ -205,6 +211,7 @@ class WhyQueryEngine:
                     max_evaluations=self.max_rewrite_evaluations,
                     executor=self.executor,
                     budget=self.evaluation_budget,
+                    on_candidate=self.on_candidate,
                 )
                 rewriting = rewriter.rewrite(query, k=self.rewrite_k)
         elif problem in (CardinalityProblem.TOO_FEW, CardinalityProblem.TOO_MANY):
@@ -228,6 +235,7 @@ class WhyQueryEngine:
                     max_evaluations=self.max_rewrite_evaluations,
                     executor=self.executor,
                     budget=self.evaluation_budget,
+                    on_candidate=self.on_candidate,
                 )
                 rewriting = engine.search(query)
 

@@ -66,15 +66,23 @@ class TestExecutionContext:
         ctx = ExecutionContext(tiny_graph)
         ctx.count(typed_query("person", "workAt"))
         report = ctx.cache_report()
+        # the unified repro.stats schema: six typed sections + extras
         assert set(report) == {
-            "plan",
-            "vertex_candidates",
+            "schema",
+            "caches",
+            "csr",
             "programs",
-            "results",
+            "pools",
+            "admission",
+            "deltas",
             "matcher",
         }
-        assert report["results"]["misses"] == 1
+        assert set(report["caches"]) == {"plan", "vertex_candidates", "results"}
+        assert report["caches"]["results"]["misses"] == 1
         assert report["matcher"]["calls"] == 1
+        # the pre-unification keys stay readable behind the shim
+        with pytest.warns(DeprecationWarning):
+            assert report["results"]["misses"] == 1
 
     def test_mismatched_matcher_rejected(self, tiny_graph):
         other = PropertyGraph()

@@ -415,7 +415,22 @@ def async_pool():
         yield pool
 
 
-def assert_paths_agree(graph, query, injective, thread_pool, async_pool, limits=(1, 3)):
+@pytest.fixture(scope="module")
+def wire_client():
+    """A protocol client against a live in-process server (path 7)."""
+    from repro.client import connect
+    from repro.server import serve_in_thread
+
+    handle = serve_in_thread()
+    client = connect(*handle.address)
+    yield client
+    client.close()
+    handle.stop()
+
+
+def assert_paths_agree(
+    graph, query, injective, thread_pool, async_pool, limits=(1, 3), client=None
+):
     """The single oracle assertion: every execution path must agree with
     the serial matcher on counts (value-identity), match sets
     (permutation-identity) and bounded counts (value-identity)."""
@@ -424,6 +439,23 @@ def assert_paths_agree(graph, query, injective, thread_pool, async_pool, limits=
     oracle_count_steps = oracle.steps
     expected_matches = match_key(oracle.match(query))
     expected_bounded = {limit: oracle.count(query, limit=limit) for limit in limits}
+
+    # path 7: the wire protocol -- graph and query serialised over the
+    # frame protocol, matched by the server's pooled context, results
+    # deserialised back (value-identity through two JSON round-trips)
+    if client is not None:
+        client.put_graph("oracle", graph)
+        sig = query.signature()
+        assert client.count("oracle", query, injective=injective) == expected_count, sig
+        assert (
+            match_key(client.match("oracle", query, injective=injective))
+            == expected_matches
+        ), sig
+        for limit, bounded in expected_bounded.items():
+            assert (
+                client.count("oracle", query, limit=limit, injective=injective)
+                == bounded
+            ), (sig, limit)
 
     # path 1b: the compiled CSR backend against the same serial oracle.
     # The generated kernels must not only agree on values -- on the
@@ -532,14 +564,16 @@ def random_mutations(rng: random.Random, graph: PropertyGraph, k: int) -> None:
 
 class TestMutateBetweenQueries:
     """Delta-sync oracle: random deltas interleaved between query
-    rounds.  After every mutation batch all seven execution paths must
+    rounds.  After every mutation batch all eight execution paths must
     re-agree on the mutated graph, and one *persistent* compiled
     matcher -- whose shared CSR entry follows the graph via in-place
     patches, never a rebuild -- must stay count- and steps-identical to
     a fresh interpreter."""
 
     @pytest.mark.parametrize("seed", MUTATION_SEEDS)
-    def test_paths_agree_across_mutations(self, seed, thread_pool, async_pool):
+    def test_paths_agree_across_mutations(
+        self, seed, thread_pool, async_pool, wire_client
+    ):
         rng = random.Random(10_000 + seed)
         graph = random_differential_graph(rng)
         injective = rng.random() < 0.8
@@ -547,7 +581,11 @@ class TestMutateBetweenQueries:
 
         def check_round() -> None:
             query = random_differential_query(rng)
-            assert_paths_agree(graph, query, injective, thread_pool, async_pool)
+            # the wire path re-uploads after every mutation batch, so the
+            # mutated graph's serialised form is part of the oracle too
+            assert_paths_agree(
+                graph, query, injective, thread_pool, async_pool, client=wire_client
+            )
             # the persistent matcher evaluates over the patched arrays
             # and the retained programs; the kernels must still visit
             # exactly a fresh interpreter's candidates
@@ -591,13 +629,15 @@ class TestDifferentialOracle:
     affine-compiled), zero divergences."""
 
     @pytest.mark.parametrize("seed", DIFFERENTIAL_SEEDS)
-    def test_all_execution_paths_agree(self, seed, thread_pool, async_pool):
+    def test_all_execution_paths_agree(self, seed, thread_pool, async_pool, wire_client):
         rng = random.Random(seed)
         graph = random_differential_graph(rng)
         query = random_differential_query(rng)
         # a sprinkle of homomorphic cases: self-loops behave differently
         injective = rng.random() < 0.8
-        assert_paths_agree(graph, query, injective, thread_pool, async_pool)
+        assert_paths_agree(
+            graph, query, injective, thread_pool, async_pool, client=wire_client
+        )
 
     def test_generator_covers_the_adversarial_features(self):
         """The generator must actually produce the layouts the suite

@@ -61,6 +61,13 @@ def baseline_payload() -> dict:
             "csr": {"patch_rate": 1.0},
             "catchup": {"warm_hit_rate": 1.0, "reship_ratio": 3000.0},
         },
+        "server_protocol": {
+            "streamed_identical": 1.0,
+            "open_loop": {
+                "2": {"ttfc_ratio": 0.6, "p99_over_p50": 1.1},
+                "8": {"ttfc_ratio": 0.7, "p99_over_p50": 1.2},
+            },
+        },
     }
 
 
@@ -293,6 +300,56 @@ class TestShardedExpansionGate:
         assert any("sharded-expansion" in f for f in gate.failures)
         fresh["sharded_expansion"]["speedup_2s"] = 1.05
         assert check_trajectory(baseline, fresh).failures == []
+
+
+class TestServerProtocolGate:
+    def test_streamed_divergence_fails_exactly(self):
+        """Bit-identity of streamed vs plain explains is deterministic:
+        no tolerance, any fraction below 1.0 fails."""
+        baseline = baseline_payload()
+        fresh = copy.deepcopy(baseline)
+        fresh["server_protocol"]["streamed_identical"] = 0.75
+        gate = check_trajectory(baseline, fresh)
+        assert any("DIVERGED" in f for f in gate.failures)
+
+    def test_ttfc_degenerating_to_result_time_fails(self):
+        """Streaming that delivers the first candidate only alongside the
+        final frame (ratio -> 1.0) is a regression even within noise."""
+        baseline = baseline_payload()
+        fresh = copy.deepcopy(baseline)
+        fresh["server_protocol"]["open_loop"]["2"]["ttfc_ratio"] = 0.95
+        gate = check_trajectory(baseline, fresh)
+        assert any("ttfc ratio @2" in f for f in gate.failures)
+        fresh["server_protocol"]["open_loop"]["2"]["ttfc_ratio"] = 0.7
+        assert check_trajectory(baseline, fresh).failures == []
+
+    def test_lucky_low_ttfc_baseline_is_floored(self):
+        """A lucky 0.2 baseline draw must not make ordinary scheduling
+        jitter (say 0.55) a failure: the baseline contributes >= 0.5."""
+        baseline = baseline_payload()
+        baseline["server_protocol"]["open_loop"]["2"]["ttfc_ratio"] = 0.2
+        fresh = copy.deepcopy(baseline)
+        fresh["server_protocol"]["open_loop"]["2"]["ttfc_ratio"] = 0.55
+        assert check_trajectory(baseline, fresh).failures == []
+
+    def test_detached_tail_fails_and_jitter_does_not(self):
+        baseline = baseline_payload()
+        fresh = copy.deepcopy(baseline)
+        # tail baseline is floored at 5.0 -> ceiling 6.25: ordinary
+        # jitter passes, a tail detached from the median fails
+        fresh["server_protocol"]["open_loop"]["8"]["p99_over_p50"] = 4.0
+        assert check_trajectory(baseline, fresh).failures == []
+        fresh["server_protocol"]["open_loop"]["8"]["p99_over_p50"] = 8.0
+        gate = check_trajectory(baseline, fresh)
+        assert any("tail ratio @8" in f for f in gate.failures)
+
+    def test_levels_gated_independently(self):
+        baseline = baseline_payload()
+        fresh = copy.deepcopy(baseline)
+        fresh["server_protocol"]["open_loop"]["8"]["ttfc_ratio"] = 0.95
+        gate = check_trajectory(baseline, fresh)
+        assert any("ttfc ratio @8" in f for f in gate.failures)
+        assert not any("ttfc ratio @2" in f for f in gate.failures)
 
 
 class TestAffinePlacementGate:
