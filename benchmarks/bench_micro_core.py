@@ -28,7 +28,10 @@ affine placement vs the full snapshot every full-mode worker receives
 affine heavy-count wall-clock) and the delta-sync churn record
 (``mutate_while_serving``: interleaved mutations absorbed by in-place
 CSR patching and by warm affine-worker catch-up, gated on the patch
-rate and the delta-vs-full-re-warm byte ratio).  The JSON is the
+rate and the delta-vs-full-re-warm byte ratio) and the tracing-overhead
+record (``observability``: traced-vs-untraced matcher throughput with a
+fresh activated tracer per request, gated at >= 0.9 so tracing stays
+cheap enough to leave on).  The JSON is the
 machine-readable
 record of the hot-path performance trajectory; CI diffs a fresh run
 against the committed baseline with ``benchmarks/check_trajectory.py``
@@ -73,6 +76,7 @@ from repro.metrics.assignment import assignment_cost
 from repro.metrics.cardinality import CardinalityProblem
 from repro.metrics.result_distance import result_set_distance
 from repro.metrics.syntactic import syntactic_distance
+from repro.obs import Tracer
 from repro.rewrite.cache import QueryResultCache
 from repro.rewrite.statistics import GraphStatistics
 from repro.service import BudgetPool, WhyQueryService
@@ -964,6 +968,71 @@ def _sharded_expansion_section(shard_counts=(2, 4), rounds: int = 3) -> dict:
     }
 
 
+def _observability_section(batch_rounds: int = 5) -> dict:
+    """Tracing overhead on the hot matching path (ISSUE 9).
+
+    Two shapes, both single-core pure CPU, both with the interpreter
+    (the span sites are identical in the compiled backend):
+
+    * the typed-expansion count -- one heavy matcher call, where the
+      span cost amortises over thousands of search steps;
+    * the 32-variant rewrite batch with a *fresh activated tracer per
+      count* -- the per-request pattern the service runs, and the
+      span-overhead-heavy shape (every count opens match + plan spans
+      against very little search work).
+
+    ``enabled_ratio`` is traced-over-untraced throughput on the batch
+    shape (the unfavourable one); the acceptance target -- asserted
+    here and gated in ``check_trajectory.py`` -- is >= 0.9, i.e.
+    tracing must stay cheap enough to leave on in production.
+    """
+    graph, query, expected = _expansion_workload()
+    matcher = PatternMatcher(graph)
+    assert matcher.count(query) == expected  # warm-up
+    heavy_disabled_s = _best_of(lambda: matcher.count(query))
+
+    def heavy_traced() -> None:
+        tracer = Tracer()
+        with tracer.activate():
+            matcher.count(query)
+
+    heavy_enabled_s = _best_of(heavy_traced)
+
+    bgraph, variants, per_variant = _candidate_batch_workload()
+    bmatcher = PatternMatcher(bgraph)
+    assert [bmatcher.count(q) for q in variants] == [per_variant] * len(variants)
+    batch_disabled_s = _best_of(
+        lambda: [bmatcher.count(q) for q in variants], rounds=batch_rounds
+    )
+
+    def batch_traced() -> None:
+        for q in variants:
+            tracer = Tracer()
+            with tracer.activate():
+                bmatcher.count(q)
+
+    batch_enabled_s = _best_of(batch_traced, rounds=batch_rounds)
+
+    enabled_ratio = (
+        batch_disabled_s / batch_enabled_s if batch_enabled_s > 0 else float("inf")
+    )
+    return {
+        "heavy_count": {
+            "disabled_best_s": heavy_disabled_s,
+            "enabled_best_s": heavy_enabled_s,
+            "enabled_ratio": heavy_disabled_s / heavy_enabled_s
+            if heavy_enabled_s > 0
+            else float("inf"),
+        },
+        "rewrite_batch": {
+            "variants": len(variants),
+            "disabled_best_s": batch_disabled_s,
+            "enabled_best_s": batch_enabled_s,
+        },
+        "enabled_ratio": enabled_ratio,
+    }
+
+
 def _server_protocol_section() -> dict:
     """The open-loop protocol-server benchmark (see ``bench_server.py``;
     imported lazily so a plain ``python benchmarks/bench_micro_core.py``
@@ -1033,6 +1102,7 @@ def test_micro_emit_machine_readable(ldbc_bundle):
     affine_placement = _affine_placement_section()
     mutate_while_serving = _mutate_while_serving_section()
     server_protocol = _server_protocol_section()
+    observability = _observability_section()
 
     payload = {
         "benchmark": "bench_micro_core",
@@ -1056,6 +1126,7 @@ def test_micro_emit_machine_readable(ldbc_bundle):
         "affine_placement": affine_placement,
         "mutate_while_serving": mutate_while_serving,
         "server_protocol": server_protocol,
+        "observability": observability,
         "ops": ops,
         "cache_counters": {
             "plan": plan_cache_stats(ldbc_bundle.graph).as_dict(),
@@ -1077,7 +1148,8 @@ def test_micro_emit_machine_readable(ldbc_bundle):
         f"{mutate_while_serving['csr']['patch_rate']:.2f} / reship ratio "
         f"{mutate_while_serving['catchup']['reship_ratio']:.0f}x, "
         f"server p99@8 {server_protocol['open_loop']['8']['latency_p99_s'] * 1e3:.1f}ms / "
-        f"ttfc-ratio {server_protocol['open_loop']['8']['ttfc_ratio']:.2f} "
+        f"ttfc-ratio {server_protocol['open_loop']['8']['ttfc_ratio']:.2f}, "
+        f"tracing-enabled ratio {observability['enabled_ratio']:.2f} "
         f"on {process_pool['cpu_cores']} core(s))"
     )
 
@@ -1146,3 +1218,7 @@ def test_micro_emit_machine_readable(ldbc_bundle):
     for level, metrics in server_protocol["open_loop"].items():
         assert metrics["ttfc_ratio"] < 1.0, (level, metrics["ttfc_ratio"])
         assert metrics["latency_p99_s"] >= metrics["latency_p50_s"], level
+    # acceptance (ISSUE 9): tracing must be cheap enough to leave on --
+    # enabled-over-disabled throughput >= 0.9 even on the span-heavy
+    # rewrite-batch shape (a fresh activated tracer per count)
+    assert observability["enabled_ratio"] >= 0.9, observability["enabled_ratio"]

@@ -51,6 +51,12 @@ fails (exit code 1) when the trajectory regressed:
   stronger of the committed baseline and the 5x acceptance target).
   All three are deterministic counts/bytes -- *not* core-aware -- and
   the rate/ratio gates fail on a > ``--max-regression`` drop;
+* **tracing overhead** (``observability``): traced-over-untraced
+  matcher throughput with a fresh activated tracer per count (the
+  span-overhead-heavy rewrite-batch shape).  A same-machine ratio,
+  *not* core-aware; the floor is the stronger of the committed
+  baseline and the 0.9 acceptance target -- tracing that stops being
+  cheap enough to leave on fails the gate;
 * **protocol server** (``server_protocol``): ``streamed_identical``
   must be exactly 1.0 (the streamed explain's final report equals the
   plain remote explain bit-identically), and per open-loop concurrency
@@ -325,6 +331,20 @@ def check_trajectory(
     #   noisiest number here, and the gate only exists to catch a tail
     #   that detaches from the median (head-of-line blocking, a stuck
     #   worker), not ordinary jitter.
+    # tracing overhead (ISSUE 9): a same-machine throughput ratio, so
+    # not core-aware.  The expectation combines the committed baseline
+    # (within tolerance) with the hard 0.9 acceptance floor: tracing
+    # that stops being cheap enough to leave on fails even if the
+    # baseline itself had slack.
+    gate.check_not_below(
+        "tracing-enabled throughput ratio",
+        max(
+            dig(baseline, "observability.enabled_ratio") * (1.0 - max_regression),
+            0.9,
+        ),
+        dig(fresh, "observability.enabled_ratio"),
+        0.0,
+    )
     if dig(fresh, "server_protocol.streamed_identical") == 1.0:
         gate.ok("server-protocol streamed result identical to plain explain")
     else:

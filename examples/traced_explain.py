@@ -1,0 +1,103 @@
+"""Observability end to end: a traced explain against a live server.
+
+Boots a ``WhyQueryProtocolServer`` on a background thread, connects a
+``WhyQueryClient`` and runs one ``explain`` with ``trace: true``.  The
+span tree travels the wire in its own ``trace`` frame and the client
+re-attaches it under ``report["trace"]`` — exactly what an in-process
+``service.explain(..., trace=True)`` returns.  The script then prints
+the tree, the per-kind profile, the process metrics and the slow-query
+log, so every read path of ``repro.obs`` is exercised in one run.
+
+Run:  python examples/traced_explain.py
+Or against an already-running server (``python -m repro serve``):
+      python examples/traced_explain.py --connect HOST:PORT
+"""
+
+import sys
+
+from repro import GraphQuery, PropertyGraph, connect, equals, serve_in_thread
+from repro.server.protocol import strip_volatile
+
+# -- 1. a small social network and an over-constrained query -----------------
+
+graph = PropertyGraph()
+anna = graph.add_vertex(type="person", name="Anna")
+bob = graph.add_vertex(type="person", name="Bob")
+uni = graph.add_vertex(type="university", name="TU Dresden")
+city = graph.add_vertex(type="city", name="Dresden")
+graph.add_edge(anna, uni, "workAt")
+graph.add_edge(bob, uni, "studyAt")
+graph.add_edge(uni, city, "locatedIn")
+
+query = GraphQuery()
+person = query.add_vertex(predicates={"type": equals("person")})
+university = query.add_vertex(predicates={"type": equals("university")})
+query.add_edge(person, university, types={"foundedBy"})  # nobody founded it
+
+# -- 2. a server (in-process here; `python -m repro serve` for real) ---------
+
+if len(sys.argv) > 2 and sys.argv[1] == "--connect":
+    host, _, port = sys.argv[2].partition(":")
+    handle = None
+    address = (host, int(port))
+else:
+    handle = serve_in_thread()
+    address = handle.address
+
+
+def show(span, depth=0):
+    """Pretty-print one span and recurse into its children."""
+    label = span.get("kind", "?")
+    attrs = {
+        k: v
+        for k, v in span.get("attributes", {}).items()
+        if k not in ("problem",)
+    }
+    detail = f"  {attrs}" if attrs else ""
+    print(f"  {'  ' * depth}{label:<12} {span['elapsed_s'] * 1e3:8.3f} ms{detail}")
+    for child in span.get("spans", ()):
+        show(child, depth + 1)
+
+
+# -- 3. one traced explain over the wire -------------------------------------
+
+with connect(*address) as client:
+    client.put_graph("social", graph)
+    print(f"connected to {address[0]}:{address[1]}, uploaded {graph}")
+
+    traced = client.explain("social", query, trace=True)
+    print(f"\ntraced explain: {traced['summary']}")
+    print("\nspan tree (kind, wall time, attributes):")
+    show(traced["trace"])
+
+    # the trace is *volatile* decoration: stripped of it (and of
+    # wall-clock timings) the report is identical to an untraced one
+    plain = client.explain("social", query)
+    identical = strip_volatile(traced) == strip_volatile(plain)
+    print(f"\ntraced report identical to untraced explain: {identical}")
+
+    # -- 4. the other two read paths: metrics and the slow-query log ---------
+
+    metrics = client.metrics()
+    histogram = metrics["metrics"]["histograms"]["repro_explain_latency_seconds"]
+    print(
+        f"\nmetrics: {histogram['count']} explain(s) observed, "
+        f"total {histogram['sum']:.4f} s "
+        f"({len(metrics['text'].splitlines())} lines of Prometheus text)"
+    )
+
+    print("\nslow-query log (slowest first):")
+    for rank, entry in enumerate(client.slow_queries(limit=3), start=1):
+        profile = ", ".join(sorted(entry["profile"])) or "untraced"
+        print(
+            f"  #{rank}  {entry['elapsed_s'] * 1e3:8.3f} ms  "
+            f"{entry['problem']:<12} spans: {profile}"
+        )
+
+if handle is not None:
+    handle.stop()
+    print("\nserver drained and stopped")
+
+# The span tree ships in a dedicated `trace` frame, the metrics message
+# mirrors the `--metrics-port` Prometheus endpoint, and the slow log
+# keeps the N slowest explains -- see docs/observability.md.

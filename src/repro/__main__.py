@@ -13,10 +13,16 @@ Commands
     ids: tabA, fig4, fig5, fig5-user, fig6, fig6-topo, appB.
 ``datasets``
     Print the generated data-set inventory (Table A.1).
-``serve [--host H] [--port P] [--with-ldbc] [--allow-remote-shutdown]``
+``serve [--host H] [--port P] [--metrics-port M] [--with-ldbc]
+[--allow-remote-shutdown]``
     Run the why-query protocol server in the foreground (see
     ``docs/protocol.md``); ``--with-ldbc`` preloads the generated LDBC
-    social network under the graph name ``ldbc``.
+    social network under the graph name ``ldbc``; ``--metrics-port``
+    additionally serves the Prometheus text exposition of the metrics
+    registry over plain HTTP (``GET /metrics``).
+``slowlog [--host H] [--port P] [--limit N]``
+    Connect to a running server and print its slow-query log, slowest
+    explain first (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -71,6 +77,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         allow_shutdown=args.allow_remote_shutdown,
     )
 
+    metrics_handle = None
+    if args.metrics_port is not None:
+        from repro.obs import start_metrics_server
+
+        metrics_handle = start_metrics_server(port=args.metrics_port, host=args.host)
+        host, port = metrics_handle.address
+        print(f"metrics endpoint on http://{host}:{port}/metrics", flush=True)
+
     def _announce(address) -> None:
         print(f"whyquery server listening on {address[0]}:{address[1]}", flush=True)
 
@@ -78,6 +92,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(server.run(on_started=_announce))
     except KeyboardInterrupt:
         pass
+    finally:
+        if metrics_handle is not None:
+            metrics_handle.close()
+    return 0
+
+
+def _cmd_slowlog(args: argparse.Namespace) -> int:
+    from repro.client import connect
+
+    with connect(args.host, args.port) as client:
+        entries = client.slow_queries(limit=args.limit)
+    if not entries:
+        print("slow-query log is empty")
+        return 0
+    for rank, entry in enumerate(entries, start=1):
+        flags = []
+        if entry.get("budget_truncated"):
+            flags.append("budget-truncated")
+        if entry.get("shard_fallbacks"):
+            flags.append(f"{entry['shard_fallbacks']} shard fallback(s)")
+        if not entry.get("traced"):
+            flags.append("untraced")
+        cache = entry.get("cache", {})
+        print(
+            f"#{rank} {entry['elapsed_s'] * 1000.0:.2f} ms  "
+            f"problem={entry.get('problem')}  "
+            f"steps={entry.get('matcher_steps')}  "
+            f"cache={cache.get('hits', 0)}h/{cache.get('misses', 0)}m"
+            + (f"  [{', '.join(flags)}]" if flags else "")
+        )
+        print(f"   signature: {entry.get('signature', '')[:100]}")
+        profile = entry.get("profile") or {}
+        if profile:
+            parts = [
+                f"{kind}:{agg['count']}x {agg['total_s'] * 1000.0:.2f}ms"
+                for kind, agg in sorted(profile.items())
+            ]
+            print(f"   spans: {'  '.join(parts)}")
     return 0
 
 
@@ -226,6 +278,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8642)
     serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="also serve Prometheus metrics over HTTP on this port (0 = ephemeral)",
+    )
+    serve.add_argument(
         "--with-ldbc",
         action="store_true",
         help="preload the generated LDBC graph as 'ldbc'",
@@ -234,6 +292,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--allow-remote-shutdown",
         action="store_true",
         help="honour the protocol 'shutdown' message (CI smoke jobs)",
+    )
+    slowlog = commands.add_parser(
+        "slowlog", help="print a running server's slow-query log"
+    )
+    slowlog.add_argument("--host", default="127.0.0.1")
+    slowlog.add_argument("--port", type=int, default=8642)
+    slowlog.add_argument(
+        "--limit", type=int, default=None, help="show at most N entries"
     )
     exp = commands.add_parser("experiments", help="regenerate evaluation tables")
     exp.add_argument("--dataset", choices=("ldbc", "dbpedia"), default="ldbc")
@@ -249,6 +315,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "datasets": _cmd_datasets,
         "experiments": _cmd_experiments,
         "serve": _cmd_serve,
+        "slowlog": _cmd_slowlog,
     }
     return handlers[args.command](args)
 

@@ -109,6 +109,7 @@ def _explain_request(
     explain: bool,
     rewrite: bool,
     stream: bool,
+    trace: bool = False,
 ) -> Dict[str, Any]:
     return {
         "type": "explain",
@@ -119,6 +120,7 @@ def _explain_request(
         "explain": explain,
         "rewrite": rewrite,
         "stream": stream,
+        "trace": trace,
     }
 
 
@@ -251,14 +253,34 @@ class WhyQueryClient:
         threshold=None,
         explain: bool = True,
         rewrite: bool = True,
+        trace: bool = False,
     ) -> Dict[str, Any]:
         """Debug ``query`` remotely; returns the report dict (the JSON
-        form of :class:`~repro.why.engine.WhyQueryReport`)."""
+        form of :class:`~repro.why.engine.WhyQueryReport`).
+
+        With ``trace=True`` the server runs the explain under a request
+        tracer and ships the span tree in a dedicated ``trace`` frame
+        ahead of the result; the returned report dict carries it under
+        ``"trace"``, mirroring an in-process traced explain.
+        """
         rid = next(self._ids)
-        frame = self._request(
-            _explain_request(rid, graph, query, threshold, explain, rewrite, False)
+        self._send(
+            _explain_request(
+                rid, graph, query, threshold, explain, rewrite, False, trace
+            )
         )
-        return frame["report"]
+        span_tree: Optional[Dict[str, Any]] = None
+        while True:
+            frame = self._next_frame(rid)
+            if frame.get("type") == "trace":
+                span_tree = frame.get("trace")
+                continue
+            _raise_for(frame)
+            break
+        report = frame["report"]
+        if span_tree is not None:
+            report["trace"] = span_tree
+        return report
 
     def explain_stream(
         self,
@@ -267,19 +289,35 @@ class WhyQueryClient:
         threshold=None,
         explain: bool = True,
         rewrite: bool = True,
+        trace: bool = False,
     ) -> "ExplainStream":
         """Like :meth:`explain`, but yields rewrite candidates as the
         server's search evaluates them (then :meth:`ExplainStream.result`
         returns the same final report)."""
         rid = next(self._ids)
         self._send(
-            _explain_request(rid, graph, query, threshold, explain, rewrite, True)
+            _explain_request(
+                rid, graph, query, threshold, explain, rewrite, True, trace
+            )
         )
         return ExplainStream(self, rid)
 
     def stats(self) -> Dict[str, Any]:
         """The service's unified stats schema plus the ``server`` section."""
         return self._request({"type": "stats", "id": next(self._ids)})["stats"]
+
+    def metrics(self) -> Dict[str, Any]:
+        """The server's metrics registry: ``{"metrics": snapshot,
+        "text": prometheus_exposition}``."""
+        frame = self._request({"type": "metrics", "id": next(self._ids)})
+        return {"metrics": frame["metrics"], "text": frame["text"]}
+
+    def slow_queries(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The server's slow-query log entries, slowest first."""
+        frame = self._request(
+            {"type": "slow_queries", "id": next(self._ids), "limit": limit}
+        )
+        return frame["slow_queries"]
 
     def shutdown_server(self) -> Dict[str, Any]:
         """Ask the server to shut down (honoured only with
@@ -331,6 +369,9 @@ class ExplainStream:
         self._client = client
         self.request_id = rid
         self.candidates: List[StreamedCandidate] = []
+        #: the span tree of a ``trace=True`` explain (set once the
+        #: server's ``trace`` frame arrives, before the final frame)
+        self.trace: Optional[Dict[str, Any]] = None
         self._final: Optional[Dict[str, Any]] = None
 
     def __iter__(self) -> Iterator[StreamedCandidate]:
@@ -339,13 +380,17 @@ class ExplainStream:
     def __next__(self) -> StreamedCandidate:
         if self._final is not None:
             raise StopIteration
-        frame = self._client._next_frame(self.request_id)
-        if frame.get("type") == "candidate":
-            candidate = _candidate(frame)
-            self.candidates.append(candidate)
-            return candidate
-        self._final = frame
-        raise StopIteration
+        while True:
+            frame = self._client._next_frame(self.request_id)
+            if frame.get("type") == "candidate":
+                candidate = _candidate(frame)
+                self.candidates.append(candidate)
+                return candidate
+            if frame.get("type") == "trace":
+                self.trace = frame.get("trace")
+                continue
+            self._final = frame
+            raise StopIteration
 
     def cancel(self) -> None:
         """Request cooperative cancellation of the in-flight explain."""
@@ -357,7 +402,10 @@ class ExplainStream:
             pass
         assert self._final is not None
         _raise_for(self._final)
-        return self._final["report"]
+        report = self._final["report"]
+        if self.trace is not None:
+            report["trace"] = self.trace
+        return report
 
 
 def connect(
@@ -480,12 +528,27 @@ class AsyncWhyQueryClient:
         threshold=None,
         explain: bool = True,
         rewrite: bool = True,
+        trace: bool = False,
     ) -> Dict[str, Any]:
         rid = next(self._ids)
-        frame = await self._request(
-            _explain_request(rid, graph, query, threshold, explain, rewrite, False)
+        queue = self._queue(rid)
+        await self._send(
+            _explain_request(
+                rid, graph, query, threshold, explain, rewrite, False, trace
+            )
         )
-        return frame["report"]
+        span_tree: Optional[Dict[str, Any]] = None
+        while True:
+            frame = await queue.get()
+            if frame.get("type") == "trace":
+                span_tree = frame.get("trace")
+                continue
+            _raise_for(frame)
+            break
+        report = frame["report"]
+        if span_tree is not None:
+            report["trace"] = span_tree
+        return report
 
     def explain_stream(
         self,
@@ -494,15 +557,30 @@ class AsyncWhyQueryClient:
         threshold=None,
         explain: bool = True,
         rewrite: bool = True,
+        trace: bool = False,
     ) -> "AsyncExplainStream":
         rid = next(self._ids)
         queue = self._queue(rid)
-        request = _explain_request(rid, graph, query, threshold, explain, rewrite, True)
+        request = _explain_request(
+            rid, graph, query, threshold, explain, rewrite, True, trace
+        )
         return AsyncExplainStream(self, rid, queue, request)
 
     async def stats(self) -> Dict[str, Any]:
         frame = await self._request({"type": "stats", "id": next(self._ids)})
         return frame["stats"]
+
+    async def metrics(self) -> Dict[str, Any]:
+        frame = await self._request({"type": "metrics", "id": next(self._ids)})
+        return {"metrics": frame["metrics"], "text": frame["text"]}
+
+    async def slow_queries(
+        self, limit: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        frame = await self._request(
+            {"type": "slow_queries", "id": next(self._ids), "limit": limit}
+        )
+        return frame["slow_queries"]
 
     async def cancel(self, rid: Any) -> None:
         await self._send({"type": "cancel", "id": rid})
@@ -555,6 +633,9 @@ class AsyncExplainStream:
         self._request = request
         self._sent = False
         self.candidates: List[StreamedCandidate] = []
+        #: the span tree of a ``trace=True`` explain (set once the
+        #: server's ``trace`` frame arrives, before the final frame)
+        self.trace: Optional[Dict[str, Any]] = None
         self._final: Optional[Dict[str, Any]] = None
 
     async def _ensure_sent(self) -> None:
@@ -569,13 +650,17 @@ class AsyncExplainStream:
         await self._ensure_sent()
         if self._final is not None:
             raise StopAsyncIteration
-        frame = await self._queue.get()
-        if frame.get("type") == "candidate":
-            candidate = _candidate(frame)
-            self.candidates.append(candidate)
-            return candidate
-        self._final = frame
-        raise StopAsyncIteration
+        while True:
+            frame = await self._queue.get()
+            if frame.get("type") == "candidate":
+                candidate = _candidate(frame)
+                self.candidates.append(candidate)
+                return candidate
+            if frame.get("type") == "trace":
+                self.trace = frame.get("trace")
+                continue
+            self._final = frame
+            raise StopAsyncIteration
 
     async def cancel(self) -> None:
         await self._ensure_sent()
@@ -590,7 +675,10 @@ class AsyncExplainStream:
                 break
         assert self._final is not None
         _raise_for(self._final)
-        return self._final["report"]
+        report = self._final["report"]
+        if self.trace is not None:
+            report["trace"] = self.trace
+        return report
 
 
 async def connect_async(

@@ -48,6 +48,7 @@ from repro.core.query import GraphQuery
 from repro.explain.preferences import UserPreferences
 from repro.matching.evalcache import EvaluationCache
 from repro.matching.matcher import PatternMatcher
+from repro.obs.tracing import current_tracer
 from repro.rewrite.cache import QueryResultCache
 from repro.rewrite.operations import AttributeDomain
 from repro.rewrite.preference_model import RewritePreferenceModel
@@ -138,6 +139,15 @@ class ExecutionContext:
     def evalcache(self) -> EvaluationCache:
         """The per-graph candidate-set cache all layers share."""
         return self.matcher.evalcache
+
+    @property
+    def tracer(self):
+        """The calling request's tracer (:data:`~repro.obs.NULL_TRACER`
+        when tracing is off).  One context serves *concurrent* requests,
+        so the tracer rides the ambient request context
+        (:func:`repro.obs.current_tracer`) rather than mutable state on
+        the shared context object."""
+        return current_tracer()
 
     def count(self, query: GraphQuery, limit: Optional[int] = None) -> int:
         """Cached bounded cardinality of ``query`` (the hot entry point)."""

@@ -49,6 +49,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Optional, Protocol, Sequence, TypeVar
 
 from repro.core.query import GraphQuery
+from repro.obs.tracing import SPAN_EVALUATE, current_tracer
 
 T = TypeVar("T")
 
@@ -221,6 +222,7 @@ class CandidateEvaluator:
         budget: Optional[EvaluationBudget] = None,
         count_limit: Optional[int] = None,
         on_result: Optional[Callable[[EvaluatedCandidate], None]] = None,
+        tracer=None,
     ) -> None:
         if not hasattr(counter, "count"):
             raise TypeError("counter must expose count(query, limit=...)")
@@ -228,6 +230,8 @@ class CandidateEvaluator:
         self.executor: BatchExecutor = executor if executor is not None else SerialExecutor()
         self.budget = budget if budget is not None else EvaluationBudget(None)
         self.count_limit = count_limit
+        #: request tracer; ``None`` resolves the ambient one per batch
+        self.tracer = tracer
         #: incremental-results seam: called once per admitted candidate,
         #: in submission order, as soon as its batch finishes -- streaming
         #: consumers (the protocol server) see candidates while the search
@@ -247,7 +251,17 @@ class CandidateEvaluator:
         """Evaluate a batch; results in submission order, budget-truncated."""
         if limit is ...:
             limit = self.count_limit
+        tracer = self.tracer if self.tracer is not None else current_tracer()
+        with tracer.span(SPAN_EVALUATE) as span:
+            results = self._evaluate(queries, limit, tracer, span)
+        return results
+
+    def _evaluate(self, queries, limit, tracer, span) -> List[EvaluatedCandidate]:
         admitted = self.budget.grant(len(queries))
+        if tracer.enabled:
+            span.attributes["submitted"] = len(queries)
+            span.attributes["admitted"] = admitted
+            span.attributes["truncated"] = admitted < len(queries)
         batch = list(queries[:admitted])
         if not batch:
             return []

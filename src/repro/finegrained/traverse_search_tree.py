@@ -39,6 +39,7 @@ from repro.exec.evaluator import (
 from repro.exec.wiring import resolve_spine
 from repro.matching.matcher import PatternMatcher
 from repro.metrics.cardinality import CardinalityThreshold
+from repro.obs.tracing import SPAN_REWRITE, current_tracer
 from repro.metrics.syntactic import syntactic_distance
 from repro.rewrite.cache import QueryResultCache
 from repro.rewrite.operations import (
@@ -101,9 +102,12 @@ class TraverseSearchTree:
         batch_size: Optional[int] = None,
         budget: Optional[EvaluationBudget] = None,
         on_candidate: Optional[Callable[..., None]] = None,
+        tracer=None,
     ) -> None:
         if threshold is None:
             raise ValueError("a cardinality threshold is required")
+        #: request tracer; ``None`` resolves the ambient one per search
+        self.tracer = tracer
         self.threshold = threshold
         # explicit components win, then the context's spine, then fresh wiring
         self.graph, self.matcher, self.cache, self.statistics = resolve_spine(
@@ -200,6 +204,16 @@ class TraverseSearchTree:
         result's ``converged`` flag tells whether the threshold interval
         was actually reached.
         """
+        tracer = self.tracer if self.tracer is not None else current_tracer()
+        with tracer.span(SPAN_REWRITE, engine="search-tree") as span:
+            result = self._search(query, tracer)
+            if tracer.enabled:
+                span.attributes["evaluated"] = result.evaluated
+                span.attributes["converged"] = result.converged
+                span.attributes["budget_exhausted"] = result.budget_exhausted
+            return result
+
+    def _search(self, query: GraphQuery, tracer) -> FineRewriteResult:
         start = time.perf_counter()
         limit = self._probe_limit()
         root_card = self.cache.count(query, limit=limit)
@@ -218,6 +232,7 @@ class TraverseSearchTree:
             budget=budget,
             count_limit=limit,
             on_result=self.on_candidate,
+            tracer=tracer,
         )
         counter = itertools.count()
         heap: List[Tuple[Tuple[int, float, int], int]] = []

@@ -51,6 +51,7 @@ from typing import Any, Dict, Hashable, Iterable, Optional, Tuple
 from repro.core.query import QueryEdge, QueryVertex
 from repro.matching.candidates import attributes_match, vertex_candidates
 from repro.matching.evalcache import EvaluationCache, predicate_signature
+from repro.obs.tracing import SPAN_CSR_BUILD, current_tracer
 
 __all__ = [
     "CSRIndex",
@@ -594,10 +595,12 @@ def csr_entry(graph: Any) -> _CsrEntry:
     record, no log, or byte-budget eviction)."""
     entry = _CSR_ENTRIES.get(graph)
     if entry is None:
-        entry = _CsrEntry(CSRIndex(graph))
+        with current_tracer().span(SPAN_CSR_BUILD, reason="first"):
+            entry = _CsrEntry(CSRIndex(graph))
         _CSR_ENTRIES[graph] = entry
     elif entry.csr is None:
-        entry.csr = CSRIndex(graph)
+        with current_tracer().span(SPAN_CSR_BUILD, reason="evicted"):
+            entry.csr = CSRIndex(graph)
         entry.builds += 1
     elif entry.csr.version != graph.version:
         deltas = _pending_deltas(graph, entry.csr.version)
@@ -605,7 +608,8 @@ def csr_entry(graph: Any) -> _CsrEntry:
             entry.patches += 1
             entry.deltas_applied += len(deltas)
         else:
-            entry.csr = CSRIndex(graph)
+            with current_tracer().span(SPAN_CSR_BUILD, reason="rebuild"):
+                entry.csr = CSRIndex(graph)
             entry.builds += 1
             entry.rebuilds += 1
     entry.touch = next(_TOUCH)

@@ -52,6 +52,7 @@ from repro.matching.program import (
     ProgramUnsupported,
     compiled_program,
 )
+from repro.obs.tracing import SPAN_MATCH, SPAN_PLAN, current_tracer
 from repro.stats import (
     StatsReport,
     csr_section,
@@ -198,21 +199,27 @@ class PatternMatcher:
         the decomposition :mod:`repro.shard` fans out per shard.
         """
         self.calls += 1
-        results = ResultSet()
-        if limit is not None and limit <= 0:
+        tracer = current_tracer()
+        with tracer.span(SPAN_MATCH, op="match") as span:
+            results = ResultSet()
+            if limit is not None and limit <= 0:
+                return results
+            before = self.steps
+            program = self._compiled_program(query, edge_order)
+            if program is not None:
+                emitted, steps = program.run_match(self.graph, limit, seed_restrict)
+                self.steps += steps
+                for binding in emitted:
+                    results.add(binding)
+            else:
+                for binding in self._search(query, edge_order, seed_restrict):
+                    results.add(binding)
+                    if limit is not None and results.cardinality >= limit:
+                        break
+            if tracer.enabled:
+                span.attributes["steps"] = self.steps - before
+                span.attributes["compiled"] = program is not None
             return results
-        program = self._compiled_program(query, edge_order)
-        if program is not None:
-            emitted, steps = program.run_match(self.graph, limit, seed_restrict)
-            self.steps += steps
-            for binding in emitted:
-                results.add(binding)
-            return results
-        for binding in self._search(query, edge_order, seed_restrict):
-            results.add(binding)
-            if limit is not None and results.cardinality >= limit:
-                break
-        return results
 
     def count(
         self,
@@ -227,17 +234,23 @@ class PatternMatcher:
         ``seed_restrict`` confines the first seed step (see :meth:`match`).
         """
         self.calls += 1
-        program = self._compiled_program(query, edge_order)
-        if program is not None:
-            n, steps = program.run_count(self.graph, limit, seed_restrict)
-            self.steps += steps
+        tracer = current_tracer()
+        with tracer.span(SPAN_MATCH, op="count") as span:
+            before = self.steps
+            program = self._compiled_program(query, edge_order)
+            if program is not None:
+                n, steps = program.run_count(self.graph, limit, seed_restrict)
+                self.steps += steps
+            else:
+                n = 0
+                for _ in self._search(query, edge_order, seed_restrict):
+                    n += 1
+                    if limit is not None and n >= limit:
+                        break
+            if tracer.enabled:
+                span.attributes["steps"] = self.steps - before
+                span.attributes["compiled"] = program is not None
             return n
-        n = 0
-        for _ in self._search(query, edge_order, seed_restrict):
-            n += 1
-            if limit is not None and n >= limit:
-                break
-        return n
 
     def exists(
         self,
@@ -247,14 +260,16 @@ class PatternMatcher:
     ) -> bool:
         """``True`` when the pattern has at least one match."""
         self.calls += 1
-        program = self._compiled_program(query, edge_order)
-        if program is not None:
-            n, steps = program.run_count(self.graph, 1, seed_restrict)
-            self.steps += steps
-            return n > 0
-        for _ in self._search(query, edge_order, seed_restrict):
-            return True
-        return False
+        tracer = current_tracer()
+        with tracer.span(SPAN_MATCH, op="exists"):
+            program = self._compiled_program(query, edge_order)
+            if program is not None:
+                n, steps = program.run_count(self.graph, 1, seed_restrict)
+                self.steps += steps
+                return n > 0
+            for _ in self._search(query, edge_order, seed_restrict):
+                return True
+            return False
 
     # -- search core -----------------------------------------------------------
 
@@ -267,7 +282,8 @@ class PatternMatcher:
         query.validate()
         if query.num_vertices == 0:
             return
-        plan = build_plan(self.graph, query, edge_order)
+        with current_tracer().span(SPAN_PLAN):
+            plan = build_plan(self.graph, query, edge_order)
         vbind: Dict[int, int] = {}
         ebind: Dict[int, int] = {}
         used_vertices: Set[int] = set()

@@ -47,6 +47,7 @@ from repro.core.result import ResultGraph
 from repro.matching.csr import CSRIndex, csr_entry
 from repro.matching.evalcache import EvaluationCache
 from repro.matching.plan import ExpandStep, PlanStep, SeedStep, build_plan
+from repro.obs.tracing import SPAN_PLAN, SPAN_PROGRAM_COMPILE, current_tracer
 
 __all__ = ["MatchProgram", "ProgramUnsupported", "compiled_program"]
 
@@ -432,7 +433,9 @@ def compiled_program(
     discards them.
     """
     entry = csr_entry(graph)
-    plan = build_plan(graph, query, edge_order)
+    tracer = current_tracer()
+    with tracer.span(SPAN_PLAN):
+        plan = build_plan(graph, query, edge_order)
     # key on the query's signature *and* the plan's step content (steps
     # are frozen dataclasses): a plan the delta-scoped cache dropped and
     # re-derived identically maps back to its already-compiled kernel,
@@ -441,7 +444,8 @@ def compiled_program(
     key = (query.signature(), tuple(plan), injective)
     program = entry.csr.programs.get(key)
     if program is None:
-        program = MatchProgram(entry.csr, plan, query, injective, evalcache)
+        with tracer.span(SPAN_PROGRAM_COMPILE):
+            program = MatchProgram(entry.csr, plan, query, injective, evalcache)
         entry.csr.programs[key] = program
         entry.programs_compiled += 1
     else:

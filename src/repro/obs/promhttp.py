@@ -1,0 +1,87 @@
+"""Tiny stdlib HTTP responder for Prometheus scrapes.
+
+``python -m repro serve --metrics-port 9100`` starts one next to the
+protocol server; ``GET /metrics`` (or ``/``) answers the registry's
+text exposition.  A daemon ``ThreadingHTTPServer`` is plenty -- scrape
+traffic is one request every few seconds."""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+
+__all__ = ["MetricsServerHandle", "start_metrics_server"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _MetricsRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-metrics/1"
+
+    def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path.split("?", 1)[0] not in ("/", "/metrics"):
+            self.send_error(404, "only /metrics is served here")
+            return
+        body = self.server.registry.render().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # scrapes must not spam the server's stdout
+
+
+class _MetricsHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    registry: MetricsRegistry
+
+
+class MetricsServerHandle:
+    """A running metrics endpoint; ``close()`` stops it."""
+
+    def __init__(self, server: _MetricsHTTPServer, thread: threading.Thread):
+        self._server = server
+        self._thread = thread
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "MetricsServerHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def start_metrics_server(
+    port: int = 0,
+    host: str = "127.0.0.1",
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsServerHandle:
+    """Serve ``registry`` (default: the process-wide one) on
+    ``host:port``; ``port=0`` binds an ephemeral port (tests)."""
+    server = _MetricsHTTPServer((host, port), _MetricsRequestHandler)
+    server.registry = registry if registry is not None else REGISTRY
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-metrics-http", daemon=True
+    )
+    thread.start()
+    return MetricsServerHandle(server, thread)

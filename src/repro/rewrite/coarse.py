@@ -42,6 +42,7 @@ from repro.exec.evaluator import (
 )
 from repro.exec.wiring import resolve_spine
 from repro.matching.matcher import PatternMatcher
+from repro.obs.tracing import SPAN_REWRITE, current_tracer
 from repro.metrics.syntactic import syntactic_distance
 from repro.rewrite.cache import QueryResultCache
 from repro.rewrite.operations import Modification, coarse_relaxations
@@ -139,11 +140,14 @@ class CoarseRewriter:
         batch_size: Optional[int] = None,
         budget: Optional[EvaluationBudget] = None,
         on_candidate: Optional[Callable[..., None]] = None,
+        tracer=None,
     ) -> None:
         # explicit components win, then the context's spine, then fresh wiring
         self.graph, self.matcher, self.cache, self.statistics = resolve_spine(
             graph, context, matcher=matcher, cache=cache, statistics=statistics
         )
+        #: request tracer; ``None`` resolves the ambient one per rewrite
+        self.tracer = tracer
         self.preference_model = preference_model
         self.priority_fn = (
             get_priority_function(priority) if isinstance(priority, str) else priority
@@ -185,6 +189,16 @@ class CoarseRewriter:
         Raises :class:`ValueError` when the input query is not actually
         empty (the holistic engine dispatches those cases elsewhere).
         """
+        tracer = self.tracer if self.tracer is not None else current_tracer()
+        with tracer.span(SPAN_REWRITE, engine="coarse") as span:
+            result = self._rewrite(query, k, tracer)
+            if tracer.enabled:
+                span.attributes["evaluated"] = result.evaluated
+                span.attributes["found"] = len(result.explanations)
+                span.attributes["budget_exhausted"] = result.budget_exhausted
+            return result
+
+    def _rewrite(self, query: GraphQuery, k: int, tracer) -> CoarseRewriteResult:
         if self.cache.count(query, limit=1) > 0:
             raise ValueError(
                 "query delivers results; coarse rewriting targets why-empty"
@@ -203,6 +217,7 @@ class CoarseRewriter:
             budget=budget,
             count_limit=self.count_limit,
             on_result=self.on_candidate,
+            tracer=tracer,
         )
 
         heap: List[_QueueEntry] = []

@@ -10,6 +10,7 @@ per-tenant admission quotas.
 from repro.server.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    VOLATILE_REPORT_FIELDS,
     FrameDecoder,
     ProtocolError,
     RequestCancelled,
@@ -26,6 +27,7 @@ from repro.server.server import (
 __all__ = [
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
+    "VOLATILE_REPORT_FIELDS",
     "FrameDecoder",
     "ProtocolError",
     "RequestCancelled",

@@ -27,9 +27,10 @@ Message types
 -------------
 
 Client -> server: ``hello``, ``put_graph``, ``explain``, ``count``,
-``match``, ``stats``, ``cancel``, ``goodbye``, ``shutdown``.
-Server -> client: ``welcome``, ``ok``, ``candidate``, ``result``,
-``rejected``, ``cancelled``, ``error``, ``goodbye``.
+``match``, ``stats``, ``metrics``, ``slow_queries``, ``cancel``,
+``goodbye``, ``shutdown``.
+Server -> client: ``welcome``, ``ok``, ``candidate``, ``trace``,
+``result``, ``rejected``, ``cancelled``, ``error``, ``goodbye``.
 
 Multiplexing: every request carries a client-chosen ``id``; replies (and
 streamed ``candidate`` frames) echo it, so responses may interleave and
@@ -49,6 +50,7 @@ from repro.core.serialize import query_to_dict, threshold_to_dict
 __all__ = [
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
+    "VOLATILE_REPORT_FIELDS",
     "FrameDecoder",
     "ProtocolError",
     "RequestCancelled",
@@ -56,6 +58,13 @@ __all__ = [
     "report_to_dict",
     "strip_volatile",
 ]
+
+#: report-dict fields that vary run to run for a fixed graph, query and
+#: budget: wall-clock latency and the span tree (timings, and presence
+#: at all, depend on tracing).  The single source of truth for every
+#: report-identity comparison -- the differential tests, the trajectory
+#: gate and the protocol round-trips all strip exactly this set.
+VOLATILE_REPORT_FIELDS = frozenset({"elapsed_s", "trace"})
 
 #: bump on incompatible frame/message changes; the server rejects hellos
 #: advertising a *newer* protocol than it speaks, and accepts older ones
@@ -200,12 +209,12 @@ def report_to_dict(report) -> Dict[str, Any]:
     """JSON form of a :class:`~repro.why.engine.WhyQueryReport`.
 
     This is the ``result`` payload of a protocol ``explain`` request.
-    Everything except ``elapsed_s`` is deterministic for a fixed graph,
-    query and budget, which is what lets the differential tests compare a
-    streamed remote report against an in-process one bit-identically
-    (after :func:`strip_volatile`).
+    Everything except :data:`VOLATILE_REPORT_FIELDS` is deterministic
+    for a fixed graph, query and budget, which is what lets the
+    differential tests compare a streamed remote report against an
+    in-process one bit-identically (after :func:`strip_volatile`).
     """
-    return {
+    payload = {
         "problem": report.problem.value,
         "observed_cardinality": report.observed_cardinality,
         "threshold": threshold_to_dict(report.threshold),
@@ -215,8 +224,17 @@ def report_to_dict(report) -> Dict[str, Any]:
         "summary": report.summary(),
         "elapsed_s": report.elapsed,
     }
+    trace = getattr(report, "trace", None)
+    if trace is not None:
+        payload["trace"] = trace
+    return payload
 
 
 def strip_volatile(report_dict: Mapping[str, Any]) -> Dict[str, Any]:
-    """The report dict minus wall-clock fields (for identity comparison)."""
-    return {key: value for key, value in report_dict.items() if key != "elapsed_s"}
+    """The report dict minus :data:`VOLATILE_REPORT_FIELDS` (for
+    identity comparison)."""
+    return {
+        key: value
+        for key, value in report_dict.items()
+        if key not in VOLATILE_REPORT_FIELDS
+    }

@@ -260,7 +260,15 @@ class WhyQueryProtocolServer:
             return
         elif kind == "shutdown":
             task = asyncio.ensure_future(self._handle_shutdown(conn, message))
-        elif kind in ("put_graph", "explain", "count", "match", "stats"):
+        elif kind in (
+            "put_graph",
+            "explain",
+            "count",
+            "match",
+            "stats",
+            "metrics",
+            "slow_queries",
+        ):
             self.stats_counters["requests"] += 1
             handler = getattr(self, f"_handle_{kind}")
             if kind == "explain":
@@ -432,6 +440,39 @@ class WhyQueryProtocolServer:
             conn, {"type": "result", "id": message.get("id"), "stats": payload}
         )
 
+    async def _handle_metrics(self, conn: _Connection, message: Dict[str, Any]) -> None:
+        from repro.obs import REGISTRY
+
+        loop = asyncio.get_running_loop()
+        snapshot = await loop.run_in_executor(self._pool, REGISTRY.snapshot)
+        text = await loop.run_in_executor(self._pool, REGISTRY.render)
+        await self._send(
+            conn,
+            {
+                "type": "result",
+                "id": message.get("id"),
+                "metrics": snapshot,
+                "text": text,
+            },
+        )
+
+    async def _handle_slow_queries(
+        self, conn: _Connection, message: Dict[str, Any]
+    ) -> None:
+        limit = message.get("limit")
+        loop = asyncio.get_running_loop()
+        entries = await loop.run_in_executor(
+            self._pool, functools.partial(self.service.slow_queries, limit)
+        )
+        await self._send(
+            conn,
+            {
+                "type": "result",
+                "id": message.get("id"),
+                "slow_queries": entries,
+            },
+        )
+
     def _tenant_pool(self, conn: _Connection) -> Optional[BudgetPool]:
         if conn.tenant is None:
             return None
@@ -447,6 +488,7 @@ class WhyQueryProtocolServer:
             else None
         )
         stream = bool(message.get("stream", False))
+        trace = bool(message.get("trace", False))
         token = conn.cancel_tokens.setdefault(rid, threading.Event())
         loop = asyncio.get_running_loop()
 
@@ -500,6 +542,7 @@ class WhyQueryProtocolServer:
                 rewrite=bool(message.get("rewrite", True)),
                 on_candidate=emit,
                 budget=None if lease is None else lease.budget,
+                trace=trace,
             )
             report = await loop.run_in_executor(self._pool, call)
         finally:
@@ -516,12 +559,21 @@ class WhyQueryProtocolServer:
         if token.is_set():
             # cancelled after the last batch: honour the cancel anyway
             raise RequestCancelled(rid)
+        report_dict = report_to_dict(report)
+        span_tree = report_dict.pop("trace", None)
+        if trace and span_tree is not None:
+            # the span tree travels in its own frame so the `result`
+            # payload stays identical to an untraced explain (modulo
+            # protocol-level VOLATILE_REPORT_FIELDS)
+            await self._send(
+                conn, {"type": "trace", "id": rid, "trace": span_tree}
+            )
         await self._send(
             conn,
             {
                 "type": "result",
                 "id": rid,
-                "report": report_to_dict(report),
+                "report": report_dict,
                 "streamed": len(stream_sends),
             },
         )

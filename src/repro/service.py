@@ -63,6 +63,15 @@ from repro.core.query import GraphQuery
 from repro.exec.context import ExecutionContext
 from repro.exec.evaluator import BatchExecutor, EvaluationBudget
 from repro.metrics.cardinality import CardinalityThreshold
+from repro.obs import (
+    NULL_TRACER,
+    REGISTRY,
+    SPAN_ADMISSION,
+    SPAN_EXPLAIN,
+    SlowQueryLog,
+    Tracer,
+    tracing_default,
+)
 from repro.shard.process_executor import ProcessExecutor
 from repro.stats import (
     StatsReport,
@@ -80,6 +89,39 @@ __all__ = [
     "BudgetPool",
     "WhyQueryService",
 ]
+
+# Process-wide request metrics (the unified stats' ``metrics`` section
+# and the Prometheus endpoint render these).  Handles are module-level
+# so the hot path pays one attribute load, not a registry lookup.
+_EXPLAIN_LATENCY = REGISTRY.histogram(
+    "repro_explain_latency_seconds",
+    help="End-to-end WhyQueryService.explain() latency",
+)
+_FIRST_CANDIDATE_LATENCY = REGISTRY.histogram(
+    "repro_first_candidate_seconds",
+    help="Time from request start to the first evaluated rewrite candidate",
+)
+_ADMISSION_WAIT = REGISTRY.histogram(
+    "repro_admission_wait_seconds",
+    help="Time spent acquiring a budget-pool admission lease",
+)
+_EXPLAIN_CALLS = REGISTRY.counter(
+    "repro_explain_total", help="WhyQueryService.explain() calls served"
+)
+_EXPLAIN_REJECTED = REGISTRY.counter(
+    "repro_explain_rejected_total",
+    help="Requests shed by budget-pool admission control",
+)
+
+
+def _span_kind_histogram(kind: str):
+    """The per-span-kind duration histogram (one request's total time
+    inside that kind is one observation)."""
+    return REGISTRY.histogram(
+        "repro_span_seconds",
+        help="Per-request total time spent inside one span kind",
+        labels={"kind": kind},
+    )
 
 
 class AdmissionRejected(RuntimeError):
@@ -207,10 +249,11 @@ class BudgetPool:
         """
         if requested < 1:
             raise ValueError("requested must be >= 1")
+        wait_started = time.monotonic()
         deadline = (
             None
             if self.wait_timeout is None
-            else time.monotonic() + self.wait_timeout
+            else wait_started + self.wait_timeout
         )
         with self._cond:
             waited = False
@@ -226,6 +269,7 @@ class BudgetPool:
                     in_use = self.total - self._available
                     self._peak_in_use = max(self._peak_in_use, in_use)
                     self._peak_active = max(self._peak_active, self._active)
+                    _ADMISSION_WAIT.observe(time.monotonic() - wait_started)
                     return BudgetLease(self, grant)
                 if not waited:
                     if self._waiting >= self.max_waiting:
@@ -374,6 +418,7 @@ class WhyQueryService:
             "preferences",
             "evaluation_budget",
             "on_candidate",
+            "tracer",
         }
     )
 
@@ -394,6 +439,7 @@ class WhyQueryService:
         shards: int = 1,
         process_workers: int = 2,
         placement: str = "full",
+        slow_log_capacity: int = 32,
         **engine_options,
     ) -> None:
         if max_contexts < 1:
@@ -440,6 +486,8 @@ class WhyQueryService:
         self._context_factory = (
             context_factory if context_factory is not None else ExecutionContext
         )
+        #: bounded record of the slowest explains (see docs/observability.md)
+        self.slow_log = SlowQueryLog(capacity=slow_log_capacity)
         self._pool: "OrderedDict[int, _PoolEntry]" = OrderedDict()
         self._lock = threading.RLock()
         self._request_pool: Optional[ThreadPoolExecutor] = None
@@ -559,6 +607,7 @@ class WhyQueryService:
         try:
             return self.budget_pool.acquire(requested)
         except AdmissionRejected:
+            _EXPLAIN_REJECTED.inc()
             with self._lock:
                 self._rejected_calls += 1
             raise
@@ -574,6 +623,7 @@ class WhyQueryService:
         rewrite: bool = True,
         on_candidate: Optional[Callable[..., None]] = None,
         budget: Optional[EvaluationBudget] = None,
+        trace: Optional[bool] = None,
     ) -> WhyQueryReport:
         """One-shot debugging request (classify, explain, rewrite).
 
@@ -593,39 +643,145 @@ class WhyQueryService:
         (an :class:`~repro.exec.evaluator.EvaluatedCandidate`) while the
         search is still running; exceptions it raises abort the search
         and propagate out (cooperative cancellation).
+
+        ``trace`` switches request tracing on (``None`` follows the
+        session default, :func:`repro.obs.tracing_default`, i.e.
+        ``REPRO_TRACE=1``).  A traced request carries its span tree on
+        ``report.trace``; an untraced request pays only the no-op tracer
+        fast path.  Latency/admission histograms and the slow-query log
+        record every request either way.
         """
-        lease = self._admit() if budget is None else None
-        try:
-            entry = self._entry_for(graph, lease=True)
-            try:
-                context = entry.context
-                engine = WhyQueryEngine(
-                    context=context,
-                    executor=self._executor_for(entry),
-                    preference_model=context.preference_model,
-                    preferences=context.preferences,
-                    evaluation_budget=(
-                        budget
-                        if budget is not None
-                        else None if lease is None else lease.budget
-                    ),
-                    on_candidate=on_candidate,
-                    **self.engine_options,
-                )
-                start = time.perf_counter()
+        if trace is None:
+            trace = tracing_default()
+        tracer = Tracer() if trace else NULL_TRACER
+        start = time.perf_counter()
+        first_candidate: List[Optional[float]] = [None]
+        caller_on_candidate = on_candidate
+
+        def observed_on_candidate(item) -> None:
+            if first_candidate[0] is None:
+                first_candidate[0] = time.perf_counter() - start
+            if caller_on_candidate is not None:
+                caller_on_candidate(item)
+
+        with tracer.activate():
+            with tracer.span(SPAN_EXPLAIN) as root:
+                with tracer.span(SPAN_ADMISSION):
+                    lease = self._admit() if budget is None else None
                 try:
-                    return engine.debug(
-                        query, threshold, explain=explain, rewrite=rewrite
-                    )
+                    entry = self._entry_for(graph, lease=True)
+                    try:
+                        context = entry.context
+                        cache_stats = context.cache.stats
+                        hits_before = cache_stats.hits
+                        misses_before = cache_stats.misses
+                        steps_before = context.matcher.steps
+                        engine = WhyQueryEngine(
+                            context=context,
+                            executor=self._executor_for(entry),
+                            preference_model=context.preference_model,
+                            preferences=context.preferences,
+                            evaluation_budget=(
+                                budget
+                                if budget is not None
+                                else None if lease is None else lease.budget
+                            ),
+                            on_candidate=observed_on_candidate,
+                            tracer=tracer,
+                            **self.engine_options,
+                        )
+                        busy_start = time.perf_counter()
+                        try:
+                            report = engine.debug(
+                                query, threshold, explain=explain, rewrite=rewrite
+                            )
+                        finally:
+                            with self._lock:
+                                self._explain_calls += 1
+                                self._busy_seconds += (
+                                    time.perf_counter() - busy_start
+                                )
+                    finally:
+                        self._release_entry(entry)
                 finally:
-                    with self._lock:
-                        self._explain_calls += 1
-                        self._busy_seconds += time.perf_counter() - start
-            finally:
-                self._release_entry(entry)
-        finally:
-            if lease is not None:
-                lease.release()
+                    if lease is not None:
+                        lease.release()
+                if tracer.enabled:
+                    root.attributes["problem"] = report.problem.value
+        # the root span is closed here, so elapsed_s is final and the
+        # trace the report carries equals the trace the metrics saw
+        elapsed = time.perf_counter() - start
+        if tracer.enabled:
+            report.trace = tracer.to_dict()
+        self._record_explain(
+            query=query,
+            report=report,
+            tracer=tracer,
+            elapsed=elapsed,
+            first_candidate_s=first_candidate[0],
+            cache_delta={
+                "hits": cache_stats.hits - hits_before,
+                "misses": cache_stats.misses - misses_before,
+            },
+            matcher_steps=context.matcher.steps - steps_before,
+        )
+        return report
+
+    def _record_explain(
+        self,
+        query: GraphQuery,
+        report: WhyQueryReport,
+        tracer,
+        elapsed: float,
+        first_candidate_s: Optional[float],
+        cache_delta: Dict[str, int],
+        matcher_steps: int,
+    ) -> None:
+        """Fold one finished explain into the process metrics and the
+        slow-query log.
+
+        The cache/steps deltas are read from shared per-graph counters,
+        so under concurrent requests over the same graph they attribute
+        overlapping work approximately -- good enough for profiles,
+        never used for correctness.
+        """
+        _EXPLAIN_CALLS.inc()
+        _EXPLAIN_LATENCY.observe(elapsed)
+        if first_candidate_s is not None:
+            _FIRST_CANDIDATE_LATENCY.observe(first_candidate_s)
+        profile = tracer.summarize()
+        for kind, agg in profile.items():
+            _span_kind_histogram(kind).observe(agg["total_s"])
+        rewriting = report.rewriting
+        self.slow_log.record(
+            {
+                "signature": repr(query.signature()),
+                "problem": report.problem.value,
+                "elapsed_s": elapsed,
+                "first_candidate_s": first_candidate_s,
+                "matcher_steps": matcher_steps,
+                "cache": cache_delta,
+                "profile": profile,
+                "budget_truncated": bool(
+                    getattr(rewriting, "budget_exhausted", False)
+                ),
+                "shard_fallbacks": int(
+                    profile.get("fallback", {}).get("count", 0)
+                ),
+                "evaluated": int(getattr(rewriting, "evaluated", 0)),
+                "traced": bool(tracer.enabled),
+            }
+        )
+
+    def slow_queries(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
+        """The slowest explains seen so far, slowest first.
+
+        Entries are JSON-ready dicts (see :mod:`repro.obs.slowlog`);
+        ``limit`` truncates the ranking.  Served verbatim by the
+        protocol's ``slow_queries`` message and ``python -m repro
+        slowlog``.
+        """
+        return self.slow_log.entries(limit)
 
     def open_session(
         self,
@@ -677,6 +833,7 @@ class WhyQueryService:
         rewrite: bool = True,
         on_candidate: Optional[Callable[..., None]] = None,
         budget: Optional[EvaluationBudget] = None,
+        trace: Optional[bool] = None,
     ) -> WhyQueryReport:
         """Awaitable :meth:`explain` for asyncio deployments.
 
@@ -701,6 +858,7 @@ class WhyQueryService:
             rewrite=rewrite,
             on_candidate=on_candidate,
             budget=budget,
+            trace=trace,
         )
         return await loop.run_in_executor(self._ensure_request_pool(), call)
 
@@ -760,7 +918,10 @@ class WhyQueryService:
         Emits the :mod:`repro.stats` sections -- ``caches``/``csr``/
         ``programs``/``deltas`` summed over every pooled context,
         ``pools`` summed over the per-graph worker pools (process mode),
-        ``admission`` straight from the :class:`BudgetPool` -- plus the
+        ``admission`` straight from the :class:`BudgetPool`,
+        ``metrics`` a snapshot of the process-wide
+        :data:`repro.obs.REGISTRY` (latency histograms and request
+        counters) -- plus the
         service-specific ``service`` (throughput), ``matcher``,
         ``executor`` and ``per_graph`` keys.  This is exactly what the
         protocol ``stats`` message serves.  The pre-unification keys
@@ -894,6 +1055,7 @@ class WhyQueryService:
                 pools=pools,
                 admission=admission,
                 deltas=deltas,
+                metrics=REGISTRY.snapshot(),
                 extra={
                     "service": service,
                     "matcher": matcher,

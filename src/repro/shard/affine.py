@@ -64,6 +64,7 @@ from repro.core.graph import EdgeRecord
 from repro.core.query import GraphQuery
 from repro.core.result import ResultSet
 from repro.matching.matcher import PatternMatcher
+from repro.obs.tracing import SPAN_BLOCK, SPAN_FALLBACK, current_tracer
 
 __all__ = [
     "ShardMiss",
@@ -655,21 +656,25 @@ class SliceEvaluator:
         key = (shard_index, query.signature(), limit)
         if key in self._block_counts:
             return self._block_counts[key]
-        # a slice enumerates candidates over its owned range only, so a
-        # disconnected query's later seeds (which must stay exhaustive
-        # over the whole graph) cannot be evaluated shard-affinely
-        if self.num_shards > 1 and not query.is_connected():
-            result: Optional[int] = None
-        else:
-            try:
-                result = self._matchers[shard_index].count(
-                    query,
-                    limit=limit,
-                    edge_order=canonical_edge_order(query),
-                    seed_restrict=slice_.vertex_ids,
-                )
-            except ShardMiss:
-                result = None
+        tracer = current_tracer()
+        with tracer.span(SPAN_BLOCK, shard=shard_index) as span:
+            # a slice enumerates candidates over its owned range only, so a
+            # disconnected query's later seeds (which must stay exhaustive
+            # over the whole graph) cannot be evaluated shard-affinely
+            if self.num_shards > 1 and not query.is_connected():
+                result: Optional[int] = None
+            else:
+                try:
+                    result = self._matchers[shard_index].count(
+                        query,
+                        limit=limit,
+                        edge_order=canonical_edge_order(query),
+                        seed_restrict=slice_.vertex_ids,
+                    )
+                except ShardMiss:
+                    result = None
+            if tracer.enabled:
+                span.attributes["served"] = result is not None
         if result is None:
             self.misses += 1
         if len(self._block_counts) >= _MEMO_ENTRIES:
@@ -693,12 +698,13 @@ class SliceEvaluator:
         self.fallbacks += 1
         # the fallback block must restrict the SAME first-seed vertex the
         # slice-evaluated blocks did, or the per-shard union breaks
-        return self.fallback.count_shard(
-            shard_index,
-            query,
-            limit=limit,
-            edge_order=canonical_edge_order(query),
-        )
+        with current_tracer().span(SPAN_FALLBACK, shard=shard_index):
+            return self.fallback.count_shard(
+                shard_index,
+                query,
+                limit=limit,
+                edge_order=canonical_edge_order(query),
+            )
 
     def _require_all_shards(self) -> None:
         """Whole-query merges need every shard's block; a worker-style

@@ -81,6 +81,7 @@ from repro.core.serialize import (
     route_deltas,
     shards_to_wire,
 )
+from repro.obs.tracing import SPAN_FALLBACK, SPAN_WORKER, Tracer, current_tracer
 from repro.shard.affine import canonical_edge_order
 from repro.stats import StatsReport, deltas_section, unified_stats
 
@@ -167,16 +168,34 @@ def _worker_query(wire: Tuple) -> GraphQuery:
     return query
 
 
-def _worker_count(wire: Tuple, limit: Optional[int]) -> int:
+def _worker_count(wire: Tuple, limit: Optional[int], trace: bool = False):
+    """One bounded count; with ``trace`` the worker runs its own tracer
+    and ships ``(count, span summary)`` back in the result envelope (a
+    full span tree would be oversized and unpicklable-adjacent; the
+    coordinator grafts the summary as one ``worker`` span)."""
     context = _WORKER_STATE["context"]
-    return context.count(_worker_query(wire), limit=limit)  # type: ignore[union-attr]
+    if not trace:
+        return context.count(_worker_query(wire), limit=limit)  # type: ignore[union-attr]
+    tracer = Tracer()
+    with tracer.activate():
+        count = context.count(_worker_query(wire), limit=limit)  # type: ignore[union-attr]
+    return count, tracer.summarize()
 
 
-def _worker_count_shard(wire: Tuple, shard_index: int, limit: Optional[int]) -> int:
+def _worker_count_shard(
+    wire: Tuple, shard_index: int, limit: Optional[int], trace: bool = False
+):
     sharded = _WORKER_STATE.get("sharded")
     if sharded is None:
         raise RuntimeError("worker was warmed without shards; pass shards>1")
-    return sharded.count_shard(shard_index, _worker_query(wire), limit=limit)  # type: ignore[union-attr]
+    if not trace:
+        return sharded.count_shard(shard_index, _worker_query(wire), limit=limit)  # type: ignore[union-attr]
+    tracer = Tracer()
+    with tracer.activate():
+        count = sharded.count_shard(  # type: ignore[union-attr]
+            shard_index, _worker_query(wire), limit=limit
+        )
+    return count, tracer.summarize()
 
 
 def _worker_touch(delay_s: float) -> int:
@@ -207,11 +226,20 @@ def _affine_worker_init(
 
 
 def _affine_worker_count_block(
-    wire: Tuple, shard_index: int, limit: Optional[int]
-) -> Optional[int]:
-    """One shard-seeded block count on the owning worker (None = miss)."""
+    wire: Tuple, shard_index: int, limit: Optional[int], trace: bool = False
+):
+    """One shard-seeded block count on the owning worker (None = miss).
+
+    With ``trace`` the envelope is ``(value, span summary)`` -- the
+    value may still be ``None`` (the miss travels alongside the spans
+    that explain it)."""
     evaluator = _WORKER_STATE["affine"]
-    return evaluator.count_block_wire(wire, shard_index, limit)  # type: ignore[union-attr]
+    if not trace:
+        return evaluator.count_block_wire(wire, shard_index, limit)  # type: ignore[union-attr]
+    tracer = Tracer()
+    with tracer.activate():
+        value = evaluator.count_block_wire(wire, shard_index, limit)  # type: ignore[union-attr]
+    return value, tracer.summarize()
 
 
 def _affine_worker_apply_deltas(payloads: List[dict]) -> int:
@@ -233,7 +261,7 @@ class _BlockHandle:
     ShardedMatcher`'s placement routing) always observe exact counts.
     """
 
-    __slots__ = ("_executor", "_shard_index", "_query", "_limit", "_future")
+    __slots__ = ("_executor", "_shard_index", "_query", "_limit", "_future", "_trace")
 
     def __init__(
         self,
@@ -242,15 +270,25 @@ class _BlockHandle:
         query: GraphQuery,
         limit: Optional[int],
         future: Optional[Future],
+        trace: bool = False,
     ) -> None:
         self._executor = executor
         self._shard_index = shard_index
         self._query = query
         self._limit = limit
         self._future = future
+        self._trace = trace
 
     def result(self) -> int:
-        value = None if self._future is None else self._future.result()
+        if self._future is None:
+            value = None
+        else:
+            value = self._future.result()
+            if self._trace:
+                value, summary = value
+                current_tracer().attach_summary(
+                    SPAN_WORKER, summary, shard=self._shard_index
+                )
         if value is None:
             value = self._executor._resolve_block(
                 self._shard_index, self._query, self._limit
@@ -543,10 +581,12 @@ class ProcessExecutor:
         the same first-seed vertex the slice-evaluated blocks did (the
         cross-shard consistency requirement of the decomposition).
         """
-        self.affine_fallbacks += 1
-        return self._local().count_shard(
-            shard_index, query, limit=limit, edge_order=canonical_edge_order(query)
-        )
+        with self._lock:
+            self.affine_fallbacks += 1
+        with current_tracer().span(SPAN_FALLBACK, shard=shard_index):
+            return self._local().count_shard(
+                shard_index, query, limit=limit, edge_order=canonical_edge_order(query)
+            )
 
     def warm_up(self, barrier_s: float = 0.05) -> List[int]:
         """Force-spawn every worker; returns their (distinct) pids.
@@ -607,9 +647,25 @@ class ProcessExecutor:
             return self._run_queries_affine(queries, limit)
         pool = self._ensure_pool()
         wires = [query_to_wire(query) for query in queries]
-        counts = list(pool.map(_worker_count, wires, repeat(limit, len(wires))))
-        self.batches += 1
-        self.queries_shipped += len(wires)
+        tracer = current_tracer()
+        if tracer.enabled:
+            counts = []
+            envelopes = pool.map(
+                _worker_count,
+                wires,
+                repeat(limit, len(wires)),
+                repeat(True, len(wires)),
+            )
+            for task_index, (count, summary) in enumerate(envelopes):
+                tracer.attach_summary(SPAN_WORKER, summary, task=task_index)
+                counts.append(count)
+        else:
+            counts = list(
+                pool.map(_worker_count, wires, repeat(limit, len(wires)))
+            )
+        with self._lock:
+            self.batches += 1
+            self.queries_shipped += len(wires)
         return counts
 
     def _run_queries_affine(
@@ -625,6 +681,8 @@ class ProcessExecutor:
         the coordinator's full graph.
         """
         pools = self._ensure_affine_pools()
+        tracer = current_tracer()
+        trace = tracer.enabled
         pending: List[Tuple[GraphQuery, Optional[List[Tuple[int, Future]]]]] = []
         shipped = 0
         for query in queries:
@@ -638,7 +696,7 @@ class ProcessExecutor:
                 (
                     shard_index,
                     pools[self._placement[shard_index]].submit(
-                        _affine_worker_count_block, wire, shard_index, limit
+                        _affine_worker_count_block, wire, shard_index, limit, trace
                     ),
                 )
                 for shard_index in range(self.shards)
@@ -648,18 +706,28 @@ class ProcessExecutor:
         counts: List[int] = []
         for query, futures in pending:
             if futures is None:
-                self.affine_fallbacks += 1
+                with self._lock:
+                    self.affine_fallbacks += 1
                 counts.append(self._local().matcher.count(query, limit=limit))
                 continue
             total = 0
             for shard_index, future in futures:
                 value = future.result()
+                if trace:
+                    value, summary = value
+                    tracer.attach_summary(
+                        SPAN_WORKER,
+                        summary,
+                        worker=self._placement[shard_index],
+                        shard=shard_index,
+                    )
                 if value is None:
                     value = self._resolve_block(shard_index, query, limit)
                 total += value
             counts.append(min(total, limit) if limit is not None else total)
-        self.batches += 1
-        self.queries_shipped += shipped
+        with self._lock:
+            self.batches += 1
+            self.queries_shipped += shipped
         return counts
 
     def submit_block(
@@ -679,10 +747,11 @@ class ProcessExecutor:
         pools = self._ensure_affine_pools()
         if self.shards > 1 and not query.is_connected():
             return _BlockHandle(self, shard_index, query, limit, None)
+        trace = current_tracer().enabled
         future = pools[self._placement[shard_index]].submit(
-            _affine_worker_count_block, query_to_wire(query), shard_index, limit
+            _affine_worker_count_block, query_to_wire(query), shard_index, limit, trace
         )
-        return _BlockHandle(self, shard_index, query, limit, future)
+        return _BlockHandle(self, shard_index, query, limit, future, trace)
 
     def count_sharded(self, query: GraphQuery, limit: Optional[int] = None) -> int:
         """One (heavy) count split across the workers' shard blocks.
@@ -696,18 +765,28 @@ class ProcessExecutor:
         the shard (and only that worker holds its data).
         """
         if self.placement_mode == "affine":
-            self.sharded_counts += 1
+            with self._lock:
+                self.sharded_counts += 1
             return self._run_queries_affine([query], limit)[0]
         if self.shards < 2:
             return self.run_queries([query], limit=limit)[0]
         pool = self._ensure_pool()
         wire = query_to_wire(query)
+        tracer = current_tracer()
+        trace = tracer.enabled
         futures = [
-            pool.submit(_worker_count_shard, wire, shard_index, limit)
+            pool.submit(_worker_count_shard, wire, shard_index, limit, trace)
             for shard_index in range(self.shards)
         ]
-        total = sum(future.result() for future in futures)
-        self.sharded_counts += 1
+        total = 0
+        for shard_index, future in enumerate(futures):
+            value = future.result()
+            if trace:
+                value, summary = value
+                tracer.attach_summary(SPAN_WORKER, summary, shard=shard_index)
+            total += value
+        with self._lock:
+            self.sharded_counts += 1
         if limit is not None:
             return min(total, limit)
         return total
@@ -745,35 +824,48 @@ class ProcessExecutor:
         the delta-sync catch-up counters under ``["deltas"]``.  The
         pre-unification flat keys (``info()["pool_live"]``, ...) stay
         readable for one release behind a :class:`DeprecationWarning`.
+
+        All counters are snapshotted under the pool lock -- the same
+        lock the increment sites hold -- so a monitoring poll racing a
+        concurrent batch observes one consistent point in time instead
+        of a torn mix of pre- and post-batch values.
         """
-        pools: Dict[str, object] = {
-            "max_workers": self.max_workers,
-            "shards": self.shards,
-            "start_method": self.start_method,
-            "placement": self.placement_mode,
-            "pool_live": (
-                self._pool is not None or self._affine_pools is not None
-            ),
-            "pool_rebuilds": self.pool_rebuilds,
-            "batches": self.batches,
-            "queries_shipped": self.queries_shipped,
-            "sharded_counts": self.sharded_counts,
-            "snapshot_version": self._snapshot_version,
-        }
+        with self._lock:
+            pools: Dict[str, object] = {
+                "max_workers": self.max_workers,
+                "shards": self.shards,
+                "start_method": self.start_method,
+                "placement": self.placement_mode,
+                "pool_live": (
+                    self._pool is not None or self._affine_pools is not None
+                ),
+                "pool_rebuilds": self.pool_rebuilds,
+                "batches": self.batches,
+                "queries_shipped": self.queries_shipped,
+                "sharded_counts": self.sharded_counts,
+                "snapshot_version": self._snapshot_version,
+            }
+            affine_fallbacks = self.affine_fallbacks
+            worker_catchups_now = self.worker_catchups
+            delta_bytes_now = self.delta_bytes
+            payload_bytes = list(self._payload_bytes)
+            placement_map = dict(self._placement)
+            full_snapshot_bytes = self._full_snapshot_bytes
         worker_catchups = 0
         delta_bytes = 0
-        if self.placement_mode == "full" and self._full_snapshot_bytes is not None:
-            pools["full_snapshot_bytes"] = self._full_snapshot_bytes
+        if self.placement_mode == "full" and full_snapshot_bytes is not None:
+            pools["full_snapshot_bytes"] = full_snapshot_bytes
         if self.placement_mode == "affine":
-            payload_max = max(self._payload_bytes, default=0)
+            payload_max = max(payload_bytes, default=0)
+            # takes the lock itself, so it must run outside the snapshot
             full = self._measure_full_snapshot() if payload_max else 0
-            worker_catchups = self.worker_catchups
-            delta_bytes = self.delta_bytes
+            worker_catchups = worker_catchups_now
+            delta_bytes = delta_bytes_now
             pools.update(
                 {
-                    "placement_map": dict(self._placement),
-                    "affine_fallbacks": self.affine_fallbacks,
-                    "payload_bytes_per_worker": list(self._payload_bytes),
+                    "placement_map": placement_map,
+                    "affine_fallbacks": affine_fallbacks,
+                    "payload_bytes_per_worker": payload_bytes,
                     "payload_bytes_max": payload_max,
                     "full_snapshot_bytes": full,
                     # memory headline: largest per-worker payload vs what

@@ -24,9 +24,11 @@ needs *one* schema, so this module defines it:
 ``admission``           :class:`~repro.service.BudgetPool` counters
 ``deltas``              delta-sync pipeline (``applied``, ``bytes``,
                         ``worker_catchups``)
+``metrics``             process-wide :mod:`repro.obs` registry snapshot
+                        (``counters``, ``gauges``, ``histograms``)
 ======================  =====================================================
 
-Every surface emits **all six sections** (``None``/empty when the surface
+Every surface emits **all seven sections** (``None``/empty when the surface
 has nothing to report there) plus surface-specific extras (``matcher``,
 ``service``, ``per_graph``), under a ``"schema"`` version tag.  The
 protocol ``stats`` message serves :meth:`WhyQueryService.stats` verbatim.
@@ -61,8 +63,8 @@ __all__ = [
 #: schema identity tag carried by every unified report
 STATS_SCHEMA = "repro.stats/1"
 
-#: the six typed sections every surface emits
-SECTIONS = ("caches", "csr", "programs", "pools", "admission", "deltas")
+#: the typed sections every surface emits
+SECTIONS = ("caches", "csr", "programs", "pools", "admission", "deltas", "metrics")
 
 
 class StatsReport(dict):
@@ -143,6 +145,7 @@ def unified_stats(
     pools: Optional[Mapping[str, Any]] = None,
     admission: Optional[Mapping[str, Any]] = None,
     deltas: Optional[Mapping[str, int]] = None,
+    metrics: Optional[Mapping[str, Any]] = None,
     extra: Optional[Mapping[str, Any]] = None,
     legacy: Optional[Mapping[str, Any]] = None,
     hints: Optional[Mapping[str, str]] = None,
@@ -161,6 +164,7 @@ def unified_stats(
     data["pools"] = keep(pools) if pools is not None else None
     data["admission"] = keep(admission) if admission is not None else None
     data["deltas"] = keep(deltas) if deltas is not None else deltas_section()
+    data["metrics"] = keep(metrics) if metrics is not None else {}
     if extra:
         data.update(extra)
     return StatsReport(data, legacy=legacy, hints=hints, surface=surface)

@@ -44,6 +44,11 @@ from repro.finegrained.traverse_search_tree import (
 )
 from repro.matching.matcher import PatternMatcher
 from repro.metrics.cardinality import CardinalityProblem, CardinalityThreshold
+from repro.obs.tracing import (
+    SPAN_CLASSIFY,
+    SPAN_SUBGRAPH,
+    current_tracer,
+)
 from repro.rewrite.coarse import CoarseRewriteResult, CoarseRewriter
 from repro.rewrite.preference_model import RewritePreferenceModel
 
@@ -61,6 +66,11 @@ class WhyQueryReport:
     subgraph_explanation: Optional[McsResult]
     rewriting: RewritingOutcome
     elapsed: float
+    #: span tree of the request (``None`` when tracing was off); a
+    #: JSON-ready dict, the same shape the protocol's ``trace`` frame
+    #: carries.  Volatile by nature -- ``strip_volatile`` removes it
+    #: alongside ``elapsed_s`` for report-identity comparisons.
+    trace: Optional[dict] = None
 
     def summary(self) -> str:
         """Human-readable report (what the DebEAQ-style frontend shows)."""
@@ -108,6 +118,7 @@ class WhyQueryEngine:
         executor: Optional[BatchExecutor] = None,
         evaluation_budget: Optional[EvaluationBudget] = None,
         on_candidate: Optional[Callable[..., None]] = None,
+        tracer=None,
     ) -> None:
         if graph is None and context is None:
             raise ValueError("either graph or context is required")
@@ -148,6 +159,8 @@ class WhyQueryEngine:
         #: (how the protocol server streams partial results); exceptions
         #: raised here abort the search (cooperative cancellation)
         self.on_candidate = on_candidate
+        #: request tracer; ``None`` resolves the ambient one per debug()
+        self.tracer = tracer
 
     @property
     def domain(self):
@@ -184,26 +197,32 @@ class WhyQueryEngine:
         too-many need a user-provided cardinality expectation.
         """
         start = time.perf_counter()
+        tracer = self.tracer if self.tracer is not None else current_tracer()
         thr = threshold or CardinalityThreshold.at_least(1)
         probe = thr.probe_limit
-        observed = self.cache.count(
-            query, limit=None if probe is None else max(probe * 4, probe + 16)
-        )
-        problem = thr.classify(observed)
+        with tracer.span(SPAN_CLASSIFY) as span:
+            observed = self.cache.count(
+                query, limit=None if probe is None else max(probe * 4, probe + 16)
+            )
+            problem = thr.classify(observed)
+            if tracer.enabled:
+                span.attributes["problem"] = problem.value
+                span.attributes["observed"] = observed
 
         subgraph: Optional[McsResult] = None
         rewriting: RewritingOutcome = None
 
         if problem == CardinalityProblem.EMPTY:
             if explain:
-                subgraph = discover_mcs(
-                    self.graph,
-                    query,
-                    strategy=self.mcs_strategy,
-                    preferences=self.preferences,
-                    max_evaluations=self.max_explanation_evaluations,
-                    matcher=self.matcher,
-                )
+                with tracer.span(SPAN_SUBGRAPH, algorithm="discover_mcs"):
+                    subgraph = discover_mcs(
+                        self.graph,
+                        query,
+                        strategy=self.mcs_strategy,
+                        preferences=self.preferences,
+                        max_evaluations=self.max_explanation_evaluations,
+                        matcher=self.matcher,
+                    )
             if rewrite:
                 rewriter = CoarseRewriter(
                     context=self.context,
@@ -212,20 +231,22 @@ class WhyQueryEngine:
                     executor=self.executor,
                     budget=self.evaluation_budget,
                     on_candidate=self.on_candidate,
+                    tracer=tracer,
                 )
                 rewriting = rewriter.rewrite(query, k=self.rewrite_k)
         elif problem in (CardinalityProblem.TOO_FEW, CardinalityProblem.TOO_MANY):
             if explain:
-                subgraph = bounded_mcs(
-                    self.graph,
-                    query,
-                    thr,
-                    problem=problem,
-                    strategy=self.mcs_strategy,
-                    preferences=self.preferences,
-                    max_evaluations=self.max_explanation_evaluations,
-                    matcher=self.matcher,
-                )
+                with tracer.span(SPAN_SUBGRAPH, algorithm="bounded_mcs"):
+                    subgraph = bounded_mcs(
+                        self.graph,
+                        query,
+                        thr,
+                        problem=problem,
+                        strategy=self.mcs_strategy,
+                        preferences=self.preferences,
+                        max_evaluations=self.max_explanation_evaluations,
+                        matcher=self.matcher,
+                    )
             if rewrite:
                 engine = TraverseSearchTree(
                     context=self.context,
@@ -236,6 +257,7 @@ class WhyQueryEngine:
                     executor=self.executor,
                     budget=self.evaluation_budget,
                     on_candidate=self.on_candidate,
+                    tracer=tracer,
                 )
                 rewriting = engine.search(query)
 

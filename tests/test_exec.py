@@ -66,7 +66,7 @@ class TestExecutionContext:
         ctx = ExecutionContext(tiny_graph)
         ctx.count(typed_query("person", "workAt"))
         report = ctx.cache_report()
-        # the unified repro.stats schema: six typed sections + extras
+        # the unified repro.stats schema: seven typed sections + extras
         assert set(report) == {
             "schema",
             "caches",
@@ -75,6 +75,7 @@ class TestExecutionContext:
             "pools",
             "admission",
             "deltas",
+            "metrics",
             "matcher",
         }
         assert set(report["caches"]) == {"plan", "vertex_candidates", "results"}

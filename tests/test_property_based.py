@@ -34,6 +34,7 @@ from repro.metrics.hausdorff import modified_hausdorff
 from repro.metrics.result_distance import result_graph_distance
 from repro.core.result import ResultGraph
 from repro.metrics.syntactic import syntactic_distance
+from repro.obs import SPAN_BLOCK, SPAN_FALLBACK, SPAN_MATCH, SPAN_PLAN, Tracer
 from repro.shard import GraphPartitioner, ShardedMatcher, SliceEvaluator
 
 # -- strategies ---------------------------------------------------------------
@@ -403,6 +404,14 @@ def match_key(results):
     return sorted((r.vertex_bindings, r.edge_bindings) for r in results)
 
 
+def traced_count_kinds(matcher_like, query):
+    """The span kinds one traced ``count`` records on this path."""
+    tracer = Tracer()
+    with tracer.activate():
+        matcher_like.count(query)
+    return tracer.kinds()
+
+
 @pytest.fixture(scope="module")
 def thread_pool():
     with ParallelExecutor(max_workers=4) as pool:
@@ -529,6 +538,34 @@ def assert_paths_agree(
                 context,
                 limit,
             )
+
+    # span-kind parity (observability): the same count traced on every
+    # in-process path must surface the same *core* span kinds -- the
+    # trace a user reads must not depend on which backend served the
+    # request.  Kind presence only; timings and span counts may differ.
+    core = {SPAN_MATCH, SPAN_PLAN}
+    per_path = {
+        "serial": traced_count_kinds(oracle, query),
+        "compiled": traced_count_kinds(compiled, query),
+        "sharded": traced_count_kinds(sharded, query),
+    }
+    for path, kinds in per_path.items():
+        assert core <= kinds, (path, kinds, query.signature())
+    # the affine slice path answers from per-shard blocks (or falls
+    # back to the coordinator); either way the core kinds still appear.
+    # A fresh evaluator keeps the block memo cold -- a memo hit answers
+    # without running (and therefore without tracing) anything.
+    affine_cold = SliceEvaluator.for_sharded(
+        sharded_graph,
+        injective=injective,
+        fallback=ShardedMatcher(sharded_graph, injective=injective),
+    )
+    affine_kinds = traced_count_kinds(affine_cold, query)
+    assert SPAN_BLOCK in affine_kinds or SPAN_FALLBACK in affine_kinds, (
+        affine_kinds,
+        query.signature(),
+    )
+    assert core <= affine_kinds, (affine_kinds, query.signature())
 
 
 MUTATION_SEEDS = range(20)

@@ -61,6 +61,11 @@ def baseline_payload() -> dict:
             "csr": {"patch_rate": 1.0},
             "catchup": {"warm_hit_rate": 1.0, "reship_ratio": 3000.0},
         },
+        "observability": {
+            "enabled_ratio": 0.98,
+            "heavy_count": {},
+            "rewrite_batch": {},
+        },
         "server_protocol": {
             "streamed_identical": 1.0,
             "open_loop": {
@@ -300,6 +305,29 @@ class TestShardedExpansionGate:
         assert any("sharded-expansion" in f for f in gate.failures)
         fresh["sharded_expansion"]["speedup_2s"] = 1.05
         assert check_trajectory(baseline, fresh).failures == []
+
+
+class TestObservabilityGate:
+    def test_below_the_absolute_floor_fails_even_on_single_core(self):
+        """Tracing overhead is a pure single-core CPU ratio: the 0.9
+        enabled/disabled throughput floor is never skipped."""
+        baseline = baseline_payload()
+        fresh = copy.deepcopy(baseline)
+        fresh["observability"]["enabled_ratio"] = 0.85
+        gate = check_trajectory(baseline, fresh)
+        assert any("tracing-enabled" in f for f in gate.failures)
+        fresh["observability"]["enabled_ratio"] = 0.92
+        assert check_trajectory(baseline, fresh).failures == []
+
+    def test_low_baseline_cannot_water_down_the_floor(self):
+        """0.9 is an acceptance floor: a slack committed baseline must
+        not let tracing overhead creep past it within tolerance."""
+        baseline = baseline_payload()
+        baseline["observability"]["enabled_ratio"] = 0.5
+        fresh = copy.deepcopy(baseline)
+        fresh["observability"]["enabled_ratio"] = 0.88  # below the 0.9 floor
+        gate = check_trajectory(baseline, fresh)
+        assert any("tracing-enabled" in f for f in gate.failures)
 
 
 class TestServerProtocolGate:
