@@ -57,6 +57,15 @@ fails (exit code 1) when the trajectory regressed:
   *not* core-aware; the floor is the stronger of the committed
   baseline and the 0.9 acceptance target -- tracing that stops being
   cheap enough to leave on fails the gate;
+* **warm-restart persistence** (``restart_warm``): the unmutated-restart
+  warm-hit rate (fraction of the 32-variant batch served from the
+  prewarmed result cache after a service restart, floored at the 0.9
+  acceptance target), the delta-mutated-restart partial hit rate
+  (gated against the committed baseline only -- the conservative
+  invalidation scope may legitimately change), and the
+  ``counts_identical`` flags (restored counts bit-identical to cold
+  computes -- exact, pass/fail).  All deterministic cache-hit counts,
+  never wall-clock, so *not* core-aware;
 * **protocol server** (``server_protocol``): ``streamed_identical``
   must be exactly 1.0 (the streamed explain's final report equals the
   plain remote explain bit-identically), and per open-loop concurrency
@@ -345,6 +354,37 @@ def check_trajectory(
         dig(fresh, "observability.enabled_ratio"),
         0.0,
     )
+    # warm-restart gates (ISSUE 10): deterministic cache-hit counts and
+    # exact count comparisons, never wall-clock -- not core-aware.  The
+    # unmutated floor combines the committed baseline (within tolerance)
+    # with the hard 0.9 acceptance target; the delta-mutated rate is
+    # deliberately *partial* (the snapshot is one delta behind), so it
+    # is gated against the baseline only, with ordinary tolerance.
+    gate.check_not_below(
+        "restart-warm hit rate (unmutated restart)",
+        max(
+            dig(baseline, "restart_warm.unmutated.warm_hit_rate")
+            * (1.0 - max_regression),
+            0.9,
+        ),
+        dig(fresh, "restart_warm.unmutated.warm_hit_rate"),
+        0.0,
+    )
+    gate.check_not_below(
+        "restart-warm hit rate (delta-mutated restart)",
+        dig(baseline, "restart_warm.mutated.warm_hit_rate"),
+        dig(fresh, "restart_warm.mutated.warm_hit_rate"),
+        max_regression,
+    )
+    for variant in ("unmutated", "mutated"):
+        if dig(fresh, f"restart_warm.{variant}.counts_identical") == 1.0:
+            gate.ok(f"restart-warm {variant} counts identical to cold computes")
+        else:
+            gate.fail(
+                f"restart-warm {variant} restart DIVERGED from the cold "
+                "computes (counts_identical is false) -- a restored cache "
+                "entry returned a wrong count"
+            )
     if dig(fresh, "server_protocol.streamed_identical") == 1.0:
         gate.ok("server-protocol streamed result identical to plain explain")
     else:

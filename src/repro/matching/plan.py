@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.delta import (
     QueryTouchProfile,
@@ -74,13 +74,16 @@ PlanStep = Union[SeedStep, ExpandStep]
 class _PlanCache:
     """Per-graph memo of built plans, keyed by (query signature, order)."""
 
-    __slots__ = ("version", "entries", "profiles", "stats")
+    __slots__ = ("version", "entries", "profiles", "wires", "stats")
 
     def __init__(self, version: int) -> None:
         self.version = version
         self.entries: Dict[Hashable, List[PlanStep]] = {}
         #: key -> touch profile of the query the plan was built for
         self.profiles: Dict[Hashable, QueryTouchProfile] = {}
+        #: key -> wire form of the query (externalization: a signature
+        #: key is not invertible, so persistence keeps the query too)
+        self.wires: Dict[Hashable, Tuple] = {}
         self.stats = CacheStats()
 
 
@@ -100,6 +103,7 @@ def _plan_cache(graph: PropertyGraph) -> _PlanCache:
         if deltas is None:
             cache.entries.clear()
             cache.profiles.clear()
+            cache.wires.clear()
         else:
             # Pinned edge_order plans (key[1] is not None) are pure
             # functions of the query and always survive.  Selectivity
@@ -115,6 +119,7 @@ def _plan_cache(graph: PropertyGraph) -> _PlanCache:
             for key in stale:
                 del cache.entries[key]
                 del cache.profiles[key]
+                cache.wires.pop(key, None)
         cache.version = graph.version
         cache.stats.size = len(cache.entries)
     return cache
@@ -151,8 +156,108 @@ def build_plan(
     plan = _build_plan_uncached(graph, query, edge_order)
     cache.entries[key] = plan
     cache.profiles[key] = query_touch_profile(query)
+    cache.wires[key] = _query_wire(query)
     cache.stats.size = len(cache.entries)
     return plan
+
+
+def _query_wire(query: GraphQuery) -> Tuple:
+    from repro.core.serialize import query_to_wire
+
+    return query_to_wire(query)
+
+
+def export_plans(
+    graph: PropertyGraph,
+) -> List[Tuple[GraphQuery, Optional[Tuple[int, ...]], List[PlanStep]]]:
+    """Snapshot the graph's plan cache as ``(query, edge_order, steps)``.
+
+    The cache is validated (delta-scoped) first, so the export is
+    consistent with ``graph.version`` at return time.  Entries without a
+    retained query wire form (pre-seam inserts) are skipped.
+    """
+    from repro.core.serialize import query_from_wire
+
+    cache = _plan_cache(graph)
+    out: List[Tuple[GraphQuery, Optional[Tuple[int, ...]], List[PlanStep]]] = []
+    for key, steps in cache.entries.items():
+        wire = cache.wires.get(key)
+        if wire is None:
+            continue
+        out.append((query_from_wire(wire), key[1], list(steps)))
+    return out
+
+
+def restore_plans(
+    graph: PropertyGraph,
+    items: Iterable[Tuple[GraphQuery, Optional[Sequence[int]], Sequence[PlanStep]]],
+) -> int:
+    """Insert externally persisted plans; returns how many landed.
+
+    A live entry for the same key wins.  Every candidate plan is
+    re-validated against its query (:func:`plan_covers_query`) before
+    insertion: a plan that does not cover the query exactly would make
+    the matcher silently skip constraints, so a snapshot -- however it
+    decayed on disk -- can cost warmth, never correctness.
+    """
+    cache = _plan_cache(graph)
+    restored = 0
+    for query, edge_order, steps in items:
+        plan = list(steps)
+        if not plan_covers_query(query, plan):
+            continue
+        key = (
+            query.signature(),
+            tuple(edge_order) if edge_order is not None else None,
+        )
+        if key in cache.entries:
+            continue
+        cache.entries[key] = plan
+        cache.profiles[key] = query_touch_profile(query)
+        cache.wires[key] = _query_wire(query)
+        restored += 1
+    cache.stats.size = len(cache.entries)
+    return restored
+
+
+def plan_covers_query(query: GraphQuery, steps: Sequence[PlanStep]) -> bool:
+    """Is ``steps`` a complete, well-anchored plan for ``query``?
+
+    Checks exactly the invariants :func:`build_plan` guarantees: every
+    step references live query elements, expansions anchor on an
+    already-bound vertex and bind the edge's other endpoint (or close
+    between two bound vertices), and the plan covers every query edge
+    exactly once and binds every query vertex.
+    """
+    bound: Set[int] = set()
+    seen_edges: Set[int] = set()
+    for step in steps:
+        if isinstance(step, SeedStep):
+            if not query.has_vertex(step.vid) or step.vid in bound:
+                return False
+            bound.add(step.vid)
+        elif isinstance(step, ExpandStep):
+            if not query.has_edge(step.eid) or step.eid in seen_edges:
+                return False
+            edge = query.edge(step.eid)
+            if step.anchor not in bound:
+                return False
+            if step.anchor not in (edge.source, edge.target):
+                return False
+            if step.new_vid is None:
+                if edge.source not in bound or edge.target not in bound:
+                    return False
+            else:
+                if step.new_vid in bound:
+                    return False
+                expected = _unbound_end(edge.source, edge.target, bound)
+                if step.new_vid != expected:
+                    return False
+                bound.add(step.new_vid)
+            seen_edges.add(step.eid)
+        else:
+            return False
+    return seen_edges == query.edge_ids and bound == query.vertex_ids
 
 
 def _build_plan_uncached(

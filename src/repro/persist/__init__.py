@@ -1,0 +1,32 @@
+"""Warm-restart persistence: durable snapshots of evaluation state.
+
+See :mod:`repro.persist.snapshot` for the format, the validation rules
+and the crash-recovery contract.  The service layer
+(:class:`~repro.service.WhyQueryService`) is the main consumer: it
+spills evicted pool contexts here (tiering), checkpoints live ones, and
+prewarms fresh contexts from whatever survives validation.
+"""
+
+from repro.persist.snapshot import (
+    MAGIC,
+    SNAPSHOT_FORMAT,
+    RestoreReport,
+    SnapshotStore,
+    graph_fingerprint,
+    persist_key,
+    restore_context,
+    set_persist_name,
+    snapshot_context,
+)
+
+__all__ = [
+    "MAGIC",
+    "SNAPSHOT_FORMAT",
+    "RestoreReport",
+    "SnapshotStore",
+    "graph_fingerprint",
+    "persist_key",
+    "restore_context",
+    "set_persist_name",
+    "snapshot_context",
+]

@@ -11,7 +11,7 @@ Appendix B.2 resource-consumption experiment.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.core.delta import (
     QueryTouchProfile,
@@ -20,6 +20,7 @@ from repro.core.delta import (
     touch_affects_query,
 )
 from repro.core.query import GraphQuery
+from repro.core.serialize import query_from_wire, query_to_wire
 from repro.matching.evalcache import CacheStats, EvaluationCache
 from repro.matching.matcher import PatternMatcher
 
@@ -63,6 +64,11 @@ class QueryResultCache:
         self._entries: Dict[Hashable, tuple] = {}
         #: key -> touch profile of the cached query, for delta scoping
         self._profiles: Dict[Hashable, QueryTouchProfile] = {}
+        #: key -> compact wire form of the cached query; the signature a
+        #: key is made of is not invertible, so externalization
+        #: (:mod:`repro.persist`) keeps the query itself next to the
+        #: entry in its immutable wire form
+        self._wires: Dict[Hashable, Tuple] = {}
         self._lock = threading.Lock()
         self.stats = CacheStats()
 
@@ -88,6 +94,7 @@ class QueryResultCache:
         if deltas is None:
             self._entries.clear()
             self._profiles.clear()
+            self._wires.clear()
         else:
             touch = delta_touch(deltas)
             stale = [
@@ -98,6 +105,7 @@ class QueryResultCache:
             for key in stale:
                 del self._entries[key]
                 del self._profiles[key]
+                self._wires.pop(key, None)
         self._version = graph.version
         self.stats.size = len(self._entries)
 
@@ -133,12 +141,14 @@ class QueryResultCache:
             self._entries.pop(key, None)
             self._entries[key] = (count, limit)
             self._profiles[key] = query_touch_profile(query)
+            self._wires[key] = query_to_wire(query)
             if self.max_entries is not None:
                 # dicts iterate in insertion/promotion order: evict LRU-first
                 while len(self._entries) > self.max_entries:
                     evicted = next(iter(self._entries))
                     del self._entries[evicted]
                     self._profiles.pop(evicted, None)
+                    self._wires.pop(evicted, None)
             self.stats.size = len(self._entries)
         return count
 
@@ -147,7 +157,62 @@ class QueryResultCache:
         with self._lock:
             self._entries.clear()
             self._profiles.clear()
+            self._wires.clear()
             self.stats.size = 0
+
+    # -- externalization seam (warm-restart persistence) ----------------------
+
+    def export_entries(self) -> List[Tuple[GraphQuery, int, Optional[int]]]:
+        """Snapshot every live entry as ``(query, count, limit)`` triples.
+
+        The cache is validated against the graph's current version first
+        (delta-scoped, exactly as a lookup would), so the export is
+        always consistent with ``matcher.graph.version`` at return time
+        -- the caller stamps its snapshot with that version.  Entries
+        are emitted in LRU order (least recently used first) so a
+        bounded restore keeps the hottest entries.
+        """
+        with self._lock:
+            self._validate_locked()
+            out: List[Tuple[GraphQuery, int, Optional[int]]] = []
+            for key, (count, limit) in self._entries.items():
+                wire = self._wires.get(key)
+                if wire is None:
+                    continue  # pre-seam entry (no retained query): skip
+                out.append((query_from_wire(wire), count, limit))
+            return out
+
+    def restore_entries(
+        self, entries: Iterable[Tuple[GraphQuery, int, Optional[int]]]
+    ) -> int:
+        """Insert externally persisted entries; returns how many landed.
+
+        The caller (:func:`repro.persist.restore_context`) has already
+        validated the snapshot against the graph version and dropped
+        delta-touched entries, so insertion is unconditional -- except
+        that a *live* entry for the same signature wins (it is at least
+        as fresh as the persisted one).  Restores do not count as hits
+        or misses; only ``stats.size`` moves.
+        """
+        restored = 0
+        with self._lock:
+            self._validate_locked()
+            for query, count, limit in entries:
+                key = query.signature()
+                if key in self._entries:
+                    continue
+                self._entries[key] = (count, limit)
+                self._profiles[key] = query_touch_profile(query)
+                self._wires[key] = query_to_wire(query)
+                restored += 1
+                if self.max_entries is not None:
+                    while len(self._entries) > self.max_entries:
+                        evicted = next(iter(self._entries))
+                        del self._entries[evicted]
+                        self._profiles.pop(evicted, None)
+                        self._wires.pop(evicted, None)
+            self.stats.size = len(self._entries)
+        return restored
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -73,6 +73,10 @@ def baseline_payload() -> dict:
                 "8": {"ttfc_ratio": 0.7, "p99_over_p50": 1.2},
             },
         },
+        "restart_warm": {
+            "unmutated": {"warm_hit_rate": 1.0, "counts_identical": True},
+            "mutated": {"warm_hit_rate": 0.96875, "counts_identical": True},
+        },
     }
 
 
@@ -378,6 +382,48 @@ class TestServerProtocolGate:
         gate = check_trajectory(baseline, fresh)
         assert any("ttfc ratio @8" in f for f in gate.failures)
         assert not any("ttfc ratio @2" in f for f in gate.failures)
+
+
+class TestRestartWarmGate:
+    def test_unmutated_below_the_absolute_floor_fails(self):
+        """0.9 is an acceptance floor, not baseline-relative: a restart
+        that comes back mostly cold fails even within tolerance."""
+        baseline = baseline_payload()
+        fresh = copy.deepcopy(baseline)
+        fresh["restart_warm"]["unmutated"]["warm_hit_rate"] = 0.85
+        gate = check_trajectory(baseline, fresh)
+        assert any("unmutated restart" in f for f in gate.failures)
+        fresh["restart_warm"]["unmutated"]["warm_hit_rate"] = 0.95
+        assert check_trajectory(baseline, fresh).failures == []
+
+    def test_low_baseline_cannot_water_down_the_floor(self):
+        baseline = baseline_payload()
+        baseline["restart_warm"]["unmutated"]["warm_hit_rate"] = 0.5
+        fresh = copy.deepcopy(baseline)
+        fresh["restart_warm"]["unmutated"]["warm_hit_rate"] = 0.88
+        gate = check_trajectory(baseline, fresh)
+        assert any("unmutated restart" in f for f in gate.failures)
+
+    def test_mutated_rate_is_baseline_relative_with_tolerance(self):
+        """The delta-mutated rate is deliberately partial; it has no
+        absolute floor, only the committed baseline within tolerance."""
+        baseline = baseline_payload()
+        fresh = copy.deepcopy(baseline)
+        fresh["restart_warm"]["mutated"]["warm_hit_rate"] = 0.8  # within 25%
+        assert check_trajectory(baseline, fresh).failures == []
+        fresh["restart_warm"]["mutated"]["warm_hit_rate"] = 0.5
+        gate = check_trajectory(baseline, fresh)
+        assert any("delta-mutated restart" in f for f in gate.failures)
+
+    @pytest.mark.parametrize("variant", ["unmutated", "mutated"])
+    def test_count_divergence_fails_exactly(self, variant):
+        """Restored-vs-cold count identity is deterministic: any
+        divergence is a wrong answer, never noise."""
+        baseline = baseline_payload()
+        fresh = copy.deepcopy(baseline)
+        fresh["restart_warm"][variant]["counts_identical"] = False
+        gate = check_trajectory(baseline, fresh)
+        assert any("DIVERGED" in f and variant in f for f in gate.failures)
 
 
 class TestAffinePlacementGate:
